@@ -1,0 +1,174 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not in the paper, but probing its design space:
+
+* gate reopening policy: key match (SLFSoS-key) vs SB drain (SLFSoS) vs
+  SC-like SLF blocking (SLFSpec), swept over SQ/SB sizes — the key's
+  advantage should grow with a deeper store buffer;
+* StoreSet predictor on/off — memory-dependence squashes without it;
+* L1-eviction squashing (the stricter eviction rule) — extra
+  re-executions, unchanged correctness.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import add_report
+
+from repro.analysis.report import format_table
+from repro.sim.config import SKYLAKE_LIKE
+from repro.sim.system import simulate
+from repro.workloads import generate_warmup, generate_workload, get_profile
+
+LENGTH = 2000
+CORES = 4
+
+
+def _traces(name, seed=0):
+    profile = get_profile(name)
+    return (generate_workload(profile, CORES, LENGTH, seed),
+            generate_warmup(profile, CORES, LENGTH, seed))
+
+
+def test_ablation_sb_size_sweep(once):
+    """Gate-reopen policy vs SQ/SB depth (barnes, forwarding-heavy)."""
+    traces, warm = _traces("barnes")
+
+    def sweep():
+        rows = []
+        for sb_size in (16, 32, 56):
+            config = dataclasses.replace(
+                SKYLAKE_LIKE,
+                core=dataclasses.replace(SKYLAKE_LIKE.core,
+                                         sq_sb_entries=sb_size))
+            base = simulate(traces, "x86", config, warm_caches=warm)
+            row = [f"SQ/SB={sb_size}"]
+            for policy in ("370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"):
+                stats = simulate(traces, policy, config, warm_caches=warm)
+                row.append(round(stats.execution_cycles
+                                 / base.execution_cycles, 3))
+            rows.append(row)
+        return rows
+
+    rows = once(sweep)
+    add_report("Ablation SB size", format_table(
+        ["config", "SLFSpec", "SLFSoS", "SLFSoS-key"], rows,
+        title="Ablation: normalized time vs SQ/SB size (barnes)"))
+    for row in rows:
+        assert row[3] <= row[1] + 0.02  # key <= SC-like speculation
+
+
+def test_ablation_storeset_off(once):
+    """Without memory-dependence prediction (and without the warmed
+    hints), colliding store->load pairs squash."""
+    profile = get_profile("502.gcc_1")
+    traces = generate_workload(profile, 1, 4000, 0)
+    warm = generate_warmup(profile, 1, 4000, 0)
+    stripped = [dataclasses.replace(t) if False else t for t in traces]
+
+    def run_without_hints():
+        saved = [list(t.memdep_hints) for t in traces]
+        for t in traces:
+            t.memdep_hints = []
+        try:
+            return simulate(traces, "370-SLFSoS-key", warm_caches=warm)
+        finally:
+            for t, hints in zip(traces, saved):
+                t.memdep_hints = hints
+
+    cold = once(run_without_hints)
+    warm_run = simulate(traces, "370-SLFSoS-key", warm_caches=warm)
+    add_report("Ablation StoreSet", format_table(
+        ["configuration", "memdep squashes", "reexec %"],
+        [["cold predictor", cold.total.squashes_memdep,
+          round(cold.total.reexecuted_pct, 3)],
+         ["warmed predictor", warm_run.total.squashes_memdep,
+          round(warm_run.total.reexecuted_pct, 3)]],
+        title="Ablation: StoreSet warm-up (502.gcc_1, 1 core)"))
+    assert cold.total.squashes_memdep >= warm_run.total.squashes_memdep
+
+
+def test_ablation_prefetcher(once):
+    """The stride L1 prefetcher (Table III) mostly helps strided
+    workloads; the policy ranking must be robust to it."""
+    traces, warm = _traces("503.bwaves_1")  # strided loads
+
+    def run_both():
+        rows = []
+        for enabled in (True, False):
+            config = dataclasses.replace(
+                SKYLAKE_LIKE,
+                memory=dataclasses.replace(SKYLAKE_LIKE.memory,
+                                           prefetcher=enabled))
+            base = simulate(traces, "x86", config, warm_caches=warm)
+            key = simulate(traces, "370-SLFSoS-key", config,
+                           warm_caches=warm)
+            rows.append(["on" if enabled else "off",
+                         base.execution_cycles, key.execution_cycles,
+                         round(key.execution_cycles
+                               / base.execution_cycles, 3)])
+        return rows
+
+    rows = once(run_both)
+    add_report("Ablation prefetcher", format_table(
+        ["stride prefetcher", "x86 cycles", "key cycles", "key/x86"],
+        rows, title="Ablation: stride prefetcher (503.bwaves)"))
+    # The key overhead stays small with or without the prefetcher.
+    for row in rows:
+        assert row[3] < 1.15
+
+
+def test_ablation_mispredict_penalty(once):
+    """Redirect-penalty sweep: absolute time grows with the penalty,
+    the key configuration's relative overhead stays put."""
+    traces, warm = _traces("502.gcc_1")
+
+    def sweep():
+        rows = []
+        for penalty in (5, 14, 30):
+            config = dataclasses.replace(
+                SKYLAKE_LIKE,
+                core=dataclasses.replace(SKYLAKE_LIKE.core,
+                                         mispredict_penalty=penalty))
+            base = simulate(traces, "x86", config, warm_caches=warm)
+            key = simulate(traces, "370-SLFSoS-key", config,
+                           warm_caches=warm)
+            rows.append([f"penalty={penalty}", base.execution_cycles,
+                         round(key.execution_cycles
+                               / base.execution_cycles, 3)])
+        return rows
+
+    rows = once(sweep)
+    add_report("Ablation mispredict penalty", format_table(
+        ["config", "x86 cycles", "key/x86"], rows,
+        title="Ablation: mispredict penalty sweep (502.gcc_1)"))
+    assert rows[-1][1] >= rows[0][1]  # bigger penalty, more cycles
+
+
+def test_ablation_l1_evict_squash(once):
+    """The stricter L1-castout squash rule: more re-execution, still no
+    witnessed violations."""
+    traces, warm = _traces("505.mcf")
+    strict = dataclasses.replace(
+        SKYLAKE_LIKE,
+        core=dataclasses.replace(SKYLAKE_LIKE.core, l1_evict_squash=True))
+
+    def run_both():
+        default = simulate(traces, "370-SLFSoS-key", warm_caches=warm,
+                           detect_violations=True)
+        l1 = simulate(traces, "370-SLFSoS-key", strict, warm_caches=warm,
+                      detect_violations=True)
+        return default, l1
+
+    default, l1 = once(run_both)
+    add_report("Ablation eviction squash level", format_table(
+        ["rule", "evict squashes", "reexec %", "violations"],
+        [["hierarchy (L2) evictions", default.total.squashes_evict,
+          round(default.total.reexecuted_pct, 3),
+          default.total.store_atomicity_violations],
+         ["+ L1 castouts", l1.total.squashes_evict,
+          round(l1.total.reexecuted_pct, 3),
+          l1.total.store_atomicity_violations]],
+        title="Ablation: eviction-squash level (505.mcf)"))
+    assert l1.total.squashes_evict >= default.total.squashes_evict
+    assert l1.total.store_atomicity_violations == 0

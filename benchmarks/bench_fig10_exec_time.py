@@ -1,0 +1,64 @@
+"""Figure 10: execution time of the four 370 configurations vs x86.
+
+The paper's headline figure: per-benchmark execution time normalized to
+x86, with suite geomeans.  The shape to reproduce: blanket enforcement
+(370-NoSpec) is expensive (paper: 1.27x parallel / 1.23x sequential);
+SC-like speculation recovers most of it; the paper's SLFSoS-key comes
+closest to x86 (1.025x / 1.027x).
+"""
+
+import pytest
+from conftest import add_report, get_sweep, suite_benchmarks
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.report import figure10_table, summarize_suite
+from repro.core.policies import POLICY_ORDER
+from repro.workloads.runner import normalized_times
+
+_results = {"parallel": {}, "sequential": {}}
+
+
+def _collect(suite, name):
+    sweep = get_sweep(name)
+    _results[suite][name] = sweep
+    return sweep
+
+
+@pytest.mark.parametrize("name", suite_benchmarks("parallel"))
+def test_fig10_parallel(name, once):
+    sweep = once(_collect, "parallel", name)
+    norm = normalized_times(sweep)
+    # Shape: every speculative variant beats blanket enforcement
+    # whenever blanket enforcement actually hurts.
+    if norm["370-NoSpec"] > 1.10:
+        for policy in ("370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"):
+            assert norm[policy] < norm["370-NoSpec"], (name, policy)
+
+
+@pytest.mark.parametrize("name", suite_benchmarks("sequential"))
+def test_fig10_sequential(name, once):
+    sweep = once(_collect, "sequential", name)
+    norm = normalized_times(sweep)
+    if norm["370-NoSpec"] > 1.10:
+        for policy in ("370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"):
+            assert norm[policy] < norm["370-NoSpec"], (name, policy)
+
+
+def test_fig10_report_and_geomeans(once):
+    once(lambda: None)
+    for suite, results in _results.items():
+        if not results:
+            continue
+        add_report(f"Figure 10 {suite}", figure10_table(results, suite))
+        summary = summarize_suite(results, suite)
+        add_report(
+            f"Figure 10 {suite} chart",
+            bar_chart([p for p in POLICY_ORDER[1:]],
+                      [summary[p] for p in POLICY_ORDER[1:]],
+                      title=f"Figure 10 ({suite}): geomean normalized "
+                            "time (| marks x86 = 1.0)",
+                      unit="x", baseline=1.0))
+        # The headline shape (who wins, roughly by what factor).
+        assert summary["370-NoSpec"] > 1.10, suite
+        assert summary["370-SLFSoS-key"] < 1.06, suite
+        assert summary["370-SLFSoS-key"] <= summary["370-NoSpec"], suite

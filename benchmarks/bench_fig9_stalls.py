@@ -1,0 +1,57 @@
+"""Figure 9: processor dispatch stalls by full structure (ROB/LQ/SQ-SB).
+
+For every benchmark and all five configurations, reports the percentage
+of cycles in which the core could not dispatch because the ROB, the LQ,
+or the SQ/SB was full — the paper's Figure 9 series.
+"""
+
+import pytest
+from conftest import add_report, get_sweep, suite_benchmarks
+
+from repro.analysis.charts import stacked_bar_chart
+from repro.analysis.report import figure9_table
+
+_results = {"parallel": {}, "sequential": {}}
+
+
+def _collect(suite, name):
+    sweep = get_sweep(name)
+    _results[suite][name] = sweep
+    return sweep
+
+
+@pytest.mark.parametrize("name", suite_benchmarks("parallel"))
+def test_fig9_parallel(name, once):
+    sweep = once(_collect, "parallel", name)
+    for policy, result in sweep.items():
+        for pct in result.stats.total.stall_pct.values():
+            assert 0.0 <= pct <= 100.0, (name, policy)
+
+
+@pytest.mark.parametrize("name", suite_benchmarks("sequential"))
+def test_fig9_sequential(name, once):
+    sweep = once(_collect, "sequential", name)
+    for policy, result in sweep.items():
+        for pct in result.stats.total.stall_pct.values():
+            assert 0.0 <= pct <= 100.0, (name, policy)
+
+
+def test_fig9_report(once):
+    once(lambda: None)
+    for suite, results in _results.items():
+        if not results:
+            continue
+        add_report(f"Figure 9 {suite}", figure9_table(results, suite))
+        # Stacked chart for the paper's proposed configuration.
+        labels, rob, lq, sq = [], [], [], []
+        for name, sweep in results.items():
+            pct = sweep["370-SLFSoS-key"].stats.total.stall_pct
+            labels.append(name)
+            rob.append(pct["ROB"])
+            lq.append(pct["LQ"])
+            sq.append(pct["SQ/SB"])
+        add_report(
+            f"Figure 9 {suite} chart",
+            stacked_bar_chart(labels, {"ROB": rob, "LQ": lq, "SQ/SB": sq},
+                              title=f"Figure 9 ({suite}): dispatch-stall "
+                                    "shares under 370-SLFSoS-key"))

@@ -1,0 +1,52 @@
+"""Table II: all possible outcomes for the Figure 5 code.
+
+Exhaustively enumerates the fig5 litmus test (two cores, each forwarding
+its own store, loads in opposite orders) under the store-atomic 370
+model and under x86, reproducing the paper's Table II: exactly three
+outcomes under 370, plus the case-1 'disagreement' outcome under x86.
+"""
+
+from conftest import add_report
+
+from repro.analysis.report import format_table
+from repro.litmus.operational import M370, X86, enumerate_outcomes
+from repro.litmus.tests import FIG5
+
+_CASE_COMMENTS = {
+    (1, 0, 0, 1): "Disagreement in order (case 1 - x86 only)",
+    (1, 0, 1, 1): "Core2 cannot see order (case 2)",
+    (1, 1, 1, 0): "Core1 cannot see order (case 3)",
+    (1, 1, 1, 1): "None can see any order (case 4)",
+}
+
+
+def _signature(outcome):
+    return (outcome.reg(0, "rx"), outcome.reg(0, "ry"),
+            outcome.reg(1, "rx"), outcome.reg(1, "ry"))
+
+
+def test_table2_370_outcomes(once):
+    outcomes = once(enumerate_outcomes, FIG5, M370)
+    assert len(outcomes) == 3
+    signatures = {_signature(o) for o in outcomes}
+    assert (1, 0, 0, 1) not in signatures  # the disagreement is forbidden
+
+
+def test_table2_x86_adds_disagreement(once):
+    x86 = once(enumerate_outcomes, FIG5, X86)
+    m370 = enumerate_outcomes(FIG5, M370)
+    extra = {_signature(o) for o in (x86 - m370)}
+    assert extra == {(1, 0, 0, 1)}
+
+    rows = []
+    for sig in sorted({_signature(o) for o in x86}, reverse=True):
+        rx1, ry1, rx2, ry2 = sig
+        comment = _CASE_COMMENTS.get(
+            (rx1, ry1, rx2, ry2), "(not in Table II)")
+        in_370 = "yes" if sig not in extra else "NO (x86 only)"
+        rows.append([f"{rx1},{ry1} ({'new' if rx1 else 'old'},"
+                     f"{'new' if ry1 else 'old'})",
+                     f"{rx2},{ry2}", in_370, comment])
+    add_report("Table II fig5 outcomes", format_table(
+        ["Core1 [x],[y]", "Core2 [x],[y]", "store-atomic?", "comment"],
+        rows, title="Table II: all outcomes for the Figure 5 code"))

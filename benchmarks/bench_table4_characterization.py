@@ -1,0 +1,67 @@
+"""Table IV: characterization of store-atomicity speculation.
+
+Runs every benchmark (sample or full suite; see conftest) under the
+paper's proposed 370-SLFSoS-key configuration and reports, next to the
+paper's measured values: retired loads %, forwarded (SLF) loads %, gate
+stalls %, average stall cycles per gate stall, and re-executed
+instructions %.
+"""
+
+import pytest
+from conftest import add_report, get_sweep, suite_benchmarks
+
+from repro.analysis.report import (CHARACTERIZATION_HEADERS,
+                                   characterization_row, format_table)
+from repro.workloads import get_profile
+from repro.workloads.tableiv import PARALLEL_AVERAGE, SEQUENTIAL_AVERAGE
+
+_rows = {"parallel": [], "sequential": []}
+
+
+def _characterize(name):
+    result = get_sweep(name)["370-SLFSoS-key"]
+    total = result.stats.total
+    profile = get_profile(name)
+    _rows[profile.suite].append(
+        characterization_row(name, total, profile.paper))
+    return total, profile
+
+
+@pytest.mark.parametrize("name", suite_benchmarks("parallel"))
+def test_table4_parallel(name, once):
+    total, profile = once(_characterize, name)
+    # Calibration: the generation targets must be met.
+    assert total.loads_pct == pytest.approx(profile.loads_pct, abs=2.0)
+    assert total.forwarded_pct == pytest.approx(profile.forwarded_pct,
+                                                abs=1.5)
+
+
+@pytest.mark.parametrize("name", suite_benchmarks("sequential"))
+def test_table4_sequential(name, once):
+    total, profile = once(_characterize, name)
+    assert total.loads_pct == pytest.approx(profile.loads_pct, abs=2.0)
+    assert total.forwarded_pct == pytest.approx(profile.forwarded_pct,
+                                                abs=1.5)
+
+
+def test_table4_report(once):
+    """Emit the combined table with per-suite averages (§VI-A)."""
+    once(lambda: None)
+    for suite, paper_avg in (("parallel", PARALLEL_AVERAGE),
+                             ("sequential", SEQUENTIAL_AVERAGE)):
+        rows = _rows[suite]
+        if not rows:
+            continue
+        n = len(rows)
+        avg = ["Average", sum(r[1] for r in rows) // n]
+        for col in range(2, 7):
+            avg.append(round(sum(r[col] for r in rows) / n, 3))
+        avg += [paper_avg.loads_pct, paper_avg.forwarded_pct,
+                paper_avg.gate_stalls_pct, paper_avg.avg_stall_cycles,
+                paper_avg.reexecuted_pct]
+        add_report(
+            f"Table IV {suite}",
+            format_table(CHARACTERIZATION_HEADERS, rows + [avg],
+                         title=f"Table IV ({suite}): 370-SLFSoS-key "
+                               "characterization — measured vs paper "
+                               "(p: columns)"))

@@ -1,0 +1,69 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+* ``get_sweep(name)`` runs (and caches) one benchmark under all five
+  configurations, so Table IV / Figure 9 / Figure 10 benches share work.
+* ``add_report(title, text)`` collects the regenerated tables; they are
+  printed in the terminal summary and written to benchmarks/results/.
+* ``REPRO_SUITE=sample`` (default) uses a representative subset of the
+  61 benchmarks; ``REPRO_SUITE=full`` runs everything the paper ran.
+  ``REPRO_SCALE`` scales instruction counts (1.0 default).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.workloads.profiles import PARALLEL_PROFILES, SEQUENTIAL_PROFILES
+from repro.workloads.runner import run_policy_sweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_SAMPLE_PARALLEL = ["barnes", "blackscholes", "dedup", "fft", "radix",
+                    "raytrace", "water_spatial", "x264"]
+_SAMPLE_SEQUENTIAL = ["500.perlbench_2", "502.gcc_1", "503.bwaves_1",
+                      "505.mcf", "511.povray", "519.lbm", "527.cam4",
+                      "557.xz_1"]
+
+_REPORTS = []
+_SWEEPS = {}
+
+
+def suite_benchmarks(suite):
+    """Benchmark names for one suite under the active REPRO_SUITE mode."""
+    mode = os.environ.get("REPRO_SUITE", "sample")
+    if mode == "full":
+        return list(PARALLEL_PROFILES if suite == "parallel"
+                    else SEQUENTIAL_PROFILES)
+    return list(_SAMPLE_PARALLEL if suite == "parallel"
+                else _SAMPLE_SEQUENTIAL)
+
+
+def get_sweep(name):
+    """All-policy results for one benchmark (cached per session)."""
+    if name not in _SWEEPS:
+        _SWEEPS[name] = run_policy_sweep(name)
+    return _SWEEPS[name]
+
+
+def add_report(title, text):
+    _REPORTS.append((title, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are long and
+    deterministic; pytest-benchmark's default repetition is wasteful)."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The x264 story: forwarding on a contended synchronization variable.
+
+The paper singles out x264's `pthread_cond_wait`: store-to-load
+forwarding on a highly contended variable puts younger loads inside the
+invalidation window of vulnerability again and again.  On x86 the
+violations are real (witnessed by the detector); the SoS configurations
+squash the vulnerable loads instead (re-execution), keeping the 370
+model intact.
+
+This example builds that scenario directly: every core spins on a hot
+"lock word" with a store->load forwarding idiom, then reads shared data.
+
+Run:  python examples/contended_lock.py
+"""
+
+from repro import POLICY_ORDER, simulate
+from repro.cpu.isa import Trace, alu, load, store
+
+HOT = 0x6000_0000_0000          # the contended lock word
+DATA = 0x5000_0000_0000         # shared data, read under the lock
+
+
+def lock_trace(core_id, rounds=120):
+    trace = Trace()
+    for i in range(rounds):
+        # 'acquire': write the lock word, read it right back (forwarded)
+        trace.append(store(HOT, pc=0x10))
+        trace.append(load(HOT, pc=0x20))
+        # read shared state while the lock store may still be in limbo —
+        # this is the load inside the window of vulnerability
+        slot = DATA + 64 * ((i + core_id) % 16)
+        trace.append(load(slot, pc=0x30))
+        prev = trace.append(alu(deps=(len(trace) - 1,)))
+        # occasionally update a shared slot (the writes that land
+        # invalidations in the other cores' windows)
+        if i % 4 == core_id % 4:
+            trace.append(store(DATA + 64 * ((i + core_id + 5) % 16),
+                               pc=0x40))
+        # private work between critical sections
+        for _ in range(4):
+            prev = trace.append(alu(deps=(prev,)))
+    trace.memdep_hints = [(0x20, 0x10)]
+    return trace
+
+
+def main():
+    cores = 4
+    traces = [lock_trace(core_id) for core_id in range(cores)]
+    print(f"{cores} cores x {len(traces[0])} instructions, all "
+          f"contending on one lock word\n")
+    header = (f"{'config':17s}{'cycles':>9s}{'norm':>7s}{'SLF':>6s}"
+              f"{'squash':>8s}{'reexec%':>9s}{'viol.witnessed':>15s}")
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for policy in POLICY_ORDER:
+        stats = simulate(traces, policy, detect_violations=True)
+        total = stats.total
+        cycles = stats.execution_cycles
+        if baseline is None:
+            baseline = cycles
+        print(f"{policy:17s}{cycles:9d}{cycles / baseline:7.3f}"
+              f"{total.slf_loads:6d}{total.squashes:8d}"
+              f"{total.reexecuted_pct:9.2f}"
+              f"{total.store_atomicity_violations:15d}")
+    print("""
+Only x86 witnesses store-atomicity violations (counted per vulnerable
+line per invalidation, so heavy contention produces many witnesses).
+The 370 configurations convert every would-be violation into a squash
+or avoid the window entirely; note how the SoS variants stay close to
+x86 while blanket enforcement and SC-like speculation collapse under
+contention.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper in two minutes.
+
+1. Show the memory-model difference with the n6 litmus test: x86 allows
+   a non-store-atomic outcome that the IBM-370 model forbids.
+2. Run a forwarding-heavy workload on the cycle-level multicore under
+   all five configurations and print the cost of store atomicity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import POLICY_ORDER, simulate
+from repro.litmus import M370, N6, SC, X86, allows
+from repro.workloads import generate_warmup, generate_workload, get_profile
+
+
+def litmus_demo():
+    print("=" * 72)
+    print("Part 1 — the n6 litmus test (paper Figure 2)")
+    print("=" * 72)
+    print("""
+  Core1: st x,1 ; ld x -> rx ; ld y -> ry
+  Core2: st y,2 ; st x,2
+
+  Witness: rx==1, ry==0, [x]==1, [y]==2
+  (Core1 saw its own store to x early, but read y *before* Core2's
+  older store — observable only without store atomicity.)
+""")
+    witness = dict(r0_rx=1, r0_ry=0, mem_x=1, mem_y=2)
+    for model in (SC, M370, X86):
+        verdict = "ALLOWED" if allows(N6, model, **witness) else "forbidden"
+        print(f"  {model:>4}: {verdict}")
+    print()
+
+
+def performance_demo():
+    print("=" * 72)
+    print("Part 2 — the cost of enforcing store atomicity (paper Fig. 10)")
+    print("=" * 72)
+    profile = get_profile("barnes")  # the forwarding-heaviest benchmark
+    print(f"\n  workload: {profile.name} "
+          f"(forwarded loads: {profile.forwarded_pct}% of instructions)\n")
+    traces = generate_workload(profile, cores=4, length_per_core=2500)
+    warm = generate_warmup(profile, cores=4, length_per_core=2500)
+
+    baseline = None
+    for policy in POLICY_ORDER:
+        stats = simulate(traces, policy, warm_caches=warm)
+        cycles = stats.execution_cycles
+        if baseline is None:
+            baseline = cycles
+        total = stats.total
+        print(f"  {policy:16s} {cycles:8d} cycles "
+              f"({cycles / baseline:5.3f}x)  "
+              f"SLF loads: {total.slf_loads:5d}  "
+              f"gate closes: {total.gate_closes:5d}")
+    print("""
+  370-NoSpec pays heavily for blanket enforcement; the paper's
+  370-SLFSoS-key keeps the stricter 370 memory model at a few percent
+  over x86 by closing a retire gate only when a violation could
+  actually be observed.""")
+
+
+if __name__ == "__main__":
+    litmus_demo()
+    performance_demo()

@@ -1,0 +1,13 @@
+"""Reporting helpers for the reproduction's tables and figures."""
+
+from repro.analysis.charts import (bar_chart, figure10_chart,
+                                   stacked_bar_chart)
+from repro.analysis.report import (CHARACTERIZATION_HEADERS,
+                                   characterization_row, figure9_table,
+                                   figure10_table, format_table,
+                                   summarize_suite)
+
+__all__ = ["bar_chart", "stacked_bar_chart", "figure10_chart",
+           "format_table", "characterization_row",
+           "CHARACTERIZATION_HEADERS", "figure9_table", "figure10_table",
+           "summarize_suite"]

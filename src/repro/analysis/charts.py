@@ -1,0 +1,88 @@
+"""ASCII charts for the reproduction's figures.
+
+The paper's Figures 9 and 10 are bar charts; these helpers render the
+same data as text so the benchmark reports are self-contained (no
+plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+#: Fill characters for stacked series, in order.
+_FILLS = ("#", "=", ".")
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: str = "", width: int = 50, unit: str = "",
+              baseline: float = None) -> str:
+    """Horizontal bar chart; an optional baseline draws a ``|`` marker
+    (used for the x86=1.0 line of Figure 10)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return title
+    label_width = max(len(label) for label in labels)
+    peak = max(max(values), baseline or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak))
+        bar = "#" * filled
+        if baseline is not None:
+            marker = int(round(width * baseline / peak))
+            if marker >= len(bar):
+                bar = bar + " " * (marker - len(bar)) + "|"
+            else:
+                bar = bar[:marker] + "|" + bar[marker + 1:]
+        lines.append(f"{label.ljust(label_width)} |{bar}"
+                     f"  {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(labels: Sequence[str],
+                      series: Mapping[str, Sequence[float]],
+                      title: str = "", width: int = 50,
+                      total: float = 100.0) -> str:
+    """Horizontal stacked bars (e.g. ROB/LQ/SQ stall shares).
+
+    ``series`` maps series name -> per-label values; stacks are scaled
+    so ``total`` spans the full width.
+    """
+    names = list(series)
+    if len(names) > len(_FILLS):
+        raise ValueError(f"at most {len(_FILLS)} series supported")
+    for name in names:
+        if len(series[name]) != len(labels):
+            raise ValueError(f"series {name!r} does not align with labels")
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    legend = "  ".join(f"{fill}={name}"
+                       for fill, name in zip(_FILLS, names))
+    lines.append(f"{'':{label_width}}  [{legend}]")
+    for row, label in enumerate(labels):
+        bar = ""
+        shown = []
+        for fill, name in zip(_FILLS, names):
+            value = series[name][row]
+            chars = int(round(width * value / total))
+            bar += fill * chars
+            shown.append(f"{name}={value:.1f}")
+        bar = bar[:width].ljust(width)
+        lines.append(f"{label.ljust(label_width)} |{bar}| "
+                     + " ".join(shown))
+    return "\n".join(lines)
+
+
+def figure10_chart(norms: Dict[str, Dict[str, float]],
+                   policies: Sequence[str], title: str = "") -> str:
+    """One bar group per benchmark: normalized times with the x86=1.0
+    baseline marker."""
+    blocks: List[str] = [title] if title else []
+    for name, by_policy in norms.items():
+        values = [by_policy[p] for p in policies]
+        labels = [f"{name}:{p}" for p in policies]
+        blocks.append(bar_chart(labels, values, width=44, unit="x",
+                                baseline=1.0))
+    return "\n".join(blocks)

@@ -1,0 +1,112 @@
+"""Table/figure formatting for the reproduction reports.
+
+Produces fixed-width text tables in the spirit of the paper's tables
+and figure data: Table IV characterization rows, Figure 9 stall
+breakdowns, and Figure 10 normalized execution times, each with the
+paper-reported values alongside the measured ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import POLICY_ORDER
+from repro.sim.stats import CoreStats, SystemStats
+from repro.workloads.runner import BenchmarkResult, geomean, normalized_times
+from repro.workloads.tableiv import FIGURE10_GEOMEAN, PaperRow
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Left-align the first column, right-align the rest."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.3f}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(cells):
+        parts = [row[0].ljust(widths[0])]
+        parts += [cell.rjust(width)
+                  for cell, width in zip(row[1:], widths[1:])]
+        lines.append("  ".join(parts))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def characterization_row(name: str, stats: CoreStats,
+                         paper: Optional[PaperRow]) -> List[object]:
+    """One Table IV row: measured vs paper for the five key columns."""
+    row: List[object] = [
+        name,
+        stats.retired_instructions,
+        round(stats.loads_pct, 2),
+        round(stats.forwarded_pct, 2),
+        round(stats.gate_stalls_pct, 3),
+        round(stats.avg_gate_stall_cycles, 1),
+        round(stats.reexecuted_pct, 3),
+    ]
+    if paper is not None:
+        row += [paper.loads_pct, paper.forwarded_pct,
+                paper.gate_stalls_pct, paper.avg_stall_cycles,
+                paper.reexecuted_pct]
+    return row
+
+
+CHARACTERIZATION_HEADERS = [
+    "benchmark", "instrs", "loads%", "fwd%", "gate%", "gate-cyc",
+    "reexec%", "p:loads%", "p:fwd%", "p:gate%", "p:gate-cyc", "p:reexec%"]
+
+
+def figure10_table(results: Dict[str, Dict[str, BenchmarkResult]],
+                   suite: str) -> str:
+    """Normalized execution time per benchmark + geomean vs the paper."""
+    headers = ["benchmark"] + POLICY_ORDER[1:]
+    rows = []
+    per_policy: Dict[str, List[float]] = {p: [] for p in POLICY_ORDER[1:]}
+    for name, sweep in results.items():
+        norm = normalized_times(sweep)
+        rows.append([name] + [round(norm[p], 3) for p in POLICY_ORDER[1:]])
+        for policy in POLICY_ORDER[1:]:
+            per_policy[policy].append(norm[policy])
+    rows.append(["geomean"] + [round(geomean(per_policy[p]), 3)
+                               for p in POLICY_ORDER[1:]])
+    paper = FIGURE10_GEOMEAN[suite]
+    rows.append(["paper-geomean"] + [paper[p] for p in POLICY_ORDER[1:]])
+    return format_table(
+        headers, rows,
+        title=f"Figure 10 ({suite}): execution time normalized to x86")
+
+
+def figure9_table(results: Dict[str, Dict[str, BenchmarkResult]],
+                  suite: str) -> str:
+    """Dispatch-stall percentage (ROB / LQ / SQ-SB) per configuration."""
+    headers = ["benchmark"] + [f"{p}:{s}" for p in
+                               ("x86", "NoSpec", "SLFSpec", "SoS", "key")
+                               for s in ("ROB", "LQ", "SQ")]
+    rows = []
+    for name, sweep in results.items():
+        row: List[object] = [name]
+        for policy in POLICY_ORDER:
+            pct = sweep[policy].stats.total.stall_pct
+            row += [round(pct["ROB"], 1), round(pct["LQ"], 1),
+                    round(pct["SQ/SB"], 1)]
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title=f"Figure 9 ({suite}): dispatch-stall % by full structure")
+
+
+def summarize_suite(results: Dict[str, Dict[str, BenchmarkResult]],
+                    suite: str) -> Dict[str, float]:
+    """Geomean normalized time per policy for one suite."""
+    out: Dict[str, float] = {}
+    for policy in POLICY_ORDER[1:]:
+        ratios = [normalized_times(sweep)[policy]
+                  for sweep in results.values()]
+        out[policy] = geomean(ratios)
+    return out

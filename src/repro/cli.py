@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``list``                          benchmarks and litmus tests available
+``litmus NAME``                   enumerate a litmus test under all models
+``explain NAME -m MODEL k=v ...`` happens-before explanation of a witness
+``compare NAME``                  ConsistencyChecker: 370 vs x86 diff
+``sample NAME -m MODEL``          litmus7-style outcome sampling
+``bench NAME [-p POLICY]``        run one benchmark, print its stats
+``sweep NAME``                    run one benchmark under all 5 configs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.core.policies import POLICY_ORDER
+from repro.litmus import (ALL_CASES, EXTRA_CASES, MODELS,
+                          enumerate_outcomes, explain, sample)
+from repro.litmus.checker import compare
+from repro.litmus.program import Program
+
+
+def _litmus_registry() -> Dict[str, Program]:
+    programs = {}
+    for case in ALL_CASES + EXTRA_CASES:
+        programs[case.program.name] = case.program
+    return programs
+
+
+def _find_program(name: str) -> Program:
+    registry = _litmus_registry()
+    if name not in registry:
+        raise SystemExit(f"unknown litmus test {name!r}; try one of: "
+                         + ", ".join(sorted(registry)))
+    return registry[name]
+
+
+def _parse_witness(pairs: List[str]) -> Dict[str, int]:
+    witness = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"witness condition {pair!r} is not key=value")
+        key, value = pair.split("=", 1)
+        witness[key] = int(value)
+    return witness
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_list(_args) -> int:
+    from repro.workloads import PARALLEL_PROFILES, SEQUENTIAL_PROFILES
+    print("litmus tests:")
+    for name in sorted(_litmus_registry()):
+        print(f"  {name}")
+    print("\nparallel benchmarks (SPLASH-3 / PARSEC):")
+    print("  " + ", ".join(PARALLEL_PROFILES))
+    print("\nsequential benchmarks (SPECrate CPU2017):")
+    print("  " + ", ".join(SEQUENTIAL_PROFILES))
+    print("\nconfigurations: " + ", ".join(POLICY_ORDER))
+    return 0
+
+
+def cmd_litmus(args) -> int:
+    program = _find_program(args.name)
+    for tid, thread in enumerate(program.threads):
+        print(f"T{tid}: " + " ; ".join(str(op) for op in thread))
+    for model in (args.models or MODELS):
+        try:
+            outcomes = enumerate_outcomes(program, model)
+        except ValueError as exc:
+            print(f"\n{model}: {exc}")
+            continue
+        print(f"\n{model}: {len(outcomes)} outcomes")
+        for outcome in sorted(outcomes, key=str):
+            print(f"  {outcome}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    program = _find_program(args.name)
+    witness = _parse_witness(args.witness)
+    if not witness:
+        raise SystemExit("explain needs witness conditions (e.g. r0_rx=1)")
+    print(explain(program, args.model, **witness))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    program = _find_program(args.name)
+    print(compare(program).summary())
+    return 0
+
+
+def cmd_run_file(args) -> int:
+    from repro.litmus.parser import LitmusParseError, parse_litmus_file
+    try:
+        parsed = parse_litmus_file(args.path)
+    except (OSError, LitmusParseError) as exc:
+        raise SystemExit(str(exc))
+    program = parsed.program
+    for tid, thread in enumerate(program.threads):
+        print(f"T{tid}: " + " ; ".join(str(op) for op in thread))
+    for model in (args.models or MODELS):
+        try:
+            outcomes = enumerate_outcomes(program, model)
+        except ValueError as exc:
+            print(f"\n{model}: {exc}")
+            continue
+        print(f"\n{model}: {len(outcomes)} outcomes")
+        if parsed.witness is not None:
+            from repro.litmus.operational import _matches
+            hit = any(_matches(o, parsed.witness) for o in outcomes)
+            print(f"  exists {parsed.witness}: "
+                  f"{'ALLOWED' if hit else 'forbidden'}")
+        else:
+            for outcome in sorted(outcomes, key=str):
+                print(f"  {outcome}")
+    return 0
+
+
+def cmd_sample(args) -> int:
+    program = _find_program(args.name)
+    report = sample(program, args.model, runs=args.runs, seed=args.seed)
+    print(report.summary(top=args.top))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.workloads.runner import run_benchmark
+    result = run_benchmark(args.name, policy=args.policy, cores=args.cores,
+                           length=args.length, seed=args.seed)
+    total = result.stats.total
+    print(f"{args.name} under {args.policy}: "
+          f"{result.cycles} cycles, "
+          f"{total.retired_instructions} instructions")
+    print(f"  loads:          {total.loads_pct:6.2f}% of instructions")
+    print(f"  forwarded (SLF):{total.forwarded_pct:6.2f}%")
+    print(f"  gate stalls:    {total.gate_stalls_pct:6.3f}% "
+          f"({total.avg_gate_stall_cycles:.1f} cycles each)")
+    print(f"  re-executed:    {total.reexecuted_pct:6.3f}%")
+    stalls = total.stall_pct
+    print(f"  dispatch stalls: ROB {stalls['ROB']:.1f}%  "
+          f"LQ {stalls['LQ']:.1f}%  SQ/SB {stalls['SQ/SB']:.1f}%")
+    return 0
+
+
+def cmd_record(args) -> int:
+    from repro.workloads import (generate_warmup, generate_workload,
+                                 get_profile)
+    from repro.workloads.tracefile import save_workload
+    profile = get_profile(args.name)
+    traces = generate_workload(profile, args.cores, args.length, args.seed)
+    warm = generate_warmup(profile, args.cores, args.length, args.seed)
+    save_workload(args.path, traces, warmup=warm,
+                  meta={"benchmark": args.name, "seed": args.seed,
+                        "length": args.length, "cores": args.cores})
+    total = sum(len(t) for t in traces)
+    print(f"wrote {args.path}: {len(traces)} cores, "
+          f"{total} instructions (+warm-up)")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.sim.system import simulate
+    from repro.workloads.tracefile import TraceFileError, load_workload
+    try:
+        traces, warmup, meta = load_workload(args.path)
+    except (OSError, TraceFileError) as exc:
+        raise SystemExit(str(exc))
+    stats = simulate(traces, args.policy,
+                     warm_caches=warmup if warmup else True)
+    total = stats.total
+    origin = f" (recorded from {meta['benchmark']})" \
+        if "benchmark" in meta else ""
+    print(f"replayed {args.path}{origin} under {args.policy}:")
+    print(f"  {stats.execution_cycles} cycles, "
+          f"{total.retired_instructions} instructions")
+    print(f"  forwarded {total.forwarded_pct:.2f}%  "
+          f"gate stalls {total.gate_stalls_pct:.3f}%  "
+          f"re-executed {total.reexecuted_pct:.3f}%")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.workloads.runner import normalized_times, run_policy_sweep
+    results = run_policy_sweep(args.name, cores=args.cores,
+                               length=args.length, seed=args.seed)
+    norm = normalized_times(results)
+    print(f"{args.name}: execution time normalized to x86")
+    for policy in POLICY_ORDER:
+        print(f"  {policy:16s} {results[policy].cycles:9d} cycles "
+              f"({norm[policy]:5.3f}x)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speculative Enforcement of Store Atomicity "
+                    "(MICRO 2020) — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available tests/benchmarks") \
+        .set_defaults(func=cmd_list)
+
+    p = sub.add_parser("litmus", help="enumerate a litmus test")
+    p.add_argument("name")
+    p.add_argument("-m", "--models", nargs="*", choices=MODELS,
+                   help="models to enumerate (default: all)")
+    p.set_defaults(func=cmd_litmus)
+
+    p = sub.add_parser("explain", help="happens-before explanation")
+    p.add_argument("name")
+    p.add_argument("-m", "--model", default="370",
+                   choices=("SC", "370", "x86"))
+    p.add_argument("-w", "--witness", nargs="+", default=[],
+                   help="witness conditions, e.g. r0_rx=1 mem_x=1")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("compare", help="370 vs x86 ConsistencyChecker")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("run-file", help="run a litmus test from a file")
+    p.add_argument("path")
+    p.add_argument("-m", "--models", nargs="*", choices=MODELS)
+    p.set_defaults(func=cmd_run_file)
+
+    p = sub.add_parser("sample", help="litmus7-style sampling")
+    p.add_argument("name")
+    p.add_argument("-m", "--model", default="x86", choices=MODELS)
+    p.add_argument("-n", "--runs", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_sample)
+
+    p = sub.add_parser("bench", help="run one benchmark profile")
+    p.add_argument("name")
+    p.add_argument("-p", "--policy", default="370-SLFSoS-key",
+                   choices=POLICY_ORDER)
+    p.add_argument("-c", "--cores", type=int, default=8)
+    p.add_argument("-l", "--length", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("record", help="save a workload to a trace file")
+    p.add_argument("name")
+    p.add_argument("path")
+    p.add_argument("-c", "--cores", type=int, default=8)
+    p.add_argument("-l", "--length", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("replay", help="run a saved trace file")
+    p.add_argument("path")
+    p.add_argument("-p", "--policy", default="370-SLFSoS-key",
+                   choices=POLICY_ORDER)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("sweep", help="all five configurations")
+    p.add_argument("name")
+    p.add_argument("-c", "--cores", type=int, default=8)
+    p.add_argument("-l", "--length", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Write-atomic MESI directory protocol and cache hierarchy."""
+
+from repro.coherence.cache import CacheArray, PrivateHierarchy
+from repro.coherence.mesi import (CoherentMemorySystem, DirectoryBank,
+                                  PrivateController)
+
+__all__ = ["CacheArray", "PrivateHierarchy", "CoherentMemorySystem",
+           "DirectoryBank", "PrivateController"]

@@ -1,0 +1,13 @@
+"""The paper's contribution: retire gate, SA-speculation, and the five
+consistency-model implementations (x86, 370-NoSpec, 370-SLFSpec,
+370-SLFSoS, 370-SLFSoS-key)."""
+
+from repro.core.gate import RetireGate
+from repro.core.policies import (POLICIES, POLICY_ORDER, ConsistencyPolicy,
+                                 NoSpecPolicy, SLFSoSKeyPolicy, SLFSoSPolicy,
+                                 SLFSpecPolicy, X86Policy, make_policy)
+from repro.core.violation import ViolationDetector
+
+__all__ = ["RetireGate", "ConsistencyPolicy", "X86Policy", "NoSpecPolicy",
+           "SLFSpecPolicy", "SLFSoSPolicy", "SLFSoSKeyPolicy",
+           "make_policy", "POLICIES", "POLICY_ORDER", "ViolationDetector"]

@@ -1,0 +1,64 @@
+"""The retire gate (paper Section IV-B, Figure 8).
+
+The gate is deliberately tiny hardware: one open/closed bit plus one key
+register.  A retiring SLF load whose forwarding store is still in the
+SQ/SB closes the gate behind itself and locks it with the store's key;
+loads at the head of the LQ cannot retire while the gate is closed.  The
+gate reopens when it is unlocked with the *same* key — by the forwarding
+store as it writes to the L1 (370-SLFSoS-key) — or unconditionally when
+the store buffer drains (370-SLFSoS).
+
+Invariant (paper Section IV-B-2): at most one load has closed the gate,
+and exactly one live store matches the locking key.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RetireGate:
+    """One open/closed bit and one key register."""
+
+    def __init__(self) -> None:
+        self._closed = False
+        self._key: Optional[int] = None
+        self.closes = 0
+        self.opens = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def key(self) -> Optional[int]:
+        return self._key
+
+    def close(self, key: int) -> None:
+        """Lock the gate with ``key``.  Only legal when open: retirement
+        is in order, so a second SLF load cannot retire (and hence cannot
+        close the gate) while the gate is closed."""
+        if self._closed:
+            raise RuntimeError("retire gate is already closed")
+        self._closed = True
+        self._key = key
+        self.closes += 1
+
+    def open_with_key(self, key: int) -> bool:
+        """A store exiting the SB presents its key; the gate opens only on
+        a match.  Returns True if the gate opened."""
+        if self._closed and self._key == key:
+            self._closed = False
+            self._key = None
+            self.opens += 1
+            return True
+        return False
+
+    def open_unconditionally(self) -> bool:
+        """Drain-based reopen (370-SLFSoS: the SB emptied)."""
+        if self._closed:
+            self._closed = False
+            self._key = None
+            self.opens += 1
+            return True
+        return False

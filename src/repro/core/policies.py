@@ -1,0 +1,244 @@
+"""The five consistency-model implementations compared in the paper.
+
+Each policy plugs into the out-of-order pipeline at exactly the points
+where the implementations differ:
+
+* whether a load may take its value from an in-limbo store
+  (:meth:`ConsistencyPolicy.allows_forwarding`);
+* whether a performed load at the ROB head may retire
+  (:meth:`load_retire_block`);
+* what happens when an SLF load retires (:meth:`on_load_retire` — the
+  SoS variants close the retire gate);
+* what happens when a store writes to the L1 or the SB drains
+  (:meth:`on_store_written` / :meth:`on_sb_drained` — gate reopening);
+* which performed loads an invalidation/eviction squashes
+  (:meth:`speculative_floor`).
+
+Configurations (paper Section V):
+
+``x86``            no store-atomicity enforcement (baseline).
+``370-NoSpec``     blanket enforcement: a load matching a store in the
+                   SQ/SB waits until that store writes to the L1.
+``370-SLFSpec``    SC-like in-window speculation: SLF loads are
+                   speculative and cannot retire until the SB drains.
+``370-SLFSoS``     SLF loads are the *source* of speculation: they
+                   retire, closing the retire gate; the gate reopens
+                   when the SB drains.
+``370-SLFSoS-key`` the paper's proposal: the gate is locked with the
+                   forwarding store's key and reopens as soon as *that*
+                   store writes to the L1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+
+from repro.core.gate import RetireGate
+from repro.core.reasons import GATE, SLF_SB
+from repro.cpu.load_queue import LoadEntry
+from repro.cpu.store_buffer import StoreEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.pipeline import Core
+
+
+
+class ConsistencyPolicy:
+    """Base class: x86 semantics (forwarding allowed, nothing enforced)."""
+
+    name = "x86"
+    allows_forwarding = True
+    store_atomic = False
+
+    def __init__(self) -> None:
+        self.core: Optional["Core"] = None
+
+    def attach(self, core: "Core") -> None:
+        self.core = core
+
+    # -- forwarding ----------------------------------------------------
+
+    def on_forward(self, load: LoadEntry, store: StoreEntry) -> None:
+        """A load was satisfied from the SQ/SB: record SLF state + key
+        (paper Section IV-B-1)."""
+        load.slf = True
+        load.key = store.key
+        load.store_seq = store.seq
+
+    # -- retirement ----------------------------------------------------
+
+    def load_retire_block(self, load: LoadEntry) -> Optional[str]:
+        """Why a performed load at the ROB head may not retire, if any."""
+        return None
+
+    def on_load_retire(self, load: LoadEntry) -> None:
+        """Called as a load retires (before it leaves the LQ)."""
+
+    # -- store-buffer events --------------------------------------------
+
+    def on_store_written(self, store: StoreEntry) -> None:
+        """A store was inserted in memory order (wrote to the L1)."""
+
+    def on_sb_drained(self) -> None:
+        """The SB portion of the SQ/SB emptied (all retired stores
+        written)."""
+
+    def on_squash(self, seq: int) -> None:
+        """The pipeline flushed everything from ``seq`` onwards."""
+
+    # -- invalidation/eviction squash scope ------------------------------
+
+    def speculative_floor(self) -> Tuple[Optional[int], bool]:
+        """Policy-specific speculation threshold for squash decisions.
+
+        Returns ``(floor_seq, inclusive)``: performed loads with
+        ``seq > floor_seq`` (or ``>=`` when inclusive) are speculative
+        under this policy *in addition to* the universal M-speculation
+        rule (performed past an older unperformed load).  ``(None, _)``
+        means no additional speculation.
+        """
+        return None, False
+
+
+class X86Policy(ConsistencyPolicy):
+    """x86-TSO: store-to-load forwarding with no store-atomicity
+    enforcement; only load-load reordering is speculated in-window."""
+
+    name = "x86"
+
+
+class NoSpecPolicy(ConsistencyPolicy):
+    """370-NoSpec: blanket store atomicity, as in the IBM 370.
+
+    Forwarding is disallowed; a load that matches a store in the SQ/SB
+    is not performed until the store buffer is drained at least up to
+    the matched store (paper Sections I, II-C).
+    """
+
+    name = "370-NoSpec"
+    allows_forwarding = False
+    store_atomic = True
+
+
+class SLFSpecPolicy(ConsistencyPolicy):
+    """370-SLFSpec: straightforward adoption of in-window SC speculation.
+
+    SLF loads are *speculative by definition* (the prevailing view the
+    paper argues against): an SLF load cannot retire until every older
+    store has exited the store buffer, and it is squashed if matched by
+    an invalidation or eviction in the meantime.
+    """
+
+    name = "370-SLFSpec"
+    store_atomic = True
+
+    def load_retire_block(self, load: LoadEntry) -> Optional[str]:
+        if load.slf and self.core.sb.has_unwritten_older(load.seq):
+            return SLF_SB
+        return None
+
+    def speculative_floor(self) -> Tuple[Optional[int], bool]:
+        # The oldest still-speculative SLF load; it and everything
+        # younger is squashable (inclusive).
+        for entry in self.core.lq:
+            if (entry.performed and entry.slf
+                    and self.core.sb.has_unwritten_older(entry.seq)):
+                return entry.seq, True
+        return None, False
+
+
+class _SoSBase(ConsistencyPolicy):
+    """Shared machinery for the source-of-speculation variants.
+
+    The SLF load is *not* speculative (the paper's key insight,
+    Section IV-A); it retires freely and closes the retire gate behind
+    itself if its forwarding store is still in the SQ/SB.  Younger loads
+    are SA-speculative while an *active forwarding* from an older SLF
+    load exists, and cannot retire while the gate is closed.
+    """
+
+    store_atomic = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.gate = RetireGate()
+        # key -> seq of the (oldest) SLF load forwarded from that store.
+        self.active_forwardings: Dict[int, int] = {}
+
+    def on_forward(self, load: LoadEntry, store: StoreEntry) -> None:
+        super().on_forward(load, store)
+        previous = self.active_forwardings.get(store.key)
+        if previous is None or load.seq < previous:
+            self.active_forwardings[store.key] = load.seq
+
+    def load_retire_block(self, load: LoadEntry) -> Optional[str]:
+        return GATE if self.gate.closed else None
+
+    def on_load_retire(self, load: LoadEntry) -> None:
+        if load.slf and load.key is not None \
+                and self.core.sb.holds_key(load.key):
+            self.gate.close(load.key)
+            self.core.stats.gate_closes += 1
+
+    def on_squash(self, seq: int) -> None:
+        """Forwardings whose SLF load was flushed are no longer real."""
+        stale = [key for key, slf_seq in self.active_forwardings.items()
+                 if slf_seq >= seq]
+        for key in stale:
+            del self.active_forwardings[key]
+
+    def speculative_floor(self) -> Tuple[Optional[int], bool]:
+        if not self.active_forwardings:
+            return None, False
+        # Strictly younger loads than the oldest source of speculation
+        # are SA-speculative; the SLF load itself is not (exclusive).
+        return min(self.active_forwardings.values()), False
+
+
+class SLFSoSPolicy(_SoSBase):
+    """370-SLFSoS: gate reopens when the SB drains (no key)."""
+
+    name = "370-SLFSoS"
+
+    def on_sb_drained(self) -> None:
+        self.gate.open_unconditionally()
+        self.active_forwardings.clear()
+
+
+class SLFSoSKeyPolicy(_SoSBase):
+    """370-SLFSoS-key: the paper's proposal — the gate is keyed, so it
+    reopens as soon as the *forwarding* store writes to the L1."""
+
+    name = "370-SLFSoS-key"
+
+    def on_store_written(self, store: StoreEntry) -> None:
+        self.gate.open_with_key(store.key)
+        self.active_forwardings.pop(store.key, None)
+
+    def on_sb_drained(self) -> None:
+        # Belt and braces: every store write already lifted its own
+        # forwardings, so nothing should remain when the SB is empty.
+        if self.gate.closed:  # pragma: no cover - defensive
+            self.gate.open_unconditionally()
+        self.active_forwardings.clear()
+
+
+#: Registry of all five configurations, keyed by paper name.
+POLICIES: Dict[str, Type[ConsistencyPolicy]] = {
+    policy.name: policy
+    for policy in (X86Policy, NoSpecPolicy, SLFSpecPolicy,
+                   SLFSoSPolicy, SLFSoSKeyPolicy)
+}
+
+#: Evaluation order used throughout the paper's figures.
+POLICY_ORDER = ["x86", "370-NoSpec", "370-SLFSpec", "370-SLFSoS",
+                "370-SLFSoS-key"]
+
+
+def make_policy(name: str) -> ConsistencyPolicy:
+    """Instantiate a policy by its paper name (see :data:`POLICY_ORDER`)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {POLICY_ORDER}") from None

@@ -1,0 +1,8 @@
+"""Retire-block reason codes shared by policies and the pipeline."""
+
+#: A performed load at the ROB head is blocked by a closed retire gate
+#: (370-SLFSoS / 370-SLFSoS-key).
+GATE = "gate"
+
+#: An SLF load is blocked at the head until the SB drains (370-SLFSpec).
+SLF_SB = "slf-sb"

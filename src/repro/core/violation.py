@@ -1,0 +1,84 @@
+"""Store-atomicity violation witness (for the non-store-atomic x86).
+
+The paper's Figures 6 and 7 define the *invalidation window of
+vulnerability*: store atomicity is observably violated when
+
+1. a load ``ld x`` was performed by forwarding from an in-limbo store
+   ``st x``;
+2. a younger load ``ld y`` (different cache line) performed and
+   **retired** while ``st x`` was still in the store buffer; and
+3. an invalidation (or eviction) for ``ld y``'s line arrives before
+   ``st x`` is written to the L1.
+
+On x86 nothing stops this — that is precisely the non-store-atomic
+behaviour of Sections III-A/III-B.  This detector counts such witnessed
+windows so that tests and examples can demonstrate that (a) x86 exhibits
+them and (b) every 370 configuration exhibits none (their gating or
+squashing makes condition 2 or 3 unsatisfiable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.cpu.load_queue import LoadEntry
+from repro.cpu.store_buffer import StoreEntry
+
+
+class ViolationDetector:
+    """Tracks retired loads inside open windows of vulnerability."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        # store key -> seq of its (oldest) SLF load.
+        self._forwardings: Dict[int, int] = {}
+        # store key -> line of the store itself (to exclude self-hits).
+        self._store_lines: Dict[int, int] = {}
+        # store key -> lines of loads retired under its shadow.
+        self._windows: Dict[int, Set[int]] = {}
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def on_forward(self, load: LoadEntry, store: StoreEntry) -> None:
+        key = store.key
+        previous = self._forwardings.get(key)
+        if previous is None or load.seq < previous:
+            self._forwardings[key] = load.seq
+            self._store_lines[key] = self._line(store.addr)
+
+    def on_load_retired(self, load: LoadEntry) -> None:
+        """Condition 2: a load retires inside an open window."""
+        if load.addr < 0:
+            return
+        line = self._line(load.addr)
+        for key, slf_seq in self._forwardings.items():
+            if slf_seq < load.seq and self._store_lines.get(key) != line:
+                self._windows.setdefault(key, set()).add(line)
+
+    def on_store_written(self, store: StoreEntry) -> None:
+        """The window closes when the forwarding store hits the L1."""
+        self._forwardings.pop(store.key, None)
+        self._store_lines.pop(store.key, None)
+        self._windows.pop(store.key, None)
+
+    def on_squash(self, seq: int) -> None:
+        """Forwardings from flushed SLF loads never happened."""
+        stale = [key for key, slf_seq in self._forwardings.items()
+                 if slf_seq >= seq]
+        for key in stale:
+            self._forwardings.pop(key, None)
+            self._store_lines.pop(key, None)
+            self._windows.pop(key, None)
+
+    def on_line_removed(self, line: int) -> None:
+        """Condition 3: an invalidation/eviction lands in a window."""
+        for key, lines in list(self._windows.items()):
+            if line in lines:
+                self.violations += 1
+                lines.discard(line)
+                if not lines:
+                    del self._windows[key]

@@ -1,0 +1,14 @@
+"""Out-of-order core substrate: micro-op ISA, ROB, LQ, SQ/SB, pipeline."""
+
+from repro.cpu.isa import (ALU, BRANCH, FENCE, LOAD, STORE, Op, Trace, alu,
+                           branch, fence, load, store)
+from repro.cpu.load_queue import LoadEntry, LoadQueue
+from repro.cpu.pipeline import Core
+from repro.cpu.rob import ReorderBuffer, RobEntry
+from repro.cpu.store_buffer import StoreBuffer, StoreEntry
+from repro.cpu.storeset import StoreSetPredictor
+
+__all__ = ["Op", "Trace", "load", "store", "alu", "branch", "fence",
+           "ALU", "LOAD", "STORE", "BRANCH", "FENCE",
+           "LoadQueue", "LoadEntry", "ReorderBuffer", "RobEntry",
+           "StoreBuffer", "StoreEntry", "StoreSetPredictor", "Core"]

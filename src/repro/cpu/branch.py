@@ -1,0 +1,128 @@
+"""TAGE-style branch predictor (Table III lists Seznec's L-TAGE).
+
+A faithful-in-spirit, reduced-size TAGE: a bimodal base predictor plus
+``N`` tagged tables indexed by geometrically longer global-history
+folds.  The longest-history hit provides the prediction; allocation on
+mispredict picks a not-useful entry in a longer-history table; useful
+counters age periodically.
+
+The pipeline consults the predictor at dispatch and trains it when the
+branch resolves; a wrong prediction raises the front-end barrier and
+pays the redirect penalty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.counter = 0     # signed 3-bit: -4..3, taken when >= 0
+        self.useful = 0      # 2-bit useful counter
+
+
+class TagePredictor:
+    """Bimodal base + geometric tagged tables."""
+
+    HISTORY_LENGTHS = (4, 8, 16, 32)
+
+    def __init__(self, base_bits: int = 12, tagged_bits: int = 9,
+                 tag_bits: int = 8, useful_reset_interval: int = 18_000):
+        self.base_size = 1 << base_bits
+        self.tagged_size = 1 << tagged_bits
+        self.tag_mask = (1 << tag_bits) - 1
+        self.base = [1] * self.base_size      # 2-bit counters, 0..3
+        self.tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(self.tagged_size)]
+            for _ in self.HISTORY_LENGTHS]
+        self.history = 0
+        self.useful_reset_interval = useful_reset_interval
+        self._updates = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _fold(self, bits: int) -> int:
+        """Fold the youngest ``bits`` of global history into 16 bits."""
+        h = self.history & ((1 << bits) - 1)
+        folded = 0
+        while h:
+            folded ^= h & 0xFFFF
+            h >>= 16
+        return folded
+
+    def _index(self, pc: int, table: int) -> int:
+        fold = self._fold(self.HISTORY_LENGTHS[table])
+        return (pc ^ (pc >> 7) ^ fold ^ (fold << (table + 1))) \
+            % self.tagged_size
+
+    def _tag(self, pc: int, table: int) -> int:
+        fold = self._fold(self.HISTORY_LENGTHS[table])
+        return ((pc >> 3) ^ (fold * 3) ^ table) & self.tag_mask
+
+    def _base_index(self, pc: int) -> int:
+        return (pc ^ (pc >> 5)) % self.base_size
+
+    # ------------------------------------------------------------------
+
+    def _lookup(self, pc: int) -> Tuple[Optional[int], bool]:
+        """(provider table index or None for bimodal, prediction)."""
+        for table in reversed(range(len(self.tables))):
+            entry = self.tables[table][self._index(pc, table)]
+            if entry.tag == self._tag(pc, table):
+                return table, entry.counter >= 0
+        return None, self.base[self._base_index(pc)] >= 2
+
+    def predict(self, pc: int) -> bool:
+        self.predictions += 1
+        return self._lookup(pc)[1]
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome and shift global history."""
+        provider, prediction = self._lookup(pc)
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+
+        if provider is None:
+            idx = self._base_index(pc)
+            self.base[idx] = min(3, self.base[idx] + 1) if taken \
+                else max(0, self.base[idx] - 1)
+        else:
+            entry = self.tables[provider][self._index(pc, provider)]
+            entry.counter = min(3, entry.counter + 1) if taken \
+                else max(-4, entry.counter - 1)
+            if correct:
+                entry.useful = min(3, entry.useful + 1)
+            elif entry.useful > 0:
+                entry.useful -= 1
+
+        # Allocate in a longer-history table on a mispredict.
+        if not correct:
+            start = 0 if provider is None else provider + 1
+            for table in range(start, len(self.tables)):
+                entry = self.tables[table][self._index(pc, table)]
+                if entry.useful == 0:
+                    entry.tag = self._tag(pc, table)
+                    entry.counter = 0 if taken else -1
+                    break
+
+        self.history = ((self.history << 1) | int(taken)) \
+            & ((1 << 64) - 1)
+        self._updates += 1
+        if self._updates >= self.useful_reset_interval:
+            self._updates = 0
+            for table in self.tables:
+                for entry in table:
+                    entry.useful >>= 1
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.mispredictions == 0:
+            return 0.0
+        return self.mispredictions / max(1, self.predictions)

@@ -1,0 +1,90 @@
+"""The reorder buffer (ROB).
+
+Holds every in-flight instruction in program order from dispatch to
+retirement.  Completion is tracked per entry; retirement is strictly
+in-order from the head, gated by the consistency policy for loads and by
+store-buffer state for fences.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.cpu.isa import Op
+
+
+class RobEntry:
+    """One instruction in flight."""
+
+    __slots__ = ("seq", "op", "completed", "issued", "deps_left",
+                 "issue_epoch")
+
+    def __init__(self, seq: int, op: Op) -> None:
+        self.seq = seq
+        self.op = op
+        self.completed = False
+        self.issued = False
+        self.deps_left = 0
+        self.issue_epoch = 0
+
+    def __lt__(self, other: "RobEntry") -> bool:
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "+" if self.completed else ("~" if self.issued else "-")
+        return f"<rob {self.seq}{flag}>"
+
+
+class ReorderBuffer:
+    """Program-ordered window of in-flight instructions."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[RobEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def __iter__(self) -> Iterator[RobEntry]:
+        return iter(self._entries)
+
+    def allocate(self, seq: int, op: Op) -> RobEntry:
+        if self.full:
+            raise RuntimeError("ROB full")
+        if self._entries and self._entries[-1].seq >= seq:
+            raise RuntimeError("ROB allocation out of program order")
+        entry = RobEntry(seq, op)
+        self._entries.append(entry)
+        return entry
+
+    def head(self) -> Optional[RobEntry]:
+        return self._entries[0] if self._entries else None
+
+    def tail_seq(self) -> Optional[int]:
+        return self._entries[-1].seq if self._entries else None
+
+    def retire_head(self) -> RobEntry:
+        head = self.head()
+        if head is None or not head.completed:
+            raise RuntimeError("ROB head not retirable")
+        return self._entries.popleft()
+
+    def squash_from(self, seq: int) -> List[RobEntry]:
+        """Remove all entries with ``seq >= seq``, youngest first."""
+        removed: List[RobEntry] = []
+        while self._entries and self._entries[-1].seq >= seq:
+            entry = self._entries.pop()
+            entry.issue_epoch += 1
+            removed.append(entry)
+        return removed

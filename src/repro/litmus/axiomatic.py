@@ -1,0 +1,228 @@
+"""Axiomatic memory-model checker (Alglave-style happens-before).
+
+Candidate executions of a litmus program are enumerated by choosing, for
+each load, the store it reads from (``rf``) and, per location, a total
+coherence order over stores (``co``); derived from these is the
+from-read relation ``fr = rf⁻¹ ; co``.  A candidate is allowed when:
+
+* **sc-per-location** (uniproc): ``po-loc ∪ rf ∪ co ∪ fr`` is acyclic;
+* **no-thin-air** is trivial here (no data-dependent values);
+* the **global happens-before** relation is acyclic, where::
+
+      ghb = ppo ∪ grf ∪ co ∪ fr
+
+  with per-model preserved program order and global read-from:
+
+  ========  ==========================  =================
+  model     ppo                         grf
+  ========  ==========================  =================
+  SC        po                          rf
+  370       po minus st→ld (TSO)        rf   (store-atomic: rfi is global)
+  x86       po minus st→ld (TSO)        rfe  (rfi not global: forwarding)
+  ========  ==========================  =================
+
+This is exactly the distinction the paper draws in Figure 2: "if
+store-to-load forwarding (rfi) enforces memory order, we have a cycle"
+— under the 370 model internal read-from edges participate in global
+happens-before, under x86 they do not.
+
+A fence contributes ordering: every access before the fence is ppo-
+ordered before every access after it (mfence restores st→ld order).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.litmus.program import Fence, Ld, Outcome, Program, St
+
+SC = "SC"
+M370 = "370"
+X86 = "x86"
+
+# Event: (tid, idx) with tid == -1 for initial stores (idx = addr ordinal).
+Event = Tuple[int, int]
+
+
+class _Execution:
+    """One candidate execution: events plus chosen rf and co."""
+
+    def __init__(self, program: Program) -> None:
+        from repro.litmus.program import Rmw
+        for thread in program.threads:
+            if any(isinstance(op, Rmw) for op in thread):
+                raise NotImplementedError(
+                    "the axiomatic checker does not model atomic RMWs; "
+                    "use the operational engine")
+        self.program = program
+        self.loads: List[Tuple[Event, Ld]] = []
+        self.stores: List[Tuple[Event, St]] = []
+        self.init_events: Dict[str, Event] = {}
+        self.addr_of: Dict[Event, str] = {}
+        self.value_of: Dict[Event, int] = {}
+        for ordinal, addr in enumerate(program.addresses):
+            event = (-1, ordinal)
+            self.init_events[addr] = event
+            self.addr_of[event] = addr
+            self.value_of[event] = program.initial_value(addr)
+        for tid, idx, op in program.loads():
+            self.loads.append(((tid, idx), op))
+        for tid, idx, op in program.stores():
+            event = (tid, idx)
+            self.stores.append((event, op))
+            self.addr_of[event] = op.addr
+            self.value_of[event] = op.value
+        self.rf: Dict[Event, Event] = {}         # load -> store
+        self.co: Dict[str, List[Event]] = {}     # addr -> ordered stores
+
+
+def _acyclic(edges: Set[Tuple[Event, Event]]) -> bool:
+    graph: Dict[Event, List[Event]] = {}
+    nodes: Set[Event] = set()
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        nodes.add(a)
+        nodes.add(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in nodes}
+    for root in nodes:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Event, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, child_idx = stack[-1]
+            children = graph.get(node, ())
+            if child_idx < len(children):
+                stack[-1] = (node, child_idx + 1)
+                child = children[child_idx]
+                if color[child] == GRAY:
+                    return False
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return True
+
+
+def _po_pairs(program: Program) -> Iterable[Tuple[Event, Event, bool]]:
+    """Yield (a, b, crosses_fence) for all program-ordered access pairs."""
+    for tid, thread in enumerate(program.threads):
+        accesses: List[Tuple[int, object]] = [
+            (idx, op) for idx, op in enumerate(thread)
+            if isinstance(op, (Ld, St))]
+        fences = [idx for idx, op in enumerate(thread)
+                  if isinstance(op, Fence)]
+        for i, (idx_a, op_a) in enumerate(accesses):
+            for idx_b, op_b in accesses[i + 1:]:
+                crosses = any(idx_a < f < idx_b for f in fences)
+                yield (tid, idx_a), (tid, idx_b), crosses
+
+
+def _model_edges(execution: _Execution, model: str
+                 ) -> Tuple[Set[Tuple[Event, Event]],
+                            Set[Tuple[Event, Event]]]:
+    """Returns (uniproc_edges, ghb_edges) for the candidate."""
+    program = execution.program
+    addr_of = execution.addr_of
+    is_store = {event for event, _ in execution.stores}
+
+    rf_edges = {(store, load) for load, store in execution.rf.items()}
+    co_edges: Set[Tuple[Event, Event]] = set()
+    for addr, order in execution.co.items():
+        chain = [execution.init_events[addr]] + order
+        for a, b in zip(chain, chain[1:]):
+            co_edges.add((a, b))
+        # Transitive closure of co (orders are short).
+        for i, a in enumerate(chain):
+            for b in chain[i + 1:]:
+                co_edges.add((a, b))
+    # fr: for each load reading s, fr to every store co-after s.
+    fr_edges: Set[Tuple[Event, Event]] = set()
+    co_after: Dict[Event, Set[Event]] = {}
+    for a, b in co_edges:
+        co_after.setdefault(a, set()).add(b)
+    for load, store in execution.rf.items():
+        for later in co_after.get(store, ()):
+            fr_edges.add((load, later))
+
+    # Preserved program order.
+    ppo: Set[Tuple[Event, Event]] = set()
+    po_loc: Set[Tuple[Event, Event]] = set()
+    for a, b, crosses_fence in _po_pairs(program):
+        if addr_of.get(a, _load_addr(program, a)) == \
+                addr_of.get(b, _load_addr(program, b)):
+            po_loc.add((a, b))
+        relaxed = (a in is_store) and (b not in is_store)  # st -> ld
+        if model == SC or not relaxed or crosses_fence:
+            ppo.add((a, b))
+
+    if model == X86:
+        grf = {(s, l) for s, l in rf_edges if s[0] != l[0]}  # external only
+    else:
+        grf = set(rf_edges)
+
+    uniproc = po_loc | rf_edges | co_edges | fr_edges
+    ghb = ppo | grf | co_edges | fr_edges
+    return uniproc, ghb
+
+
+def _load_addr(program: Program, event: Event) -> str:
+    tid, idx = event
+    if tid < 0:
+        return program.addresses[idx]
+    op = program.threads[tid][idx]
+    return op.addr
+
+
+def _outcome_of(execution: _Execution) -> Outcome:
+    regs = []
+    for load_event, op in execution.loads:
+        source = execution.rf[load_event]
+        regs.append(((load_event[0], op.reg),
+                     execution.value_of[source]))
+    mem = []
+    for addr in execution.program.addresses:
+        order = execution.co.get(addr, [])
+        last = order[-1] if order else execution.init_events[addr]
+        mem.append((addr, execution.value_of[last]))
+    return Outcome(registers=tuple(sorted(regs)),
+                   memory=tuple(sorted(mem)))
+
+
+def enumerate_axiomatic(program: Program, model: str) -> FrozenSet[Outcome]:
+    """All outcomes whose candidate executions satisfy the model axioms."""
+    if model not in (SC, M370, X86):
+        raise ValueError(f"unknown model {model!r}")
+    execution = _Execution(program)
+
+    # rf choices per load: any same-address store (or the initial store).
+    rf_choices: List[List[Event]] = []
+    for load_event, op in execution.loads:
+        sources = [execution.init_events[op.addr]]
+        sources += [event for event, store in execution.stores
+                    if store.addr == op.addr]
+        rf_choices.append(sources)
+
+    # co choices per address: all permutations of its stores.
+    addr_stores: Dict[str, List[Event]] = {}
+    for event, store in execution.stores:
+        addr_stores.setdefault(store.addr, []).append(event)
+    co_addrs = sorted(addr_stores)
+    co_choices = [list(itertools.permutations(addr_stores[a]))
+                  for a in co_addrs]
+
+    outcomes: Set[Outcome] = set()
+    for rf_pick in itertools.product(*rf_choices) if rf_choices else [()]:
+        execution.rf = {load_event: src for (load_event, _), src
+                        in zip(execution.loads, rf_pick)}
+        for co_pick in itertools.product(*co_choices) if co_choices else [()]:
+            execution.co = {addr: list(order)
+                            for addr, order in zip(co_addrs, co_pick)}
+            uniproc, ghb = _model_edges(execution, model)
+            if _acyclic(uniproc) and _acyclic(ghb):
+                outcomes.add(_outcome_of(execution))
+    return frozenset(outcomes)

@@ -1,0 +1,179 @@
+"""Extended litmus battery: the classic tests beyond the paper's four.
+
+Each case records the expected verdict for all four models (SC, 370,
+x86, PC) — together they pin down every relaxation this library models:
+
+==========  =====================================================
+relaxation  first observable in
+==========  =====================================================
+st→ld       370 (and everything weaker): ``sb``
+rfi global  x86 (store-to-load forwarding): ``n6``, ``fig5``
+write
+atomicity   PC (non-write-atomic): ``iriw``, ``wrc``
+==========  =====================================================
+
+Orderings every model here preserves: ld→ld, ld→st, st→st, and
+per-location coherence (CoRR / n5).
+"""
+
+from __future__ import annotations
+
+from repro.litmus.program import Fence, Ld, Rmw, St, make_program
+from repro.litmus.tests import LitmusCase
+
+# ----------------------------------------------------------------------
+# lb (load buffering): ld->st order is preserved by every model here.
+# ----------------------------------------------------------------------
+
+LB = make_program(
+    "lb",
+    [
+        [Ld("x", "rx"), St("y", 1)],
+        [Ld("y", "ry"), St("x", 1)],
+    ])
+
+LB_CASE = LitmusCase(
+    program=LB,
+    witness=(("r0_rx", 1), ("r1_ry", 1)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False)),
+    description="lb: both loads see the other thread's later store — "
+                "needs ld->st reordering, forbidden in all TSO-family "
+                "models (and PC).")
+
+# ----------------------------------------------------------------------
+# 2+2w: st->st order is preserved everywhere.
+# ----------------------------------------------------------------------
+
+W22 = make_program(
+    "2+2w",
+    [
+        [St("x", 1), St("y", 2)],
+        [St("y", 1), St("x", 2)],
+    ])
+
+W22_CASE = LitmusCase(
+    program=W22,
+    witness=(("mem_x", 1), ("mem_y", 1)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False)),
+    description="2+2w: each location ends with the *older* of its two "
+                "stores — needs st->st reordering.")
+
+# ----------------------------------------------------------------------
+# wrc (write-to-read causality): needs write atomicity.
+# ----------------------------------------------------------------------
+
+WRC = make_program(
+    "wrc",
+    [
+        [St("x", 1)],
+        [Ld("x", "rx"), St("y", 1)],
+        [Ld("y", "ry"), Ld("x", "rx")],
+    ])
+
+WRC_CASE = LitmusCase(
+    program=WRC,
+    witness=(("r1_rx", 1), ("r2_ry", 1), ("r2_rx", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", True)),
+    description="wrc: T2 observes T1's dependent store before T0's "
+                "original — only a non-write-atomic system (PC) shows "
+                "it; x86's write-atomic MESI forbids it (paper §II-E).")
+
+# ----------------------------------------------------------------------
+# rwc (read-to-write causality): allowed in every TSO flavour — the
+# third thread's st->ld relaxation suffices.
+# ----------------------------------------------------------------------
+
+RWC = make_program(
+    "rwc",
+    [
+        [St("x", 1)],
+        [Ld("x", "rx"), Ld("y", "ry")],
+        [St("y", 1), Ld("x", "rx")],
+    ])
+
+RWC_CASE = LitmusCase(
+    program=RWC,
+    witness=(("r1_rx", 1), ("r1_ry", 0), ("r2_rx", 0)),
+    expected=(("SC", False), ("370", True), ("x86", True), ("PC", True)),
+    description="rwc: T2's load bypasses its own store — plain st->ld "
+                "relaxation, allowed in every TSO flavour, forbidden "
+                "only in SC.")
+
+# ----------------------------------------------------------------------
+# n5: per-location coherence (both cores store then load x).
+# ----------------------------------------------------------------------
+
+N5 = make_program(
+    "n5",
+    [
+        [St("x", 1), Ld("x", "rx")],
+        [St("x", 2), Ld("x", "ry")],
+    ])
+
+N5_CASE = LitmusCase(
+    program=N5,
+    witness=(("r0_rx", 2), ("r1_ry", 1)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False)),
+    description="n5: each core sees the other's store as newer than "
+                "its own — contradicts any coherence order for x.")
+
+# ----------------------------------------------------------------------
+# CoRR: two reads of one location never go backwards.
+# ----------------------------------------------------------------------
+
+CORR = make_program(
+    "coRR",
+    [
+        [St("x", 1)],
+        [Ld("x", "r0"), Ld("x", "r1")],
+    ])
+
+CORR_CASE = LitmusCase(
+    program=CORR,
+    witness=(("r1_r0", 1), ("r1_r1", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False)),
+    description="coRR: a later read of the same location cannot see an "
+                "older value (per-location coherence).")
+
+# ----------------------------------------------------------------------
+# sb with one locked RMW: the atomic drains the SB on that side,
+# halving the relaxation; with RMWs on both sides it vanishes.
+# ----------------------------------------------------------------------
+
+SB_ONE_RMW = make_program(
+    "sb+rmw-one",
+    [
+        [Rmw("x", 1, "r0"), Ld("y", "ry")],
+        [St("y", 1), Ld("x", "rx")],
+    ])
+
+SB_ONE_RMW_CASE = LitmusCase(
+    program=SB_ONE_RMW,
+    witness=(("r0_ry", 0), ("r1_rx", 0)),
+    expected=(("SC", False), ("370", True), ("x86", True)),
+    description="sb with one side locked: the plain side still reorders "
+                "st->ld, so the witness survives.")
+
+SB_BOTH_RMW = make_program(
+    "sb+rmw-both",
+    [
+        [Rmw("x", 1, "r0"), Ld("y", "ry")],
+        [Rmw("y", 1, "r1"), Ld("x", "rx")],
+    ])
+
+SB_BOTH_RMW_CASE = LitmusCase(
+    program=SB_BOTH_RMW,
+    witness=(("r0_ry", 0), ("r1_rx", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False)),
+    description="sb with both sides locked behaves like sb+mfences: "
+                "locked operations restore st->ld order (the classic "
+                "Dekker fix).")
+
+#: The extended battery (PC verdicts included where RMW-free).
+EXTRA_CASES = (LB_CASE, W22_CASE, WRC_CASE, RWC_CASE, N5_CASE, CORR_CASE,
+               SB_ONE_RMW_CASE, SB_BOTH_RMW_CASE)

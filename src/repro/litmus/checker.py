@@ -1,0 +1,121 @@
+"""ConsistencyChecker: compare a program's outcomes across memory models.
+
+The paper's authors built a tool that "compares the outcome of a program
+under the 370 model and the x86 model" (Section I, footnote 1) to find
+non-store-atomic behaviours.  This module reproduces it on top of the
+operational executors: the behaviours allowed by x86 but not by 370 are
+exactly the observable store-atomicity violations.
+
+Also provides a small random-program generator used for differential
+testing between the operational and axiomatic engines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.litmus.operational import M370, SC, X86, enumerate_outcomes
+from repro.litmus.program import Fence, Ld, Outcome, Program, St, make_program
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Outcome-set comparison between two memory models."""
+
+    program: Program
+    model_a: str
+    model_b: str
+    outcomes_a: FrozenSet[Outcome]
+    outcomes_b: FrozenSet[Outcome]
+
+    @property
+    def only_in_b(self) -> FrozenSet[Outcome]:
+        """Behaviours of ``model_b`` invisible under ``model_a`` — for
+        (370, x86) these are the store-atomicity violations."""
+        return self.outcomes_b - self.outcomes_a
+
+    @property
+    def only_in_a(self) -> FrozenSet[Outcome]:
+        return self.outcomes_a - self.outcomes_b
+
+    @property
+    def common(self) -> FrozenSet[Outcome]:
+        return self.outcomes_a & self.outcomes_b
+
+    @property
+    def equivalent(self) -> bool:
+        return self.outcomes_a == self.outcomes_b
+
+    def summary(self) -> str:
+        lines = [f"{self.program.name}: {self.model_a} vs {self.model_b}",
+                 f"  common outcomes:       {len(self.common)}",
+                 f"  only {self.model_a:>4}:           {len(self.only_in_a)}",
+                 f"  only {self.model_b:>4}:           {len(self.only_in_b)}"]
+        for outcome in sorted(self.only_in_b, key=str):
+            lines.append(f"    {self.model_b}-only: {outcome}")
+        return "\n".join(lines)
+
+
+def compare(program: Program, model_a: str = M370,
+            model_b: str = X86) -> ComparisonReport:
+    """Enumerate ``program`` under both models and diff the outcomes."""
+    return ComparisonReport(
+        program=program,
+        model_a=model_a,
+        model_b=model_b,
+        outcomes_a=enumerate_outcomes(program, model_a),
+        outcomes_b=enumerate_outcomes(program, model_b))
+
+
+def store_atomicity_violations(program: Program) -> FrozenSet[Outcome]:
+    """The outcomes x86 allows that the store-atomic 370 forbids."""
+    return compare(program, M370, X86).only_in_b
+
+
+def random_program(rng: random.Random, name: str = "random",
+                   threads: int = 2, max_ops: int = 3,
+                   addresses: Sequence[str] = ("x", "y"),
+                   allow_fences: bool = False) -> Program:
+    """Generate a small random litmus program.
+
+    Store values are globally unique so that every rf edge is
+    unambiguous; registers are single-assignment per thread.
+    """
+    next_value = [1]
+    thread_lists: List[List[object]] = []
+    for tid in range(threads):
+        ops: List[object] = []
+        n_ops = rng.randint(1, max_ops)
+        reg_counter = 0
+        for _ in range(n_ops):
+            kinds = ["ld", "st"] + (["fence"] if allow_fences else [])
+            kind = rng.choice(kinds)
+            addr = rng.choice(list(addresses))
+            if kind == "ld":
+                ops.append(Ld(addr, f"r{reg_counter}"))
+                reg_counter += 1
+            elif kind == "st":
+                ops.append(St(addr, next_value[0]))
+                next_value[0] += 1
+            else:
+                ops.append(Fence())
+        thread_lists.append(ops)
+    return make_program(name, thread_lists)
+
+
+def find_violating_programs(seed: int = 0, trials: int = 100,
+                            threads: int = 2, max_ops: int = 3
+                            ) -> List[ComparisonReport]:
+    """Random search for programs whose x86 outcomes exceed 370's —
+    the ConsistencyChecker's discovery mode."""
+    rng = random.Random(seed)
+    found: List[ComparisonReport] = []
+    for trial in range(trials):
+        program = random_program(rng, name=f"random-{trial}",
+                                 threads=threads, max_ops=max_ops)
+        report = compare(program)
+        if report.only_in_b:
+            found.append(report)
+    return found

@@ -1,0 +1,192 @@
+"""Happens-before explanations for forbidden litmus outcomes.
+
+The paper's figures argue forbidden executions by exhibiting a cycle of
+happens-before edges (po, rf, fr, ws/co).  This module automates that:
+given a program, a model, and a witness condition, it finds the
+candidate execution(s) matching the witness and prints the global
+happens-before cycle that rules each of them out — or reports that the
+outcome is allowed.
+
+Example (the paper's Figure 2 argument, generated)::
+
+    >>> from repro.litmus import N6
+    >>> from repro.litmus.explain import explain
+    >>> print(explain(N6, "370", r0_rx=1, r0_ry=0, mem_x=1, mem_y=2))
+    n6 under 370: rx=1 ... FORBIDDEN ... cycle: ... rfi ... fr ... co ...
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.litmus.axiomatic import (_Execution, _acyclic, _load_addr,
+                                    _outcome_of, _po_pairs)
+from repro.litmus.operational import _matches
+from repro.litmus.program import Ld, Program, St
+
+Event = Tuple[int, int]
+LabeledEdge = Tuple[Event, Event, str]
+
+
+def _event_name(program: Program, event: Event) -> str:
+    tid, idx = event
+    if tid < 0:
+        return f"init[{program.addresses[idx]}]"
+    op = program.threads[tid][idx]
+    return f"T{tid}:{op}"
+
+
+def _labeled_edges(execution: _Execution, model: str) -> List[LabeledEdge]:
+    """All candidate-execution edges with their relation names."""
+    program = execution.program
+    is_store = {event for event, _ in execution.stores}
+    edges: List[LabeledEdge] = []
+
+    for load, store in execution.rf.items():
+        kind = "rf(init)" if store[0] < 0 else (
+            "rfi" if store[0] == load[0] else "rfe")
+        edges.append((store, load, kind))
+
+    co_pairs: Set[Tuple[Event, Event]] = set()
+    for addr, order in execution.co.items():
+        chain = [execution.init_events[addr]] + order
+        for i, a in enumerate(chain):
+            for b in chain[i + 1:]:
+                co_pairs.add((a, b))
+                edges.append((a, b, "co"))
+
+    co_after: Dict[Event, Set[Event]] = {}
+    for a, b in co_pairs:
+        co_after.setdefault(a, set()).add(b)
+    for load, store in execution.rf.items():
+        for later in co_after.get(store, ()):
+            edges.append((load, later, "fr"))
+
+    for a, b, crosses_fence in _po_pairs(program):
+        relaxed = (a in is_store) and (b not in is_store)
+        if model == "SC" or not relaxed or crosses_fence:
+            edges.append((a, b, "ppo" if model != "SC" else "po"))
+        else:
+            edges.append((a, b, "po(st->ld, relaxed)"))
+    return edges
+
+
+def _ghb_subset(edges: List[LabeledEdge], model: str) -> List[LabeledEdge]:
+    ghb = []
+    for a, b, kind in edges:
+        if kind in ("co", "fr", "ppo", "po"):
+            ghb.append((a, b, kind))
+        elif kind in ("rfe", "rf(init)"):
+            ghb.append((a, b, kind))
+        elif kind == "rfi" and model != "x86":
+            # The crux of the paper: forwarding (rfi) participates in
+            # global happens-before only under store-atomic models.
+            ghb.append((a, b, kind))
+    return ghb
+
+
+def _find_cycle(edges: List[LabeledEdge]) -> Optional[List[LabeledEdge]]:
+    graph: Dict[Event, List[Tuple[Event, str]]] = {}
+    for a, b, kind in edges:
+        graph.setdefault(a, []).append((b, kind))
+
+    state: Dict[Event, int] = {}
+    path: List[LabeledEdge] = []
+
+    def dfs(node: Event) -> Optional[List[LabeledEdge]]:
+        state[node] = 1
+        for nxt, kind in graph.get(node, ()):
+            if state.get(nxt, 0) == 1:
+                cycle = path + [(node, nxt, kind)]
+                # Trim to the cycle proper.
+                for i, (a, _, _) in enumerate(cycle):
+                    if a == nxt:
+                        return cycle[i:]
+                return cycle
+            if state.get(nxt, 0) == 0:
+                path.append((node, nxt, kind))
+                found = dfs(nxt)
+                if found:
+                    return found
+                path.pop()
+        state[node] = 2
+        return None
+
+    for node in list(graph):
+        if state.get(node, 0) == 0:
+            found = dfs(node)
+            if found:
+                return found
+    return None
+
+
+def explain(program: Program, model: str, **conditions: int) -> str:
+    """Explain why a witness outcome is forbidden (or that it is not).
+
+    Enumerates the candidate executions consistent with the witness and
+    renders the happens-before cycle that invalidates each; if some
+    candidate passes the model's axioms, reports the outcome as
+    allowed.
+    """
+    if model not in ("SC", "370", "x86"):
+        raise ValueError("explain supports the axiomatic models "
+                         "(SC, 370, x86)")
+    execution = _Execution(program)
+    witness = ", ".join(f"{k}={v}" for k, v in conditions.items())
+    header = f"{program.name} under {model}: witness [{witness}]"
+
+    rf_choices = []
+    for load_event, op in execution.loads:
+        sources = [execution.init_events[op.addr]]
+        sources += [event for event, store in execution.stores
+                    if store.addr == op.addr]
+        rf_choices.append(sources)
+    addr_stores: Dict[str, List[Event]] = {}
+    for event, store in execution.stores:
+        addr_stores.setdefault(store.addr, []).append(event)
+    co_addrs = sorted(addr_stores)
+    co_choices = [list(itertools.permutations(addr_stores[a]))
+                  for a in co_addrs]
+
+    explanations: List[str] = []
+    candidates = 0
+    for rf_pick in itertools.product(*rf_choices) if rf_choices else [()]:
+        execution.rf = {event: src for (event, _), src
+                        in zip(execution.loads, rf_pick)}
+        for co_pick in (itertools.product(*co_choices)
+                        if co_choices else [()]):
+            execution.co = {addr: list(order)
+                            for addr, order in zip(co_addrs, co_pick)}
+            if not _matches(_outcome_of(execution), conditions):
+                continue
+            candidates += 1
+            edges = _labeled_edges(execution, model)
+            # SC-per-location (uniproc) first: po-loc + rf + co + fr.
+            addr_of = execution.addr_of
+            uniproc = [(a, b, k) for a, b, k in edges
+                       if k in ("co", "fr") or k.startswith("rf")]
+            for a, b, crosses in _po_pairs(program):
+                addr_a = addr_of.get(a, _load_addr(program, a))
+                addr_b = addr_of.get(b, _load_addr(program, b))
+                if addr_a == addr_b:
+                    uniproc.append((a, b, "po-loc"))
+            cycle = _find_cycle(uniproc)
+            if cycle is None:
+                ghb = _ghb_subset(edges, model)
+                cycle = _find_cycle(ghb)
+            if cycle is None:
+                return (f"{header}\n  ALLOWED: a candidate execution "
+                        f"satisfies all {model} axioms.")
+            rendered = "\n".join(
+                f"    {_event_name(program, a)}  --{kind}-->  "
+                f"{_event_name(program, b)}"
+                for a, b, kind in cycle)
+            explanations.append(
+                f"  candidate {candidates}: global happens-before "
+                f"cycle\n{rendered}")
+    if candidates == 0:
+        return (f"{header}\n  UNREACHABLE: no read-from assignment "
+                f"produces these values.")
+    return (f"{header}\n  FORBIDDEN: every matching candidate execution "
+            f"is cyclic.\n" + "\n".join(explanations))

@@ -1,0 +1,304 @@
+"""Operational memory-model executors with exhaustive enumeration.
+
+Four abstract machines, each a thread-interleaved transition system:
+
+* ``SC``  — no store buffer: a store writes memory immediately.
+* ``370`` — FIFO store buffer, **no forwarding**: a load whose address
+  matches an entry in its own store buffer is *not enabled* until the
+  buffer drains past that entry (IBM 370 semantics: the store must be
+  inserted in memory order before the load may read it).
+* ``x86`` — FIFO store buffer **with store-to-load forwarding**: a load
+  reads the youngest matching entry of its own buffer, else memory
+  (the x86-TSO abstract machine of Sewell et al.).
+* ``PC``  — Goodman's Processor Consistency (paper Table I's third
+  row): **non-write-atomic**.  Each core has its own memory copy; a
+  drained store reaches the other cores through per-destination FIFO
+  channels, so remote cores may observe independent writers' stores in
+  different orders (iriw becomes observable).  The paper excludes PC
+  from its evaluation because its MESI protocol is write-atomic; the
+  model is provided to complete the Table I taxonomy.
+
+Atomic read-modify-writes (:class:`~repro.litmus.program.Rmw`, x86
+locked instructions) drain the store buffer and act on memory in one
+indivisible step (SC / 370 / x86 machines only).
+
+:func:`enumerate_outcomes` explores every interleaving (with state
+memoization) and returns the complete set of reachable final outcomes —
+a strict superset of what hardware sampling (litmus7 in the paper) can
+exhibit, and exactly the model's allowed behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.litmus.program import Fence, Ld, Outcome, Program, Rmw, St
+
+SC = "SC"
+M370 = "370"
+X86 = "x86"
+PC = "PC"
+
+MODELS = (SC, M370, X86, PC)
+
+# State: (pcs, sbs, mem, regs)
+#   pcs:  tuple[int, ...] per-thread program counter
+#   sbs:  tuple[tuple[(addr, val), ...], ...] per-thread FIFO store buffer
+#   mem:  tuple[(addr, val), ...] sorted
+#   regs: tuple[((tid, reg), val), ...] sorted
+_State = Tuple[tuple, tuple, tuple, tuple]
+
+
+def _mem_write(mem: tuple, addr: str, value: int) -> tuple:
+    return tuple(sorted({**dict(mem), addr: value}.items()))
+
+
+def _mem_read(mem: tuple, addr: str) -> int:
+    return dict(mem)[addr]
+
+
+def _initial_state(program: Program) -> _State:
+    pcs = (0,) * len(program.threads)
+    sbs = ((),) * len(program.threads)
+    mem = tuple(sorted((addr, program.initial_value(addr))
+                       for addr in program.addresses))
+    return pcs, sbs, mem, ()
+
+
+def _successors(program: Program, model: str,
+                state: _State) -> List[_State]:
+    pcs, sbs, mem, regs = state
+    out: List[_State] = []
+    for tid, thread in enumerate(program.threads):
+        sb = sbs[tid]
+        # Transition 1: drain the oldest store-buffer entry to memory.
+        if sb:
+            addr, value = sb[0]
+            new_sbs = sbs[:tid] + (sb[1:],) + sbs[tid + 1:]
+            out.append((pcs, new_sbs, _mem_write(mem, addr, value), regs))
+        # Transition 2: execute the next instruction, if enabled.
+        pc = pcs[tid]
+        if pc >= len(thread):
+            continue
+        op = thread[pc]
+        new_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
+        if isinstance(op, St):
+            if model == SC:
+                out.append((new_pcs, sbs, _mem_write(mem, op.addr, op.value),
+                            regs))
+            else:
+                new_sbs = sbs[:tid] + (sb + ((op.addr, op.value),),) \
+                    + sbs[tid + 1:]
+                out.append((new_pcs, new_sbs, mem, regs))
+        elif isinstance(op, Ld):
+            matches = [value for addr, value in sb if addr == op.addr]
+            if matches and model == M370:
+                # Blocked: must wait for the matching store to be
+                # inserted in memory order (drain transitions only).
+                continue
+            if matches and model == X86:
+                value = matches[-1]  # youngest matching entry forwards
+            else:
+                value = _mem_read(mem, op.addr)
+            new_regs = tuple(sorted(regs + (((tid, op.reg), value),)))
+            out.append((new_pcs, sbs, mem, new_regs))
+        elif isinstance(op, Fence):
+            if sb:
+                continue  # enabled only once the buffer has drained
+            out.append((new_pcs, sbs, mem, regs))
+        elif isinstance(op, Rmw):
+            if sb:
+                continue  # locked instructions drain the SB first
+            old = _mem_read(mem, op.addr)
+            new_regs = tuple(sorted(regs + (((tid, op.reg), old),)))
+            out.append((new_pcs, sbs, _mem_write(mem, op.addr, op.value),
+                        new_regs))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {op!r}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# The PC (Processor Consistency) machine: per-core memory copies with
+# per-destination FIFO propagation channels.  Per-location coherence
+# (a property PC keeps) is enforced by versioning: the drain order to a
+# location is its coherence order, and a core ignores deliveries older
+# than what its copy already holds.
+# ----------------------------------------------------------------------
+
+# PC state: (pcs, sbs, channels, mems, vers, regs)
+#   channels: tuple[(src, dst)-indexed, tuple[(addr, val, ver), ...]]
+#   mems:     tuple[per-core memory as sorted (addr, (val, ver)) tuples]
+#   vers:     sorted (addr, drain-count) tuples (global version clocks)
+
+
+def _pc_mem_read(mem: tuple, addr: str):
+    return dict(mem)[addr]
+
+
+def _pc_mem_write(mem: tuple, addr: str, value: int, version: int) -> tuple:
+    current = dict(mem)
+    if current[addr][1] < version:
+        current[addr] = (value, version)
+    return tuple(sorted(current.items()))
+
+
+def _pc_initial_state(program: Program):
+    n = len(program.threads)
+    pcs = (0,) * n
+    sbs = ((),) * n
+    mem = tuple(sorted((addr, (program.initial_value(addr), 0))
+                       for addr in program.addresses))
+    mems = (mem,) * n
+    channels = ((),) * (n * n)
+    vers = tuple(sorted((addr, 0) for addr in program.addresses))
+    return pcs, sbs, channels, mems, vers, ()
+
+
+def _pc_successors(program: Program, state):
+    pcs, sbs, channels, mems, vers, regs = state
+    n = len(program.threads)
+    out = []
+    for tid, thread in enumerate(program.threads):
+        sb = sbs[tid]
+        # Drain own SB head: visible to self immediately, queued for
+        # every other core, stamped with the location's next version.
+        if sb:
+            addr, value = sb[0]
+            version = dict(vers)[addr] + 1
+            new_vers = tuple(sorted({**dict(vers), addr: version}.items()))
+            new_sbs = sbs[:tid] + (sb[1:],) + sbs[tid + 1:]
+            new_mems = list(mems)
+            new_mems[tid] = _pc_mem_write(mems[tid], addr, value, version)
+            new_channels = list(channels)
+            for dst in range(n):
+                if dst != tid:
+                    slot = tid * n + dst
+                    new_channels[slot] = channels[slot] \
+                        + ((addr, value, version),)
+            out.append((pcs, new_sbs, tuple(new_channels),
+                        tuple(new_mems), new_vers, regs))
+        # Deliver one queued remote store to this core (older-than-held
+        # versions are dropped: per-location coherence).
+        for src in range(n):
+            slot = src * n + tid
+            channel = channels[slot]
+            if channel:
+                addr, value, version = channel[0]
+                new_channels = list(channels)
+                new_channels[slot] = channel[1:]
+                new_mems = list(mems)
+                new_mems[tid] = _pc_mem_write(mems[tid], addr, value,
+                                              version)
+                out.append((pcs, sbs, tuple(new_channels),
+                            tuple(new_mems), vers, regs))
+        # Execute the next instruction.
+        pc = pcs[tid]
+        if pc >= len(thread):
+            continue
+        op = thread[pc]
+        new_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
+        if isinstance(op, St):
+            new_sbs = sbs[:tid] + (sb + ((op.addr, op.value),),) \
+                + sbs[tid + 1:]
+            out.append((new_pcs, new_sbs, channels, mems, vers, regs))
+        elif isinstance(op, Ld):
+            matches = [value for addr, value in sb if addr == op.addr]
+            value = matches[-1] if matches \
+                else _pc_mem_read(mems[tid], op.addr)[0]
+            new_regs = tuple(sorted(regs + (((tid, op.reg), value),)))
+            out.append((new_pcs, sbs, channels, mems, vers, new_regs))
+        elif isinstance(op, Fence):
+            # Strong fence: own SB drained and all own stores delivered.
+            outgoing = any(channels[tid * n + dst]
+                           for dst in range(n) if dst != tid)
+            if sb or outgoing:
+                continue
+            out.append((new_pcs, sbs, channels, mems, vers, regs))
+        elif isinstance(op, Rmw):
+            raise ValueError(
+                "atomic RMW is not defined for the PC machine "
+                "(locked operations presume a write-atomic system)")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {op!r}")
+    return out
+
+
+def _pc_enumerate(program: Program) -> FrozenSet[Outcome]:
+    start = _pc_initial_state(program)
+    seen = {start}
+    stack = [start]
+    outcomes: Set[Outcome] = set()
+    lengths = tuple(len(t) for t in program.threads)
+    while stack:
+        state = stack.pop()
+        pcs, sbs, channels, mems, vers, regs = state
+        if (pcs == lengths and all(not sb for sb in sbs)
+                and all(not ch for ch in channels)):
+            # Versioned delivery guarantees all copies converged.
+            memory = tuple(sorted((addr, value)
+                                  for addr, (value, _) in mems[0]))
+            outcomes.add(Outcome(registers=regs, memory=memory))
+            continue
+        for nxt in _pc_successors(program, state):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(outcomes)
+
+
+def enumerate_outcomes(program: Program, model: str) -> FrozenSet[Outcome]:
+    """All reachable final outcomes of ``program`` under ``model``."""
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; choose from {MODELS}")
+    if model == PC:
+        return _pc_enumerate(program)
+    start = _initial_state(program)
+    seen: Set[_State] = {start}
+    stack: List[_State] = [start]
+    outcomes: Set[Outcome] = set()
+    lengths = tuple(len(t) for t in program.threads)
+    while stack:
+        state = stack.pop()
+        pcs, sbs, mem, regs = state
+        if pcs == lengths and all(not sb for sb in sbs):
+            outcomes.add(Outcome(registers=regs, memory=mem))
+            continue
+        for nxt in _successors(program, model, state):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(outcomes)
+
+
+def allows(program: Program, model: str, **conditions: int) -> bool:
+    """True if some outcome satisfies all ``reg`` / ``mem`` conditions.
+
+    Conditions use keys like ``r0_rx`` (thread 0, register ``rx``) and
+    ``mem_x`` (final value of location ``x``)::
+
+        allows(MP, "x86", r1_rx=1, r1_ry=0)
+    """
+    return any(_matches(outcome, conditions)
+               for outcome in enumerate_outcomes(program, model))
+
+
+def matching_outcomes(program: Program, model: str,
+                      **conditions: int) -> FrozenSet[Outcome]:
+    """The outcomes that satisfy the given conditions."""
+    return frozenset(o for o in enumerate_outcomes(program, model)
+                     if _matches(o, conditions))
+
+
+def _matches(outcome: Outcome, conditions: Dict[str, int]) -> bool:
+    for key, expected in conditions.items():
+        if key.startswith("mem_"):
+            if outcome.mem(key[4:]) != expected:
+                return False
+        elif key.startswith("r") and "_" in key:
+            tid_str, reg = key[1:].split("_", 1)
+            if outcome.reg(int(tid_str), reg) != expected:
+                return False
+        else:
+            raise ValueError(f"bad condition key {key!r}")
+    return True

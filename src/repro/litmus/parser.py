@@ -1,0 +1,165 @@
+"""Text format for litmus tests (a simplified litmus7 dialect).
+
+Example::
+
+    name: my-mp
+    init: x=0 y=0
+
+    T0:
+      ld x -> rx
+      ld y -> ry
+
+    T1:
+      st y,1
+      mfence
+      st x,1
+
+    exists: r0_rx=1 r0_ry=0
+
+Instructions:
+
+========================  =======================================
+``ld ADDR -> REG``        load ADDR into REG
+``st ADDR,VALUE``         store VALUE to ADDR
+``mfence``                full fence (drains the store buffer)
+``xchg ADDR,VALUE -> REG``  atomic exchange (locked RMW)
+========================  =======================================
+
+The optional ``exists:`` clause names the witness condition in the same
+``key=value`` syntax the :func:`repro.litmus.operational.allows` API
+uses (``rT_REG`` for registers, ``mem_ADDR`` for final memory).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.litmus.program import (Fence, Instruction, Ld, Program, Rmw, St,
+                                  make_program)
+
+
+class LitmusParseError(ValueError):
+    """Malformed litmus source text."""
+
+
+_NAME_RE = re.compile(r"^name:\s*(\S+)\s*$")
+_INIT_RE = re.compile(r"^init:\s*(.*)$")
+_THREAD_RE = re.compile(r"^T(\d+):\s*$")
+_EXISTS_RE = re.compile(r"^exists:\s*(.*)$")
+_LD_RE = re.compile(r"^ld\s+(\w+)\s*->\s*(\w+)$")
+_ST_RE = re.compile(r"^st\s+(\w+)\s*,\s*(-?\d+)$")
+_FENCE_RE = re.compile(r"^mfence$")
+_XCHG_RE = re.compile(r"^xchg\s+(\w+)\s*,\s*(-?\d+)\s*->\s*(\w+)$")
+
+
+@dataclass(frozen=True)
+class ParsedLitmus:
+    """A parsed litmus file: the program plus its witness, if any."""
+
+    program: Program
+    witness: Optional[Dict[str, int]]
+
+
+def _parse_instruction(line: str, line_no: int) -> Instruction:
+    match = _LD_RE.match(line)
+    if match:
+        return Ld(match.group(1), match.group(2))
+    match = _ST_RE.match(line)
+    if match:
+        return St(match.group(1), int(match.group(2)))
+    if _FENCE_RE.match(line):
+        return Fence()
+    match = _XCHG_RE.match(line)
+    if match:
+        return Rmw(match.group(1), int(match.group(2)), match.group(3))
+    raise LitmusParseError(f"line {line_no}: cannot parse {line!r}")
+
+
+def _parse_conditions(text: str, line_no: int) -> Dict[str, int]:
+    conditions: Dict[str, int] = {}
+    for token in text.split():
+        if "=" not in token:
+            raise LitmusParseError(
+                f"line {line_no}: condition {token!r} is not key=value")
+        key, value = token.split("=", 1)
+        try:
+            conditions[key] = int(value)
+        except ValueError:
+            raise LitmusParseError(
+                f"line {line_no}: {value!r} is not an integer") from None
+    return conditions
+
+
+def parse_litmus(source: str) -> ParsedLitmus:
+    """Parse litmus source text into a program + optional witness."""
+    name = "unnamed"
+    initial: Dict[str, int] = {}
+    threads: Dict[int, List[Instruction]] = {}
+    witness: Optional[Dict[str, int]] = None
+    current: Optional[int] = None
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _NAME_RE.match(line)
+        if match:
+            name = match.group(1)
+            continue
+        match = _INIT_RE.match(line)
+        if match:
+            initial.update(_parse_conditions(match.group(1), line_no))
+            continue
+        match = _THREAD_RE.match(line)
+        if match:
+            current = int(match.group(1))
+            if current in threads:
+                raise LitmusParseError(
+                    f"line {line_no}: thread T{current} defined twice")
+            threads[current] = []
+            continue
+        match = _EXISTS_RE.match(line)
+        if match:
+            witness = _parse_conditions(match.group(1), line_no)
+            continue
+        if current is None:
+            raise LitmusParseError(
+                f"line {line_no}: instruction outside a thread block")
+        threads[current].append(_parse_instruction(line, line_no))
+
+    if not threads:
+        raise LitmusParseError("no threads defined")
+    expected = list(range(len(threads)))
+    if sorted(threads) != expected:
+        raise LitmusParseError(
+            f"thread ids must be contiguous from T0; got "
+            f"{sorted('T%d' % t for t in threads)}")
+    program = make_program(
+        name, [threads[tid] for tid in expected], initial)
+    return ParsedLitmus(program=program, witness=witness)
+
+
+def parse_litmus_file(path: str) -> ParsedLitmus:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_litmus(handle.read())
+
+
+def render_litmus(program: Program,
+                  witness: Optional[Dict[str, int]] = None) -> str:
+    """The inverse of :func:`parse_litmus` (round-trippable)."""
+    lines = [f"name: {program.name}"]
+    if program.initial:
+        lines.append("init: " + " ".join(
+            f"{addr}={value}" for addr, value in program.initial))
+    for tid, thread in enumerate(program.threads):
+        lines.append("")
+        lines.append(f"T{tid}:")
+        for op in thread:
+            lines.append(f"  {op}")
+    if witness:
+        lines.append("")
+        lines.append("exists: " + " ".join(
+            f"{key}={value}" for key, value in sorted(witness.items())))
+    return "\n".join(lines) + "\n"

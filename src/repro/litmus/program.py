@@ -1,0 +1,147 @@
+"""Litmus-test programs: a tiny multi-threaded assembly.
+
+A :class:`Program` is a tuple of threads, each a sequence of loads,
+stores and fences on named memory locations.  Programs are executed
+exhaustively by the operational models (:mod:`repro.litmus.operational`)
+and enumerated axiomatically (:mod:`repro.litmus.axiomatic`); both
+produce :class:`Outcome` values — final register and memory contents —
+that can be compared across memory models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Ld:
+    """``reg = [addr]``"""
+
+    addr: str
+    reg: str
+
+    def __str__(self) -> str:
+        return f"ld {self.addr} -> {self.reg}"
+
+
+@dataclass(frozen=True)
+class St:
+    """``[addr] = value``"""
+
+    addr: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"st {self.addr},{self.value}"
+
+
+@dataclass(frozen=True)
+class Fence:
+    """mfence: orders everything; drains the store buffer."""
+
+    def __str__(self) -> str:
+        return "mfence"
+
+
+@dataclass(frozen=True)
+class Rmw:
+    """Atomic exchange: ``reg = [addr]; [addr] = value`` as one
+    indivisible, globally ordered action (an x86 locked instruction —
+    it drains the store buffer first)."""
+
+    addr: str
+    value: int
+    reg: str
+
+    def __str__(self) -> str:
+        return f"xchg {self.addr},{self.value} -> {self.reg}"
+
+
+Instruction = Union[Ld, St, Fence, Rmw]
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """A final state: all registers (per thread) and all memory values."""
+
+    registers: Tuple[Tuple[Tuple[int, str], int], ...]  # ((tid, reg), val)
+    memory: Tuple[Tuple[str, int], ...]                 # (addr, val)
+
+    def reg(self, tid: int, name: str) -> int:
+        for key, value in self.registers:
+            if key == (tid, name):
+                return value
+        raise KeyError((tid, name))
+
+    def mem(self, addr: str) -> int:
+        for key, value in self.memory:
+            if key == addr:
+                return value
+        raise KeyError(addr)
+
+    def __str__(self) -> str:
+        regs = " ".join(f"{tid}:{name}={val}"
+                        for (tid, name), val in self.registers)
+        mem = " ".join(f"[{addr}]={val}" for addr, val in self.memory)
+        return f"{regs} | {mem}".strip(" |")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A litmus test: named threads plus initial memory (defaults to 0)."""
+
+    name: str
+    threads: Tuple[Tuple[Instruction, ...], ...]
+    initial: Tuple[Tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise ValueError("a program needs at least one thread")
+        for thread in self.threads:
+            regs = [op.reg for op in thread
+                    if isinstance(op, (Ld, Rmw))]
+            if len(regs) != len(set(regs)):
+                raise ValueError(
+                    f"{self.name}: registers must be written once per "
+                    f"thread (single-assignment form)")
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for addr, _ in self.initial:
+            seen.setdefault(addr)
+        for thread in self.threads:
+            for op in thread:
+                if isinstance(op, (Ld, St, Rmw)):
+                    seen.setdefault(op.addr)
+        return tuple(seen)
+
+    def initial_value(self, addr: str) -> int:
+        for a, v in self.initial:
+            if a == addr:
+                return v
+        return 0
+
+    def loads(self) -> Iterator[Tuple[int, int, Ld]]:
+        """Yield (tid, index, op) for every load."""
+        for tid, thread in enumerate(self.threads):
+            for idx, op in enumerate(thread):
+                if isinstance(op, Ld):
+                    yield tid, idx, op
+
+    def stores(self) -> Iterator[Tuple[int, int, St]]:
+        """Yield (tid, index, op) for every store."""
+        for tid, thread in enumerate(self.threads):
+            for idx, op in enumerate(thread):
+                if isinstance(op, St):
+                    yield tid, idx, op
+
+
+def make_program(name: str, threads: Sequence[Sequence[Instruction]],
+                 initial: Dict[str, int] = None) -> Program:
+    """Convenience constructor from lists/dicts."""
+    return Program(
+        name=name,
+        threads=tuple(tuple(thread) for thread in threads),
+        initial=tuple(sorted((initial or {}).items())))

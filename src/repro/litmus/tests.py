@@ -1,0 +1,176 @@
+"""The paper's litmus tests (Figures 1, 2, 3, 5) and friends.
+
+Each test is a :class:`~repro.litmus.program.Program` plus the *witness
+condition* the paper discusses — the outcome that distinguishes the
+memory models.  The module-level docstrings record the paper's verdicts,
+which the test suite asserts against both the operational and axiomatic
+engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.litmus.program import Fence, Ld, Program, St, make_program
+
+
+@dataclass(frozen=True)
+class LitmusCase:
+    """A program plus its distinguishing witness condition and the
+    expected verdict per model (True = the outcome is allowed)."""
+
+    program: Program
+    witness: Tuple[Tuple[str, int], ...]
+    expected: Tuple[Tuple[str, bool], ...]
+    description: str = ""
+
+    def witness_dict(self) -> Dict[str, int]:
+        return dict(self.witness)
+
+    def expected_dict(self) -> Dict[str, bool]:
+        return dict(self.expected)
+
+
+# ----------------------------------------------------------------------
+# Figure 1: mp (message passing).  rx==1 && ry==0 creates a po/hb cycle
+# and is forbidden under every TSO flavour (and SC).
+# ----------------------------------------------------------------------
+
+MP = make_program(
+    "mp",
+    [
+        [Ld("x", "rx"), Ld("y", "ry")],           # Core1
+        [St("y", 1), St("x", 1)],                 # Core2
+    ])
+
+MP_CASE = LitmusCase(
+    program=MP,
+    witness=(("r0_rx", 1), ("r0_ry", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False)),
+    description="Fig. 1: loads see program-ordered stores out of order — "
+                "forbidden in x86 (TSO preserves st->st and ld->ld).")
+
+# ----------------------------------------------------------------------
+# Figure 2: n6 (Paul Loewenstein).  rx==1, ry==0, [x]==1, [y]==2 is
+# observable on real x86 (store-to-load forwarding) but forbidden in any
+# store-atomic TSO: with rfi in global happens-before the execution is
+# cyclic.
+# ----------------------------------------------------------------------
+
+N6 = make_program(
+    "n6",
+    [
+        [St("x", 1), Ld("x", "rx"), Ld("y", "ry")],   # Core1
+        [St("y", 2), St("x", 2)],                     # Core2
+    ])
+
+N6_CASE = LitmusCase(
+    program=N6,
+    witness=(("r0_rx", 1), ("r0_ry", 0), ("mem_x", 1), ("mem_y", 2)),
+    expected=(("SC", False), ("370", False), ("x86", True)),
+    description="Fig. 2: allowed in x86 but forbidden in store-atomic "
+                "TSO — the paper's canonical store-atomicity violation "
+                "with ordered stores.")
+
+# ----------------------------------------------------------------------
+# Figure 3: iriw (independent reads of independent writes).  The two
+# reader cores disagree on the order of the two independent stores.
+# Forbidden in x86: without forwarding involved, TSO keeps stores
+# atomic via the write-atomic memory system.
+# ----------------------------------------------------------------------
+
+IRIW = make_program(
+    "iriw",
+    [
+        [Ld("x", "rx"), Ld("y", "ry")],   # Core1: sees x then not-y
+        [Ld("y", "ry"), Ld("x", "rx")],   # Core2: sees y then not-x
+        [St("x", 1)],                     # writer of x
+        [St("y", 1)],                     # writer of y
+    ])
+
+IRIW_CASE = LitmusCase(
+    program=IRIW,
+    witness=(("r0_rx", 1), ("r0_ry", 0), ("r1_ry", 1), ("r1_rx", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False)),
+    description="Fig. 3: disagreement about independent stores is "
+                "forbidden in x86 when no forwarding is involved.")
+
+# ----------------------------------------------------------------------
+# Figure 5: the paper's own construction — distribute the two
+# independent stores onto the two observer cores, so each observer's
+# first load can be satisfied by forwarding.  Core1 sees x change
+# before y; Core2 insists on the opposite.  Allowed in x86, forbidden
+# in any store-atomic implementation (Table II lists the only three
+# 370 outcomes).
+# ----------------------------------------------------------------------
+
+FIG5 = make_program(
+    "fig5-sb-fwd",
+    [
+        [St("x", 1), Ld("x", "rx"), Ld("y", "ry")],   # Core1
+        [St("y", 1), Ld("y", "ry"), Ld("x", "rx")],   # Core2
+    ])
+
+FIG5_CASE = LitmusCase(
+    program=FIG5,
+    witness=(("r0_rx", 1), ("r0_ry", 0), ("r1_ry", 1), ("r1_rx", 0)),
+    expected=(("SC", False), ("370", False), ("x86", True)),
+    description="Fig. 5 / Table II case 1: both cores forward their own "
+                "store and disagree about the store order — only "
+                "possible without store atomicity.")
+
+# ----------------------------------------------------------------------
+# Supporting classics.
+# ----------------------------------------------------------------------
+
+# Store buffering: the canonical TSO-allowed relaxation (st->ld).
+SB = make_program(
+    "sb",
+    [
+        [St("x", 1), Ld("y", "ry")],
+        [St("y", 1), Ld("x", "rx")],
+    ])
+
+SB_CASE = LitmusCase(
+    program=SB,
+    witness=(("r0_ry", 0), ("r1_rx", 0)),
+    expected=(("SC", False), ("370", True), ("x86", True)),
+    description="sb: both loads read 0 — the st->ld relaxation every "
+                "TSO flavour (370 included) permits; only SC forbids it.")
+
+# Store buffering with mfences: forbidden everywhere again.
+SB_FENCED = make_program(
+    "sb+mfences",
+    [
+        [St("x", 1), Fence(), Ld("y", "ry")],
+        [St("y", 1), Fence(), Ld("x", "rx")],
+    ])
+
+SB_FENCED_CASE = LitmusCase(
+    program=SB_FENCED,
+    witness=(("r0_ry", 0), ("r1_rx", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False)),
+    description="sb+mfences: fences restore the st->ld order.")
+
+# Forwarding respects local semantics: a load after a local store must
+# see it (or something newer).
+SELF_READ = make_program(
+    "self-read",
+    [
+        [St("x", 1), Ld("x", "rx")],
+    ])
+
+SELF_READ_CASE = LitmusCase(
+    program=SELF_READ,
+    witness=(("r0_rx", 0),),
+    expected=(("SC", False), ("370", False), ("x86", False)),
+    description="A core can never miss its own store (sequential "
+                "semantics hold in every model).")
+
+#: All cases, in paper order.
+ALL_CASES = (MP_CASE, N6_CASE, IRIW_CASE, FIG5_CASE, SB_CASE,
+             SB_FENCED_CASE, SELF_READ_CASE)
+
+#: The paper's figure tests only.
+PAPER_CASES = (MP_CASE, N6_CASE, IRIW_CASE, FIG5_CASE)

@@ -1,0 +1,5 @@
+"""Memory-hierarchy helpers (stride prefetcher)."""
+
+from repro.memory.prefetch import StridePrefetcher
+
+__all__ = ["StridePrefetcher"]

@@ -1,0 +1,61 @@
+"""Stride L1 prefetcher (paper Table III cites Baer's classic design).
+
+Per-PC reference prediction table: each load PC tracks its last address
+and observed stride with a 2-bit confidence counter; once confident, the
+next ``degree`` strided lines are prefetched into the private hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List
+
+
+class _StrideState:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self, addr: int) -> None:
+        self.last_addr = addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Reference-prediction-table stride prefetcher."""
+
+    CONFIDENT = 2
+
+    def __init__(self, issue: Callable[[int], None], line_bytes: int = 64,
+                 degree: int = 2, table_size: int = 256) -> None:
+        self._issue = issue
+        self.line_bytes = line_bytes
+        self.degree = degree
+        self.table_size = table_size
+        self._table: "OrderedDict[int, _StrideState]" = OrderedDict()
+        self.prefetches_issued = 0
+
+    def observe(self, pc: int, addr: int) -> List[int]:
+        """Record a demand load; returns the prefetch addresses issued."""
+        state = self._table.get(pc)
+        issued: List[int] = []
+        if state is None:
+            if len(self._table) >= self.table_size:
+                self._table.popitem(last=False)
+            self._table[pc] = _StrideState(addr)
+            return issued
+        self._table.move_to_end(pc)
+        stride = addr - state.last_addr
+        if stride != 0 and stride == state.stride:
+            state.confidence = min(state.confidence + 1, 3)
+        else:
+            state.confidence = max(state.confidence - 1, 0)
+            state.stride = stride
+        state.last_addr = addr
+        if state.confidence >= self.CONFIDENT and state.stride != 0:
+            for i in range(1, self.degree + 1):
+                target = addr + state.stride * i
+                if target >= 0:
+                    self._issue(target)
+                    self.prefetches_issued += 1
+                    issued.append(target)
+        return issued

@@ -1,0 +1,5 @@
+"""Interconnect model (fully connected, Table III latencies)."""
+
+from repro.noc.network import CONTROL, DATA, Network, TrafficStats
+
+__all__ = ["Network", "TrafficStats", "CONTROL", "DATA"]

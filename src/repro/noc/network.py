@@ -1,0 +1,66 @@
+"""Fully-connected interconnect model (paper Table III, 'Network').
+
+Every node pair is one switch-to-switch hop apart; a message's latency
+is the hop latency plus flit serialization (5 flits for data, 1 for
+control).  Contention is not modeled — the paper uses GARNET, but the
+mechanisms under study are insensitive to NoC queueing, and a fixed-
+latency fully-connected fabric keeps the fleet of benchmark runs cheap.
+
+The network also counts message traffic, which the coherence tests use
+to check protocol behaviour (e.g. "an upgrade to a line with two
+sharers sends exactly two invalidations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Engine
+
+CONTROL = "control"
+DATA = "data"
+
+
+@dataclass
+class TrafficStats:
+    """Message counts by class."""
+
+    messages: Dict[str, int] = field(default_factory=lambda: {CONTROL: 0,
+                                                              DATA: 0})
+
+    def count(self, msg_class: str) -> None:
+        self.messages[msg_class] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.messages.values())
+
+
+class Network:
+    """Delivers callbacks after the configured message latency."""
+
+    def __init__(self, engine: Engine, config: NetworkConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self.stats = TrafficStats()
+
+    def latency(self, msg_class: str) -> int:
+        if msg_class == DATA:
+            return self.config.data_latency
+        if msg_class == CONTROL:
+            return self.config.control_latency
+        raise ValueError(f"unknown message class {msg_class!r}")
+
+    def send(self, msg_class: str, deliver: Callable[..., Any],
+             *args: Any) -> None:
+        """Send a message: ``deliver(*args)`` runs after the link latency."""
+        self.stats.count(msg_class)
+        self.engine.schedule(self.latency(msg_class), deliver, *args)
+
+    def send_control(self, deliver: Callable[..., Any], *args: Any) -> None:
+        self.send(CONTROL, deliver, *args)
+
+    def send_data(self, deliver: Callable[..., Any], *args: Any) -> None:
+        self.send(DATA, deliver, *args)

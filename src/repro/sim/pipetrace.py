@@ -1,0 +1,145 @@
+"""Pipeline tracing: per-instruction timelines (a classic "pipetrace").
+
+Attach a :class:`PipeTracer` to a core to record when each dynamic
+instruction was dispatched, issued, completed, and retired — including
+re-executed incarnations after squashes.  The text renderer prints a
+compact timeline useful for debugging gate stalls, forwarding windows,
+and squash storms:
+
+    seq kind    D      I      C      R    notes
+      0 store   0      1      3      5
+      1 load    0      1      5      6    SLF
+      2 load    0      2      7     42    gate-blocked 30
+      ...
+
+Enable via ``Core(..., tracer=PipeTracer())`` or
+``System(..., trace_pipeline=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.isa import KIND_NAMES
+
+
+@dataclass
+class InstructionRecord:
+    """One dynamic incarnation of a trace instruction."""
+
+    seq: int
+    kind: str
+    incarnation: int = 0
+    dispatched: Optional[int] = None
+    issued: Optional[int] = None
+    completed: Optional[int] = None
+    retired: Optional[int] = None
+    squashed: Optional[int] = None
+    squash_reason: str = ""
+    slf: bool = False
+    gate_blocked_cycles: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.squashed is None and self.retired is None
+
+
+class PipeTracer:
+    """Records instruction lifecycles for one core."""
+
+    def __init__(self, limit: int = 100_000) -> None:
+        self.records: List[InstructionRecord] = []
+        self._live: Dict[int, InstructionRecord] = {}  # seq -> record
+        self._incarnations: Dict[int, int] = {}
+        self.limit = limit
+
+    # -- hooks called by the pipeline -----------------------------------
+
+    def on_dispatch(self, seq: int, kind: int, cycle: int) -> None:
+        if len(self.records) >= self.limit:
+            return
+        incarnation = self._incarnations.get(seq, 0)
+        record = InstructionRecord(seq=seq, kind=KIND_NAMES[kind],
+                                   incarnation=incarnation,
+                                   dispatched=cycle)
+        self.records.append(record)
+        self._live[seq] = record
+
+    def on_issue(self, seq: int, cycle: int) -> None:
+        record = self._live.get(seq)
+        if record is not None and record.issued is None:
+            record.issued = cycle
+
+    def on_complete(self, seq: int, cycle: int, slf: bool = False) -> None:
+        record = self._live.get(seq)
+        if record is not None:
+            record.completed = cycle
+            record.slf = record.slf or slf
+
+    def on_retire(self, seq: int, cycle: int,
+                  gate_blocked: int = 0) -> None:
+        record = self._live.pop(seq, None)
+        if record is not None:
+            record.retired = cycle
+            record.gate_blocked_cycles = gate_blocked
+
+    def on_squash(self, from_seq: int, cycle: int, reason: str) -> None:
+        for seq, record in list(self._live.items()):
+            if seq >= from_seq:
+                record.squashed = cycle
+                record.squash_reason = reason
+                self._incarnations[seq] = record.incarnation + 1
+                del self._live[seq]
+
+    # -- queries / rendering ---------------------------------------------
+
+    def retired_records(self) -> List[InstructionRecord]:
+        return [r for r in self.records if r.retired is not None]
+
+    def squashed_records(self) -> List[InstructionRecord]:
+        return [r for r in self.records if r.squashed is not None]
+
+    def record_for(self, seq: int,
+                   incarnation: int = -1) -> Optional[InstructionRecord]:
+        matches = [r for r in self.records if r.seq == seq]
+        if not matches:
+            return None
+        return matches[incarnation]
+
+    def render(self, start: int = 0, count: int = 50) -> str:
+        header = (f"{'seq':>5} {'inc':>3} {'kind':6} {'D':>7} {'I':>7} "
+                  f"{'C':>7} {'R':>7}  notes")
+        lines = [header, "-" * len(header)]
+
+        def fmt(value: Optional[int]) -> str:
+            return str(value) if value is not None else "-"
+
+        for record in self.records[start:start + count]:
+            notes = []
+            if record.slf:
+                notes.append("SLF")
+            if record.gate_blocked_cycles:
+                notes.append(f"gate-blocked {record.gate_blocked_cycles}")
+            if record.squashed is not None:
+                notes.append(f"squashed@{record.squashed}"
+                             f"({record.squash_reason})")
+            lines.append(
+                f"{record.seq:>5} {record.incarnation:>3} "
+                f"{record.kind:6} {fmt(record.dispatched):>7} "
+                f"{fmt(record.issued):>7} {fmt(record.completed):>7} "
+                f"{fmt(record.retired):>7}  {' '.join(notes)}")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, float]:
+        retired = self.retired_records()
+        if not retired:
+            return {"retired": 0, "squashed": len(self.squashed_records()),
+                    "avg_latency": 0.0}
+        latency = [r.retired - r.dispatched for r in retired
+                   if r.dispatched is not None]
+        return {
+            "retired": len(retired),
+            "squashed": len(self.squashed_records()),
+            "avg_latency": sum(latency) / len(latency) if latency else 0.0,
+        }

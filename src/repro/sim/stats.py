@@ -1,0 +1,121 @@
+"""Per-core and system-wide statistics.
+
+These counters implement the exact metrics reported in the paper:
+
+* Table IV columns: retired instructions, retired loads, forwarded (SLF)
+  loads, gate-stall episodes and cycles, re-executed instructions.
+* Figure 9: cycles in which dispatch cannot make progress because the
+  ROB, LQ, or SQ/SB is full.
+* Figure 10: execution time (cycles of the slowest core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CoreStats:
+    """Counters collected by one core during a run."""
+
+    cycles: int = 0
+    retired_instructions: int = 0
+    retired_loads: int = 0
+    retired_stores: int = 0
+    slf_loads: int = 0                 # loads performed via forwarding
+    gate_closes: int = 0               # times the retire gate was closed
+    gate_stall_events: int = 0         # instructions that stalled at ROB head
+    gate_stall_cycles: int = 0         # total cycles the head was gate-blocked
+    sb_wait_events: int = 0            # 370-NoSpec: loads made to wait for L1 write
+    sb_wait_cycles: int = 0
+    slf_retire_stall_events: int = 0   # SLFSpec: SLF loads blocked at head
+    slf_retire_stall_cycles: int = 0
+    squashes: int = 0                  # squash episodes (inval/evict/memdep)
+    squashes_inval: int = 0
+    squashes_evict: int = 0
+    squashes_memdep: int = 0
+    reexecuted_instructions: int = 0   # instrs flushed & re-dispatched
+    stall_cycles_rob: int = 0          # dispatch blocked: ROB full
+    stall_cycles_lq: int = 0           # dispatch blocked: LQ full
+    stall_cycles_sq: int = 0           # dispatch blocked: SQ/SB full
+    loads_issued: int = 0
+    l1_load_hits: int = 0
+    store_atomicity_violations: int = 0  # x86 only: detected would-be violations
+
+    # ------------------------------------------------------------------
+    # Derived metrics (Table IV / Section VI-A)
+    # ------------------------------------------------------------------
+
+    @property
+    def loads_pct(self) -> float:
+        """Retired loads as a percentage of retired instructions."""
+        return _pct(self.retired_loads, self.retired_instructions)
+
+    @property
+    def forwarded_pct(self) -> float:
+        """SLF loads as a percentage of retired instructions."""
+        return _pct(self.slf_loads, self.retired_instructions)
+
+    @property
+    def gate_stalls_pct(self) -> float:
+        """Instructions that stalled at ROB head behind a closed gate (%)."""
+        return _pct(self.gate_stall_events, self.retired_instructions)
+
+    @property
+    def avg_gate_stall_cycles(self) -> float:
+        """Average cycles per gate-stall episode (Table IV col 6)."""
+        if self.gate_stall_events == 0:
+            return 0.0
+        return self.gate_stall_cycles / self.gate_stall_events
+
+    @property
+    def reexecuted_pct(self) -> float:
+        """Re-executed instructions as % of retired instructions."""
+        return _pct(self.reexecuted_instructions, self.retired_instructions)
+
+    @property
+    def stall_pct(self) -> Dict[str, float]:
+        """Figure 9: percentage of cycles stalled on each full structure."""
+        return {
+            "ROB": _pct(self.stall_cycles_rob, self.cycles),
+            "LQ": _pct(self.stall_cycles_lq, self.cycles),
+            "SQ/SB": _pct(self.stall_cycles_sq, self.cycles),
+        }
+
+    def merge(self, other: "CoreStats") -> None:
+        """Accumulate another core's counters into this one (everything
+        sums, including cycles, so ratio metrics like stall percentages
+        become per-core-cycle averages) — used for whole-system totals."""
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class SystemStats:
+    """Aggregated statistics for one simulation run."""
+
+    per_core: Dict[int, CoreStats] = field(default_factory=dict)
+    execution_cycles: int = 0          # cycle the last core finished
+    invalidations_sent: int = 0
+    evictions: int = 0
+    # Interconnect traffic (message counts by class) — used to check the
+    # paper's Section VI claim that the proposal adds no extra snoops.
+    network_messages: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def network_total(self) -> int:
+        return sum(self.network_messages.values())
+
+    @property
+    def total(self) -> CoreStats:
+        """Sum of all per-core counters (``cycles`` is the sum of core
+        cycles; use :attr:`execution_cycles` for wall-clock time)."""
+        agg = CoreStats()
+        for stats in self.per_core.values():
+            agg.merge(stats)
+        return agg
+
+
+def _pct(num: int, den: int) -> float:
+    return 100.0 * num / den if den else 0.0

@@ -1,0 +1,146 @@
+"""Multicore system assembly and simulation driver.
+
+:func:`simulate` is the main entry point of the performance model: give
+it per-core traces and a consistency-model name, get back a
+:class:`~repro.sim.stats.SystemStats` with the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.sim.config import SKYLAKE_LIKE, SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import SystemStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.isa import Trace
+    from repro.cpu.pipeline import Core
+
+
+class System:
+    """A simulated multicore: N cores + coherent memory hierarchy."""
+
+    def __init__(self, traces: Sequence["Trace"], policy_name: str,
+                 config: Optional[SystemConfig] = None,
+                 detect_violations: bool = False,
+                 warm_caches: object = True,
+                 initial_memory: Optional[Dict[int, int]] = None,
+                 trace_pipeline: bool = False) -> None:
+        from repro.coherence.mesi import CoherentMemorySystem
+        from repro.coherence.warmup import warm_from_traces
+        from repro.core.policies import make_policy
+        from repro.cpu.pipeline import Core
+
+        if not traces:
+            raise ValueError("need at least one trace")
+        base = config or SKYLAKE_LIKE
+        if len(traces) > base.cores:
+            raise ValueError(
+                f"{len(traces)} traces but only {base.cores} cores")
+        self.config = base.with_cores(max(len(traces), 1))
+        self.policy_name = policy_name
+        self.engine = Engine()
+        self.memory = CoherentMemorySystem(self.engine, self.config)
+        if warm_caches:
+            # The paper measures after a warm-up phase; install working
+            # sets functionally before the cores exist (so no squash
+            # listeners fire).  Pass a list of traces to warm from a
+            # separate warm-up workload, or True to self-warm.
+            warm = traces if warm_caches is True else warm_caches
+            warm_from_traces(self.memory, warm)
+        self.cores: List["Core"] = []
+        # Shared functional memory image (value layer).
+        self.memory_data: Dict[int, int] = dict(initial_memory or {})
+        self._unfinished = 0
+        for core_id, trace in enumerate(traces):
+            policy = make_policy(policy_name)
+            tracer = None
+            if trace_pipeline:
+                from repro.sim.pipetrace import PipeTracer
+                tracer = PipeTracer()
+            core = Core(self.engine, core_id, self.config, trace,
+                        self.memory.controller(core_id), policy,
+                        on_finish=self._core_finished,
+                        detect_violations=detect_violations,
+                        memory_data=self.memory_data, tracer=tracer)
+            self.cores.append(core)
+            self._unfinished += 1
+
+    def _core_finished(self, core: "Core") -> None:
+        self._unfinished -= 1
+
+    @staticmethod
+    def _describe_core(core: "Core") -> str:
+        ctrl = core.controller
+        return (f"  core {core.core_id}: finished={core.finished} "
+                f"sleeping={core._sleeping} fetch={core.fetch_idx}/"
+                f"{len(core.trace)} rob={len(core.rob)} lq={len(core.lq)} "
+                f"sb={len(core.sb)} ready={len(core.ready)} "
+                f"barrier={core.barrier_seq} txns={list(ctrl.txns)} "
+                f"txn_queue={len(ctrl.txn_queue)} "
+                f"rob_head={core.rob.head()!r}")
+
+    @property
+    def done(self) -> bool:
+        return self._unfinished == 0
+
+    def run(self, max_cycles: int = 500_000_000) -> SystemStats:
+        """Run to completion (every core retired its whole trace and
+        drained its SB).  Raises on deadlock or cycle-budget overrun."""
+        for core in self.cores:
+            core.start()
+        self.engine.run(until=lambda: self.done, max_cycles=max_cycles)
+        if not self.done:
+            if self.engine.pending == 0:
+                raise RuntimeError(
+                    f"deadlock: no pending events but "
+                    f"{self._unfinished} cores unfinished "
+                    f"(policy={self.policy_name})\n"
+                    + "\n".join(self._describe_core(c) for c in self.cores))
+            raise RuntimeError(
+                f"simulation exceeded {max_cycles} cycles "
+                f"(policy={self.policy_name})")
+        stats = SystemStats()
+        stats.execution_cycles = max(c.stats.cycles for c in self.cores)
+        for core in self.cores:
+            stats.per_core[core.core_id] = core.stats
+        stats.invalidations_sent = self.memory.stats_invalidations
+        stats.evictions = self.memory.stats_evictions
+        stats.network_messages = dict(self.memory.network.stats.messages)
+        return stats
+
+
+def simulate(traces: Sequence["Trace"], policy: str,
+             config: Optional[SystemConfig] = None,
+             detect_violations: bool = False,
+             warm_caches: object = True,
+             max_cycles: int = 500_000_000) -> SystemStats:
+    """Build a system, run the traces under ``policy``, return stats.
+
+    Args:
+        traces: one instruction trace per core.
+        policy: a configuration name from
+            :data:`repro.core.policies.POLICY_ORDER`.
+        config: system parameters (defaults to the paper's Table III).
+        detect_violations: enable the store-atomicity violation witness
+            (Section III); useful for x86 vs 370 comparisons.
+        warm_caches: functionally pre-install the traces' working sets
+            (models the paper's post-warm-up measurement window).
+        max_cycles: safety bound.
+    """
+    return System(traces, policy, config, detect_violations,
+                  warm_caches).run(max_cycles)
+
+
+def compare_policies(traces: Sequence["Trace"],
+                     policies: Optional[Sequence[str]] = None,
+                     config: Optional[SystemConfig] = None
+                     ) -> Dict[str, SystemStats]:
+    """Run the same traces under several policies (default: all five of
+    the paper) and return ``{policy_name: stats}``."""
+    from repro.core.policies import POLICY_ORDER
+    results: Dict[str, SystemStats] = {}
+    for name in (policies or POLICY_ORDER):
+        results[name] = simulate(traces, name, config)
+    return results

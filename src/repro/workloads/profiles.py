@@ -1,0 +1,168 @@
+"""Per-benchmark synthetic workload profiles.
+
+Each profile drives the trace generator
+(:mod:`repro.workloads.synthetic`) with targets calibrated from paper
+Table IV (loads %, forwarded %) plus behavioural knobs taken from the
+paper's per-benchmark discussion:
+
+* **barnes** — very high forwarding (18.3%) from recursive calls that
+  pass parameters through the stack ("walksub"); small footprint.
+* **x264** (parallel) — forwarding on a *highly contended*
+  synchronization variable (`pthread_cond_wait`), giving 10.2%
+  re-executed instructions from invalidations in the vulnerability
+  window.
+* **505.mcf** — 11.7% re-execution from *cache evictions* that hit
+  SA-speculative loads: a working set far beyond the private hierarchy.
+* **radix / ocean / streamcluster / 519.lbm** — dominated by
+  long-latency streaming writes that stress the SQ/SB (the paper's
+  explanation for radix's 99-cycle average gate stall).
+
+All remaining parameters (store ratio, branch ratio, ILP shape,
+footprints) are plausible defaults; the goal is matching the *rates*
+that the store-atomicity machinery responds to, not the benchmarks'
+absolute IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.tableiv import (PARALLEL, PARALLEL_ROWS, SEQUENTIAL,
+                                     SEQUENTIAL_ROWS, PaperRow, all_rows)
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generation parameters for one synthetic benchmark."""
+
+    name: str
+    suite: str
+    loads_pct: float              # target retired-load share (Table IV)
+    forwarded_pct: float          # target SLF-load share (Table IV)
+    stores_pct: float             # plain + forwarding stores
+    branch_pct: float = 8.0
+    mispredict_rate: float = 0.03
+    footprint_bytes: int = 96 * KB       # private heap working set
+    stack_bytes: int = 4 * KB            # forwarding region (call frames)
+    shared_fraction: float = 0.0         # parallel: accesses to shared heap
+    contended_fraction: float = 0.0      # forwarding pairs on the hot line
+    streaming_stores: float = 0.0        # stores to fresh (cold) lines
+    strided_loads: float = 0.0           # loads with a regular stride
+    fwd_filler: Tuple[int, int] = (0, 2)  # ALU ops between store and load
+    store_burst: int = 0                 # extra stores after a fwd pair
+    ilp_dep_prob: float = 0.45           # chance an op consumes a recent reg
+    paper: Optional[PaperRow] = None
+
+    def scaled(self, **overrides) -> "BenchmarkProfile":
+        return replace(self, **overrides)
+
+
+def _stores_for(forwarded_pct: float) -> float:
+    """Stores must at least cover the forwarding stores; add a plausible
+    base of ordinary stores (SPEC/PARSEC average ~10-12%)."""
+    return round(min(30.0, max(8.0, forwarded_pct * 1.05 + 6.0)), 2)
+
+
+# Behavioural overrides keyed by benchmark name.  Everything not listed
+# uses the defaults above with Table IV loads/forwarded targets.
+_OVERRIDES: Dict[str, Dict[str, object]] = {
+    # SPLASH-3 / PARSEC
+    "barnes": dict(footprint_bytes=32 * KB, stack_bytes=8 * KB,
+                   fwd_filler=(0, 1), store_burst=1),
+    "canneal": dict(footprint_bytes=4 * MB, shared_fraction=0.25),
+    "fft": dict(streaming_stores=0.6, footprint_bytes=1 * MB),
+    "ocean_cp": dict(streaming_stores=0.85, footprint_bytes=2 * MB,
+                     strided_loads=0.6),
+    "ocean_ncp": dict(streaming_stores=0.8, footprint_bytes=2 * MB,
+                      strided_loads=0.6),
+    "radix": dict(streaming_stores=0.9, footprint_bytes=2 * MB,
+                  strided_loads=0.3),
+    "streamcluster": dict(streaming_stores=0.7, footprint_bytes=2 * MB,
+                          strided_loads=0.7),
+    "fluidanimate": dict(shared_fraction=0.10),
+    "dedup": dict(shared_fraction=0.10),
+    "ferret": dict(shared_fraction=0.12),
+    "bodytrack": dict(shared_fraction=0.08),
+    "raytrace": dict(footprint_bytes=512 * KB),
+    "radiosity": dict(shared_fraction=0.08),
+    "volrend": dict(shared_fraction=0.05),
+    "water_nsquared": dict(footprint_bytes=48 * KB, store_burst=1),
+    "water_spatial": dict(footprint_bytes=48 * KB, store_burst=1),
+    "x264": dict(shared_fraction=0.06, contended_fraction=0.04),
+    "lu_ncb": dict(footprint_bytes=1 * MB, shared_fraction=0.15),
+    "lu_cb": dict(footprint_bytes=512 * KB),
+    "cholesky": dict(footprint_bytes=512 * KB),
+    "fmm": dict(footprint_bytes=512 * KB),
+    "freqmine": dict(footprint_bytes=512 * KB),
+    "swaptions": dict(footprint_bytes=64 * KB),
+    "blackscholes": dict(footprint_bytes=64 * KB),
+    "vips": dict(footprint_bytes=512 * KB),
+
+    # SPECrate CPU2017
+    "500.perlbench_1": dict(footprint_bytes=64 * KB, store_burst=1),
+    "500.perlbench_2": dict(footprint_bytes=64 * KB, store_burst=1),
+    "500.perlbench_3": dict(footprint_bytes=128 * KB),
+    "502.gcc_1": dict(footprint_bytes=176 * KB, store_burst=1),
+    "502.gcc_2": dict(footprint_bytes=176 * KB, store_burst=1),
+    "502.gcc_3": dict(footprint_bytes=176 * KB, store_burst=1),
+    "502.gcc_4": dict(footprint_bytes=176 * KB, store_burst=1),
+    "502.gcc_5": dict(footprint_bytes=176 * KB, store_burst=1),
+    "503.bwaves_1": dict(footprint_bytes=2 * MB, strided_loads=0.7,
+                         streaming_stores=0.4),
+    "503.bwaves_2": dict(footprint_bytes=2 * MB, strided_loads=0.7,
+                         streaming_stores=0.4),
+    "503.bwaves_3": dict(footprint_bytes=2 * MB, strided_loads=0.7,
+                         streaming_stores=0.5),
+    "503.bwaves_4": dict(footprint_bytes=2 * MB, strided_loads=0.7,
+                         streaming_stores=0.5),
+    "505.mcf": dict(footprint_bytes=8 * MB, strided_loads=0.1),
+    "507.cactuBSSN": dict(footprint_bytes=1 * MB, strided_loads=0.5),
+    "510.parest": dict(footprint_bytes=512 * KB, strided_loads=0.4),
+    "511.povray": dict(footprint_bytes=64 * KB, store_burst=1),
+    "519.lbm": dict(footprint_bytes=4 * MB, streaming_stores=0.85,
+                    strided_loads=0.6),
+    "520.omnetpp": dict(footprint_bytes=1 * MB),
+    "523.xalancbmk": dict(footprint_bytes=512 * KB),
+    "526.blender": dict(footprint_bytes=256 * KB),
+    "527.cam4": dict(footprint_bytes=512 * KB, strided_loads=0.5),
+    "531.deepsjeng": dict(footprint_bytes=128 * KB, store_burst=1),
+    "538.imagick": dict(footprint_bytes=256 * KB, strided_loads=0.6),
+    "541.leela": dict(footprint_bytes=128 * KB),
+    "549.fotonik3d": dict(footprint_bytes=1 * MB, strided_loads=0.6),
+    "554.roms": dict(footprint_bytes=1 * MB, strided_loads=0.6),
+    "557.xz_1": dict(footprint_bytes=1 * MB),
+}
+
+
+def _build(row: PaperRow) -> BenchmarkProfile:
+    overrides = _OVERRIDES.get(row.name, {})
+    return BenchmarkProfile(
+        name=row.name,
+        suite=row.suite,
+        loads_pct=row.loads_pct,
+        forwarded_pct=row.forwarded_pct,
+        stores_pct=_stores_for(row.forwarded_pct),
+        paper=row,
+        **overrides)  # type: ignore[arg-type]
+
+
+#: All profiles keyed by benchmark name.
+PROFILES: Dict[str, BenchmarkProfile] = {
+    name: _build(row) for name, row in all_rows().items()}
+
+PARALLEL_PROFILES: Dict[str, BenchmarkProfile] = {
+    name: PROFILES[name] for name in PARALLEL_ROWS}
+
+SEQUENTIAL_PROFILES: Dict[str, BenchmarkProfile] = {
+    name: PROFILES[name] for name in SEQUENTIAL_ROWS}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}") from None

@@ -1,0 +1,110 @@
+"""Benchmark runner: the evaluation-section driver.
+
+Runs Table IV / Figure 9 / Figure 10 style experiments: a named
+benchmark profile under one or all five consistency configurations, with
+a warm-up workload installed first.  Instruction counts scale with the
+``REPRO_SCALE`` environment variable (1.0 = the defaults used in
+EXPERIMENTS.md; smaller for quick runs).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import POLICY_ORDER
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SystemStats
+from repro.sim.system import simulate
+from repro.workloads.profiles import (PARALLEL_PROFILES, SEQUENTIAL_PROFILES,
+                                      BenchmarkProfile, get_profile)
+from repro.workloads.synthetic import generate_warmup, generate_workload
+
+#: Default measured instructions per core (scaled by REPRO_SCALE).
+DEFAULT_LENGTH_PARALLEL = 3_000
+DEFAULT_LENGTH_SEQUENTIAL = 12_000
+DEFAULT_CORES = 8
+
+
+def scale() -> float:
+    """Global scale factor for benchmark instruction counts."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def _length_for(profile: BenchmarkProfile,
+                length: Optional[int]) -> int:
+    if length is not None:
+        return length
+    base = (DEFAULT_LENGTH_SEQUENTIAL if profile.suite == "sequential"
+            else DEFAULT_LENGTH_PARALLEL)
+    return max(500, int(base * scale()))
+
+
+@dataclass
+class BenchmarkResult:
+    """One (benchmark, policy) measurement."""
+
+    name: str
+    suite: str
+    policy: str
+    stats: SystemStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.execution_cycles
+
+
+def run_benchmark(name: str, policy: str = "370-SLFSoS-key",
+                  cores: int = DEFAULT_CORES,
+                  length: Optional[int] = None, seed: int = 0,
+                  config: Optional[SystemConfig] = None,
+                  detect_violations: bool = False) -> BenchmarkResult:
+    """Run one benchmark profile under one policy (with warm-up)."""
+    profile = get_profile(name)
+    n = _length_for(profile, length)
+    traces = generate_workload(profile, cores, n, seed)
+    warm = generate_warmup(profile, cores, n, seed)
+    stats = simulate(traces, policy, config=config, warm_caches=warm,
+                     detect_violations=detect_violations)
+    return BenchmarkResult(name, profile.suite, policy, stats)
+
+
+def run_policy_sweep(name: str, policies: Sequence[str] = POLICY_ORDER,
+                     cores: int = DEFAULT_CORES,
+                     length: Optional[int] = None, seed: int = 0,
+                     config: Optional[SystemConfig] = None
+                     ) -> Dict[str, BenchmarkResult]:
+    """Run one benchmark under several policies on identical traces."""
+    profile = get_profile(name)
+    n = _length_for(profile, length)
+    traces = generate_workload(profile, cores, n, seed)
+    warm = generate_warmup(profile, cores, n, seed)
+    results: Dict[str, BenchmarkResult] = {}
+    for policy in policies:
+        stats = simulate(traces, policy, config=config, warm_caches=warm)
+        results[policy] = BenchmarkResult(name, profile.suite, policy, stats)
+    return results
+
+
+def normalized_times(results: Dict[str, BenchmarkResult],
+                     baseline: str = "x86") -> Dict[str, float]:
+    """Execution time of each policy normalized to the baseline."""
+    base = results[baseline].cycles
+    return {policy: result.cycles / base
+            for policy, result in results.items()}
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def suite_names(suite: str) -> List[str]:
+    if suite == "parallel":
+        return list(PARALLEL_PROFILES)
+    if suite == "sequential":
+        return list(SEQUENTIAL_PROFILES)
+    raise ValueError(f"unknown suite {suite!r}")

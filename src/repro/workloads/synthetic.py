@@ -1,0 +1,288 @@
+"""Synthetic trace generation calibrated to Table IV.
+
+The generator emits micro-op traces whose *rates* match a benchmark
+profile: share of loads, share of forwarded (SLF) loads, store/branch
+mix, plus behavioural patterns (stack-frame forwarding idiom, streaming
+stores, strided loads, shared-heap accesses, a contended hot line).
+A simple deficit controller keeps each category on target, so even short
+traces land close to the Table IV percentages.
+
+Address space layout (all word-aligned, per core):
+
+=================  ====================================================
+stack              private, tiny, write-then-read (forwarding source)
+heap               private, ``footprint_bytes`` working set
+stream             private, cold lines written once (streaming stores)
+shared heap        one region common to all cores (parallel suites)
+hot line           one contended line common to all cores (x264 idiom)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.cpu.isa import Op, Trace, alu, branch, load, store
+from repro.workloads.profiles import BenchmarkProfile
+
+WORD = 8
+LINE = 64
+
+_STACK_BASE = 0x7F00_0000_0000
+_HEAP_BASE = 0x1000_0000_0000
+_STREAM_BASE = 0x2000_0000_0000
+_SHARED_BASE = 0x5000_0000_0000
+_HOT_LINE = 0x6000_0000_0000
+_SHARED_BYTES = 256 * 1024
+_CORE_STRIDE = 0x0010_0000_0000
+
+# Stable synthetic PCs per code "site" so the StoreSet predictor and the
+# stride prefetcher see recurring instructions.
+_PC_FWD_STORE = 0x100
+_PC_FWD_LOAD = 0x200
+_PC_HEAP_LOAD = 0x300
+_PC_STRIDE_LOAD = 0x400
+_PC_SHARED_LOAD = 0x500
+_PC_STORE = 0x600
+_PC_STREAM_STORE = 0x700
+_PC_BRANCH = 0x800
+_N_SITES = 8
+
+
+class _TraceBuilder:
+    """Stateful generator for one core's trace."""
+
+    def __init__(self, profile: BenchmarkProfile, core_id: int,
+                 rng: random.Random, stream_epoch: int = 0) -> None:
+        self.stream_epoch = stream_epoch
+        self.profile = profile
+        self.core_id = core_id
+        self.rng = rng
+        self.trace = Trace()
+        self.recent: Deque[int] = deque(maxlen=8)   # recent producers
+        self.n_loads = 0
+        self.n_stores = 0
+        self.n_forwarded = 0
+        self.n_branches = 0
+        self.stack_base = _STACK_BASE + core_id * _CORE_STRIDE
+        self.heap_base = _HEAP_BASE + core_id * _CORE_STRIDE
+        # Each epoch streams through fresh lines: a warm-up trace must
+        # not pre-own the lines the measured trace will stream into.
+        self.stream_ptr = (_STREAM_BASE + core_id * _CORE_STRIDE
+                           + stream_epoch * (_CORE_STRIDE // 2))
+        self.frame_off = 0
+        self.stride_ptrs = [self.heap_base + i * 4096
+                            for i in range(_N_SITES)]
+
+    # -- address helpers -------------------------------------------------
+
+    def _stack_addr(self) -> int:
+        """A slot in the current 'call frame' (high reuse)."""
+        words = self.profile.stack_bytes // WORD
+        slot = (self.frame_off + self.rng.randrange(8)) % words
+        return self.stack_base + slot * WORD
+
+    def _heap_addr(self) -> int:
+        words = max(1, self.profile.footprint_bytes // WORD)
+        return self.heap_base + self.rng.randrange(words) * WORD
+
+    def _heap_store_addr(self) -> int:
+        """Stores have more temporal locality than loads (hot structure
+        fields get rewritten): 80% land in a hot eighth of the heap."""
+        words = max(1, self.profile.footprint_bytes // WORD)
+        if self.rng.random() < 0.8:
+            words = max(1, words // 8)
+        return self.heap_base + self.rng.randrange(words) * WORD
+
+    def _shared_addr(self) -> int:
+        words = _SHARED_BYTES // WORD
+        return _SHARED_BASE + self.rng.randrange(words) * WORD
+
+    def _strided_addr(self, site: int) -> int:
+        addr = self.stride_ptrs[site]
+        self.stride_ptrs[site] += WORD
+        span = max(LINE, self.profile.footprint_bytes // _N_SITES)
+        if self.stride_ptrs[site] >= self.heap_base + (site + 1) * span:
+            self.stride_ptrs[site] = self.heap_base + site * span
+        return addr
+
+    def _stream_addr(self) -> int:
+        self.stream_ptr += LINE  # a fresh line every time
+        return self.stream_ptr
+
+    # -- dependence helpers ----------------------------------------------
+
+    def _deps(self, prob: Optional[float] = None, count: int = 1) -> tuple:
+        prob = self.profile.ilp_dep_prob if prob is None else prob
+        if not self.recent or self.rng.random() >= prob:
+            return ()
+        picks = self.rng.sample(list(self.recent),
+                                k=min(count, len(self.recent)))
+        return tuple(picks)
+
+    def _emit(self, op: Op, producer: bool = False) -> int:
+        idx = self.trace.append(op)
+        if producer:
+            self.recent.append(idx)
+        return idx
+
+    # -- op emitters -------------------------------------------------------
+
+    def emit_forward_pair(self) -> None:
+        """The stack write-then-read idiom (argument passing): one or
+        more stores to call-frame slots, a short "call", then loads of
+        the same slots inside the callee.
+
+        With several arguments the oldest load forwards from the oldest
+        store while *younger* stores are still older than that load in
+        program order — exactly the pattern where 370-SLFSpec (wait for
+        the whole SB) and 370-SLFSoS (reopen on SB drain) pay more than
+        370-SLFSoS-key (reopen when the forwarding store itself writes).
+        """
+        profile = self.profile
+        if (profile.contended_fraction
+                and self.rng.random() < profile.contended_fraction):
+            addrs = [_HOT_LINE]  # the shared synchronization variable
+            sites = [0]
+        else:
+            n_args = self.rng.randint(1, 3)
+            addrs, sites = [], []
+            base_site = self.rng.randrange(_N_SITES)
+            for arg in range(n_args):
+                addr = self._stack_addr()
+                if addr in addrs:
+                    continue
+                addrs.append(addr)
+                sites.append((base_site + arg) % _N_SITES)
+        for addr, site in zip(addrs, sites):
+            self._emit(store(addr, deps=self._deps(0.6),
+                             pc=_PC_FWD_STORE + site))
+            self.n_stores += 1
+        lo, hi = profile.fwd_filler
+        for _ in range(self.rng.randint(lo, hi)):
+            self._emit(alu(deps=self._deps(), latency=1), producer=True)
+        idx = 0
+        for addr, site in zip(addrs, sites):
+            idx = self._emit(load(addr, pc=_PC_FWD_LOAD + site),
+                             producer=True)
+            self.n_loads += 1
+            self.n_forwarded += 1
+        for _ in range(profile.store_burst):
+            self._emit(store(self._stack_addr(), deps=(idx,),
+                             pc=_PC_STORE + self.rng.randrange(_N_SITES)))
+            self.n_stores += 1
+        if self.rng.random() < 0.2:
+            self.frame_off += 8  # "return": move to a fresh frame window
+
+    def emit_load(self) -> None:
+        profile = self.profile
+        roll = self.rng.random()
+        if profile.shared_fraction and roll < profile.shared_fraction:
+            addr, pc = self._shared_addr(), _PC_SHARED_LOAD
+        elif roll < profile.shared_fraction + profile.strided_loads:
+            site = self.rng.randrange(_N_SITES)
+            addr, pc = self._strided_addr(site), _PC_STRIDE_LOAD + site
+        else:
+            addr, pc = self._heap_addr(), _PC_HEAP_LOAD
+        self._emit(load(addr, deps=self._deps(0.35),
+                        pc=pc + self.rng.randrange(_N_SITES)
+                        if pc == _PC_HEAP_LOAD else pc),
+                   producer=True)
+        self.n_loads += 1
+
+    def emit_store(self) -> None:
+        profile = self.profile
+        roll = self.rng.random()
+        if profile.streaming_stores and roll < profile.streaming_stores:
+            addr, pc = self._stream_addr(), _PC_STREAM_STORE
+        elif (profile.shared_fraction
+              and roll < profile.streaming_stores + profile.shared_fraction):
+            addr, pc = self._shared_addr(), _PC_STORE
+        else:
+            addr, pc = self._heap_store_addr(), _PC_STORE
+        self._emit(store(addr, deps=self._deps(0.5),
+                         pc=pc + self.rng.randrange(_N_SITES)))
+        self.n_stores += 1
+
+    def emit_branch(self) -> None:
+        """Two kinds of branch sites: loop back-edges (strongly biased,
+        the TAGE predictor learns them) and data-dependent branches
+        (coin flips, mispredicted ~half the time).  The profile's
+        mispredict_rate sets the share of data-dependent sites so the
+        *effective* mispredict rate lands near the target."""
+        data_dependent = self.rng.random() < 2 * self.profile.mispredict_rate
+        if data_dependent:
+            taken = self.rng.random() < 0.5
+            pc = _PC_BRANCH + 16 + self.rng.randrange(_N_SITES)
+        else:
+            taken = self.rng.random() < 0.94  # loop back-edge bias
+            pc = _PC_BRANCH + self.rng.randrange(_N_SITES)
+        self._emit(branch(deps=self._deps(0.5), taken=taken, pc=pc))
+        self.n_branches += 1
+
+    def emit_alu(self) -> None:
+        self._emit(alu(deps=self._deps(count=2),
+                       latency=self.rng.choice((1, 1, 1, 2, 3))),
+                   producer=True)
+
+    # -- the deficit controller -------------------------------------------
+
+    def build(self, length: int) -> Trace:
+        profile = self.profile
+        fwd_target = profile.forwarded_pct / 100.0
+        load_target = profile.loads_pct / 100.0
+        store_target = profile.stores_pct / 100.0
+        branch_target = profile.branch_pct / 100.0
+        while len(self.trace) < length:
+            n = max(1, len(self.trace))
+            if self.n_forwarded / n < fwd_target:
+                self.emit_forward_pair()
+            elif self.n_loads / n < load_target:
+                self.emit_load()
+            elif self.n_stores / n < store_target:
+                self.emit_store()
+            elif self.n_branches / n < branch_target:
+                self.emit_branch()
+            else:
+                self.emit_alu()
+        # Static store->load dependences (the forwarding sites): the core
+        # pre-trains its StoreSet with these, as a warmed-up predictor
+        # would be in the paper's post-warm-up measurement window.
+        self.trace.memdep_hints = [
+            (_PC_FWD_LOAD + site, _PC_FWD_STORE + site)
+            for site in range(_N_SITES)]
+        self.trace.validate()
+        return self.trace
+
+
+def generate_trace(profile: BenchmarkProfile, core_id: int = 0,
+                   length: int = 10_000, seed: int = 0,
+                   stream_epoch: int = 0) -> Trace:
+    """Generate one core's trace for ``profile``."""
+    rng = random.Random((seed * 1_000_003 + core_id * 7919
+                         + stream_epoch * 0x5A5A5A) & 0xFFFFFFFF)
+    return _TraceBuilder(profile, core_id, rng, stream_epoch).build(length)
+
+
+def generate_workload(profile: BenchmarkProfile, cores: int = 8,
+                      length_per_core: int = 10_000,
+                      seed: int = 0, stream_epoch: int = 0) -> List[Trace]:
+    """Per-core traces: ``cores`` traces for a parallel profile, a single
+    trace for a sequential one."""
+    n = 1 if profile.suite == "sequential" else cores
+    return [generate_trace(profile, core_id, length_per_core, seed,
+                           stream_epoch)
+            for core_id in range(n)]
+
+
+def generate_warmup(profile: BenchmarkProfile, cores: int = 8,
+                    length_per_core: int = 10_000,
+                    seed: int = 0) -> List[Trace]:
+    """A warm-up workload drawn from the same distribution as
+    :func:`generate_workload` but with different random picks and a
+    disjoint streaming region — functionally walked before measurement
+    (the paper's warm-up phase)."""
+    return generate_workload(profile, cores, length_per_core,
+                             seed=seed + 7_777_777, stream_epoch=1)

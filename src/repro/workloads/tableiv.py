@@ -1,0 +1,134 @@
+"""Paper Table IV, transcribed verbatim.
+
+Per-benchmark characterization of store-atomicity speculation under
+370-SLFSoS-key: retired instructions, retired loads (% of instructions),
+forwarded (SLF) loads (% of instructions), gate stalls (% of
+instructions), average stall cycles per gate stall, and re-executed
+instructions (% of instructions).
+
+These rows serve two purposes: they *calibrate* the synthetic workload
+generators (loads % and forwarded % are generation targets), and they
+are the paper-side reference the characterization benchmark prints next
+to the measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+PARALLEL = "parallel"
+SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table IV."""
+
+    name: str
+    suite: str
+    instructions: int
+    loads_pct: float
+    forwarded_pct: float
+    gate_stalls_pct: float
+    avg_stall_cycles: float
+    reexecuted_pct: float
+
+
+def _row(suite: str, name: str, instructions: int, loads: float,
+         forwarded: float, gate: float, stall_cycles: float,
+         reexec: float) -> Tuple[str, PaperRow]:
+    return name, PaperRow(name, suite, instructions, loads, forwarded,
+                          gate, stall_cycles, reexec)
+
+
+#: SPLASH-3 + PARSEC 3.0 parallel applications (Table IV, top).
+PARALLEL_ROWS: Dict[str, PaperRow] = dict([
+    _row(PARALLEL, "barnes", 2230309927, 31.780, 18.336, 5.929, 6.460, 0.194),
+    _row(PARALLEL, "blackscholes", 1053954449, 19.745, 7.272, 2.208, 4.428, 0.001),
+    _row(PARALLEL, "bodytrack", 3871819525, 17.915, 4.119, 1.028, 4.375, 0.292),
+    _row(PARALLEL, "canneal", 911238793, 24.259, 2.755, 0.730, 5.226, 0.035),
+    _row(PARALLEL, "cholesky", 873398060, 26.320, 1.604, 0.406, 6.188, 0.027),
+    _row(PARALLEL, "dedup", 852338767, 13.762, 6.481, 1.467, 3.183, 0.012),
+    _row(PARALLEL, "ferret", 843881294, 20.542, 3.527, 1.411, 11.112, 0.147),
+    _row(PARALLEL, "fft", 2305314837, 17.282, 0.010, 0.006, 6.113, 0.000),
+    _row(PARALLEL, "fluidanimate", 3439523371, 25.233, 1.044, 0.316, 8.459, 0.035),
+    _row(PARALLEL, "fmm", 1391062359, 15.439, 0.294, 0.118, 19.345, 0.013),
+    _row(PARALLEL, "freqmine", 2594696106, 26.120, 2.584, 1.185, 5.960, 0.167),
+    _row(PARALLEL, "lu_cb", 4160074138, 22.165, 0.230, 0.124, 4.850, 0.015),
+    _row(PARALLEL, "lu_ncb", 4331579576, 24.261, 1.352, 0.636, 16.362, 0.048),
+    _row(PARALLEL, "ocean_cp", 958925716, 30.497, 0.031, 0.017, 94.560, 0.002),
+    _row(PARALLEL, "ocean_ncp", 876550467, 27.233, 0.064, 0.033, 52.584, 0.007),
+    _row(PARALLEL, "radiosity", 1071130503, 29.947, 4.201, 0.628, 7.783, 0.106),
+    _row(PARALLEL, "radix", 160864073, 28.182, 1.411, 0.790, 98.644, 0.235),
+    _row(PARALLEL, "raytrace", 1582601968, 28.501, 5.625, 2.045, 8.151, 0.145),
+    _row(PARALLEL, "streamcluster", 1352721745, 29.899, 0.031, 0.020, 53.851, 0.000),
+    _row(PARALLEL, "swaptions", 2086529095, 24.576, 4.498, 2.184, 5.284, 0.245),
+    _row(PARALLEL, "vips", 4360543980, 18.061, 1.962, 0.534, 5.000, 0.005),
+    _row(PARALLEL, "volrend", 801497112, 24.514, 5.097, 1.353, 5.484, 0.184),
+    _row(PARALLEL, "water_nsquared", 276836113, 26.834, 7.687, 1.680, 6.181, 0.145),
+    _row(PARALLEL, "water_spatial", 2259979795, 27.851, 8.669, 1.608, 6.292, 0.045),
+    _row(PARALLEL, "x264", 1368542748, 26.209, 3.314, 1.432, 13.723, 10.191),
+])
+
+#: Paper-reported parallel averages (Table IV, "Average" row).
+PARALLEL_AVERAGE = PaperRow("Average", PARALLEL, 1840636580, 24.285, 3.688,
+                            1.115, 18.384, 0.492)
+
+#: SPECrate CPU2017 sequential applications (Table IV, bottom).
+SEQUENTIAL_ROWS: Dict[str, PaperRow] = dict([
+    _row(SEQUENTIAL, "500.perlbench_1", 964505810, 23.866, 7.527, 2.686, 6.967, 0.146),
+    _row(SEQUENTIAL, "500.perlbench_2", 973276968, 29.159, 11.192, 3.969, 4.979, 0.038),
+    _row(SEQUENTIAL, "500.perlbench_3", 929430787, 7.889, 1.075, 0.378, 4.979, 0.020),
+    _row(SEQUENTIAL, "502.gcc_1", 980611000, 24.143, 8.032, 2.094, 9.263, 1.152),
+    _row(SEQUENTIAL, "502.gcc_2", 980660274, 24.132, 8.027, 2.090, 9.293, 1.156),
+    _row(SEQUENTIAL, "502.gcc_3", 984563265, 24.955, 8.300, 2.183, 9.568, 0.987),
+    _row(SEQUENTIAL, "502.gcc_4", 983294223, 25.847, 8.044, 2.188, 9.900, 1.054),
+    _row(SEQUENTIAL, "502.gcc_5", 983293143, 25.847, 8.043, 2.187, 9.896, 1.063),
+    _row(SEQUENTIAL, "503.bwaves_1", 973162848, 30.147, 1.722, 0.782, 17.455, 0.032),
+    _row(SEQUENTIAL, "503.bwaves_2", 973162943, 30.147, 1.722, 0.782, 17.450, 0.034),
+    _row(SEQUENTIAL, "503.bwaves_3", 1013214128, 33.200, 2.094, 0.814, 29.580, 0.044),
+    _row(SEQUENTIAL, "503.bwaves_4", 980379698, 30.310, 1.765, 0.855, 35.334, 0.040),
+    _row(SEQUENTIAL, "505.mcf", 1033168380, 29.973, 4.958, 2.411, 13.084, 11.722),
+    _row(SEQUENTIAL, "507.cactuBSSN", 988799146, 31.857, 5.593, 1.479, 18.801, 0.014),
+    _row(SEQUENTIAL, "508.namd", 957464484, 23.369, 2.448, 1.316, 3.973, 0.008),
+    _row(SEQUENTIAL, "510.parest", 977387085, 33.230, 1.852, 0.530, 6.907, 0.067),
+    _row(SEQUENTIAL, "511.povray", 1047422921, 30.513, 10.185, 2.911, 5.772, 0.003),
+    _row(SEQUENTIAL, "519.lbm", 939699615, 20.561, 7.695, 3.074, 74.749, 0.440),
+    _row(SEQUENTIAL, "520.omnetpp", 1011815225, 27.695, 7.978, 2.437, 15.927, 0.329),
+    _row(SEQUENTIAL, "521.wrf", 1006331121, 25.615, 2.004, 0.730, 11.495, 0.016),
+    _row(SEQUENTIAL, "523.xalancbmk", 1036626285, 26.679, 2.804, 0.700, 8.810, 0.167),
+    _row(SEQUENTIAL, "525.x264_1", 910390076, 22.529, 3.381, 0.607, 6.611, 0.012),
+    _row(SEQUENTIAL, "525.x264_2", 911740169, 23.605, 1.397, 0.303, 8.870, 0.015),
+    _row(SEQUENTIAL, "525.x264_3", 909357540, 22.722, 2.841, 0.520, 6.546, 0.006),
+    _row(SEQUENTIAL, "526.blender", 982134804, 23.531, 6.116, 1.752, 5.680, 0.139),
+    _row(SEQUENTIAL, "527.cam4", 900052617, 22.683, 0.001, 0.000, 0.000, 0.000),
+    _row(SEQUENTIAL, "531.deepsjeng", 1005818672, 22.159, 6.743, 2.632, 5.926, 0.960),
+    _row(SEQUENTIAL, "538.imagick", 901182035, 18.552, 0.103, 0.023, 6.798, 0.001),
+    _row(SEQUENTIAL, "541.leela", 1013351926, 23.706, 5.085, 2.031, 6.795, 0.393),
+    _row(SEQUENTIAL, "544.nab", 966696584, 22.047, 4.176, 1.426, 5.726, 0.126),
+    _row(SEQUENTIAL, "548.exchange2", 1212408138, 24.982, 4.140, 1.289, 6.112, 0.032),
+    _row(SEQUENTIAL, "549.fotonik3d", 1000196710, 20.950, 7.703, 2.800, 6.293, 0.012),
+    _row(SEQUENTIAL, "554.roms", 1034743008, 25.549, 3.700, 1.037, 10.122, 0.016),
+    _row(SEQUENTIAL, "557.xz_1", 925428657, 14.427, 3.312, 1.913, 4.493, 0.092),
+    _row(SEQUENTIAL, "557.xz_2", 930899613, 10.098, 1.064, 0.181, 5.094, 0.002),
+    _row(SEQUENTIAL, "557.xz_3", 928391278, 12.466, 0.981, 0.167, 5.096, 0.002),
+])
+
+#: Paper-reported sequential averages (Table IV, "Average" row).
+SEQUENTIAL_AVERAGE = PaperRow("Average", SEQUENTIAL, 979196144, 24.143,
+                              4.550, 1.480, 11.510, 0.565)
+
+#: Figure 10 paper results: geomean execution time normalized to x86.
+FIGURE10_GEOMEAN = {
+    PARALLEL: {"x86": 1.0, "370-NoSpec": 1.27, "370-SLFSpec": 1.07,
+               "370-SLFSoS": 1.05, "370-SLFSoS-key": 1.025},
+    SEQUENTIAL: {"x86": 1.0, "370-NoSpec": 1.23, "370-SLFSpec": 1.14,
+                 "370-SLFSoS": 1.12, "370-SLFSoS-key": 1.027},
+}
+
+
+def all_rows() -> Dict[str, PaperRow]:
+    rows = dict(PARALLEL_ROWS)
+    rows.update(SEQUENTIAL_ROWS)
+    return rows

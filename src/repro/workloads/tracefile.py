@@ -1,0 +1,107 @@
+"""Trace serialization: save and replay micro-op workloads.
+
+A workload (one trace per core plus its warm-up) is stored as a single
+JSON document, so experiments can be archived, diffed, and replayed
+bit-identically — useful for regression-pinning a measured result or
+shipping a failing case.
+
+Format (version 1)::
+
+    {
+      "format": "repro-trace",
+      "version": 1,
+      "meta": {...},                      # free-form provenance
+      "cores": [
+        {"memdep_hints": [[lpc, spc]...],
+         "ops": [[kind, addr, deps, latency, mispredict, taken, pc,
+                  value], ...]},
+        ...
+      ],
+      "warmup": [ ...same shape... ]      # optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cpu.isa import Op, Trace
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFileError(ValueError):
+    """Malformed trace file."""
+
+
+def _op_to_list(op: Op) -> list:
+    return [op.kind, op.addr, list(op.deps), op.latency,
+            int(op.mispredict), int(op.taken), op.pc, op.value]
+
+
+def _op_from_list(fields: list, index: int) -> Op:
+    try:
+        kind, addr, deps, latency, mispredict, taken, pc, value = fields
+        return Op(kind=kind, addr=addr, deps=tuple(deps), latency=latency,
+                  mispredict=bool(mispredict), taken=bool(taken), pc=pc,
+                  value=value)
+    except (ValueError, TypeError) as exc:
+        raise TraceFileError(f"bad op record at index {index}: {exc}") \
+            from None
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    return {
+        "memdep_hints": [list(pair) for pair in trace.memdep_hints],
+        "ops": [_op_to_list(op) for op in trace.ops],
+    }
+
+
+def trace_from_dict(data: dict) -> Trace:
+    ops = [_op_from_list(fields, i)
+           for i, fields in enumerate(data.get("ops", []))]
+    trace = Trace(ops=ops,
+                  memdep_hints=[tuple(pair)
+                                for pair in data.get("memdep_hints", [])])
+    trace.validate()
+    return trace
+
+
+def save_workload(path: Union[str, Path], traces: Sequence[Trace],
+                  warmup: Optional[Sequence[Trace]] = None,
+                  meta: Optional[Dict[str, object]] = None) -> None:
+    """Write a workload (and optionally its warm-up) to ``path``."""
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "meta": dict(meta or {}),
+        "cores": [trace_to_dict(trace) for trace in traces],
+    }
+    if warmup is not None:
+        document["warmup"] = [trace_to_dict(trace) for trace in warmup]
+    Path(path).write_text(json.dumps(document, separators=(",", ":")),
+                          encoding="utf-8")
+
+
+def load_workload(path: Union[str, Path]
+                  ) -> tuple:
+    """Read (traces, warmup_or_None, meta) from ``path``."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TraceFileError(f"not valid JSON: {exc}") from None
+    if document.get("format") != FORMAT_NAME:
+        raise TraceFileError("not a repro-trace file")
+    if document.get("version") != FORMAT_VERSION:
+        raise TraceFileError(
+            f"unsupported version {document.get('version')!r}")
+    traces = [trace_from_dict(core) for core in document.get("cores", [])]
+    if not traces:
+        raise TraceFileError("workload has no cores")
+    warmup = None
+    if "warmup" in document:
+        warmup = [trace_from_dict(core) for core in document["warmup"]]
+    return traces, warmup, document.get("meta", {})

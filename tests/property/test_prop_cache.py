@@ -1,0 +1,89 @@
+"""Property-based tests of the cache arrays against a reference model."""
+
+from collections import OrderedDict
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.coherence.cache import CacheArray
+from repro.sim.config import CacheConfig
+
+
+def _reference_insert(sets, ways, line_bytes, ops):
+    """Dict-of-OrderedDict LRU reference; returns resident set."""
+    arrays = [OrderedDict() for _ in range(sets)]
+    for op, line in ops:
+        bucket = arrays[(line // line_bytes) % sets]
+        if op == "insert":
+            if line in bucket:
+                bucket.move_to_end(line)
+            else:
+                if len(bucket) >= ways:
+                    bucket.popitem(last=False)
+                bucket[line] = None
+        elif op == "lookup":
+            if line in bucket:
+                bucket.move_to_end(line)
+        elif op == "remove":
+            bucket.pop(line, None)
+    return {line for bucket in arrays for line in bucket}
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup", "remove"]),
+              st.integers(0, 31).map(lambda i: i * 64)),
+    max_size=120)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops_strategy)
+def test_cache_matches_reference_lru(ops):
+    config = CacheConfig(4 * 64 * 2, 2, 4)  # 4 sets, 2 ways
+    cache = CacheArray(config)
+    for op, line in ops:
+        if op == "insert":
+            cache.insert(line)
+        elif op == "lookup":
+            cache.lookup(line)
+        else:
+            cache.remove(line)
+    expected = _reference_insert(config.sets, config.ways, 64, ops)
+    assert set(cache.resident_lines()) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops_strategy)
+def test_occupancy_never_exceeds_capacity(ops):
+    config = CacheConfig(4 * 64 * 2, 2, 4)
+    cache = CacheArray(config)
+    for op, line in ops:
+        if op == "insert":
+            cache.insert(line)
+        elif op == "lookup":
+            cache.lookup(line)
+        else:
+            cache.remove(line)
+        assert cache.occupancy() <= config.sets * config.ways
+        per_set = {}
+        for resident in cache.resident_lines():
+            key = (resident // 64) % config.sets
+            per_set[key] = per_set.get(key, 0) + 1
+        assert all(count <= config.ways for count in per_set.values())
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 63).map(lambda i: i * 64), min_size=1,
+                max_size=200))
+def test_insert_evicts_exactly_when_set_full(lines):
+    config = CacheConfig(2 * 64 * 2, 2, 4)  # 2 sets, 2 ways
+    cache = CacheArray(config)
+    for line in lines:
+        resident_before = cache.contains(line)
+        bucket_size = sum(
+            1 for resident in cache.resident_lines()
+            if (resident // 64) % config.sets == (line // 64) % config.sets)
+        victim = cache.insert(line)
+        if resident_before or bucket_size < config.ways:
+            assert victim is None
+        else:
+            assert victim is not None and victim != line

@@ -1,0 +1,114 @@
+"""Property-based tests of the whole performance model.
+
+Random traces on a small configuration: every policy must complete every
+trace (no deadlock, §IV-C), retire exactly the trace, never witness a
+store-atomicity violation under a store-atomic policy, and keep all
+derived statistics within their domains.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.policies import POLICY_ORDER
+from repro.cpu.isa import Trace, alu, branch, fence, load, store
+from repro.sim.config import (CacheConfig, CoreConfig, MemoryConfig,
+                              SystemConfig)
+from repro.sim.system import simulate
+
+SMALL = SystemConfig(
+    cores=2,
+    core=CoreConfig(rob_entries=16, lq_entries=6, sq_sb_entries=4, mshrs=2),
+    memory=MemoryConfig(
+        l1=CacheConfig(1024, 2, 4),
+        l2=CacheConfig(4096, 2, 12),
+        l3_bank=CacheConfig(16 * 1024, 4, 35),
+        l3_banks=2,
+        prefetcher=False,
+    ),
+)
+
+# A handful of addresses, some shared between cores, line-colliding.
+ADDRESSES = [0x1000, 0x1008, 0x1040, 0x2000, 0x2008, 0x3000]
+
+
+@st.composite
+def random_trace(draw, max_len=40):
+    n = draw(st.integers(1, max_len))
+    trace = Trace()
+    for i in range(n):
+        kind = draw(st.sampled_from(
+            ["alu", "alu", "load", "load", "store", "branch", "fence"]))
+        deps = ()
+        if i > 0 and draw(st.booleans()):
+            deps = (draw(st.integers(0, i - 1)),)
+        if kind == "alu":
+            trace.append(alu(deps=deps,
+                             latency=draw(st.integers(1, 3))))
+        elif kind == "load":
+            trace.append(load(draw(st.sampled_from(ADDRESSES)), deps=deps,
+                              pc=draw(st.integers(0, 7))))
+        elif kind == "store":
+            trace.append(store(draw(st.sampled_from(ADDRESSES)), deps=deps,
+                               pc=draw(st.integers(8, 15))))
+        elif kind == "branch":
+            trace.append(branch(deps=deps,
+                                mispredict=draw(st.booleans())))
+        else:
+            trace.append(fence())
+    trace.validate()
+    return trace
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_trace(), random_trace(), st.sampled_from(POLICY_ORDER))
+def test_every_policy_completes_every_trace(trace_a, trace_b, policy):
+    """No-deadlock (paper §IV-C) and exact retirement, for all five
+    configurations on shared, contended, fenced random traces."""
+    stats = simulate([trace_a, trace_b], policy, config=SMALL,
+                     detect_violations=True)
+    total = stats.total
+    assert total.retired_instructions == len(trace_a) + len(trace_b)
+    assert stats.execution_cycles > 0
+    # Statistic domains.
+    assert 0 <= total.retired_loads <= total.retired_instructions
+    assert 0 <= total.slf_loads <= total.retired_loads
+    for pct in total.stall_pct.values():
+        assert 0.0 <= pct <= 100.0
+    # NoSpec never forwards.
+    if policy == "370-NoSpec":
+        assert total.slf_loads == 0
+    # Store-atomic policies never witness a violation.
+    if policy != "x86":
+        assert total.store_atomicity_violations == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_trace())
+def test_single_core_determinism(trace):
+    for policy in POLICY_ORDER:
+        a = simulate([trace], policy, config=SMALL).execution_cycles
+        b = simulate([trace], policy, config=SMALL).execution_cycles
+        assert a == b
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_trace(max_len=30))
+def test_nospec_not_meaningfully_faster_on_single_core(trace):
+    """With one core, blanket enforcement can wait for stores but never
+    helps.  (A small tolerance absorbs second-order effects: eviction
+    squashes can hit x86's earlier-performed loads in tiny caches.)"""
+    x86 = simulate([trace], "x86", config=SMALL).execution_cycles
+    nospec = simulate([trace], "370-NoSpec", config=SMALL).execution_cycles
+    assert nospec >= x86 * 0.95
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_trace(max_len=30))
+def test_retired_loads_match_trace(trace):
+    from repro.cpu import isa
+    expected_loads = sum(1 for op in trace.ops if op.kind == isa.LOAD)
+    expected_stores = sum(1 for op in trace.ops if op.kind == isa.STORE)
+    for policy in ("x86", "370-SLFSoS-key"):
+        total = simulate([trace], policy, config=SMALL).total
+        assert total.retired_loads == expected_loads
+        assert total.retired_stores == expected_stores

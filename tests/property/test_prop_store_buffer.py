@@ -1,0 +1,111 @@
+"""Property-based tests of the SQ/SB circular buffer (model-based)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+
+from repro.cpu.store_buffer import StoreBuffer
+
+
+class StoreBufferMachine(RuleBasedStateMachine):
+    """Model-based test: the circular buffer against a plain list."""
+
+    def __init__(self):
+        super().__init__()
+        self.sb = StoreBuffer(8)
+        self.model = []              # list of entries, oldest first
+        self.next_seq = 0
+        self.dead_keys = []          # keys of deallocated stores
+
+    @rule()
+    @precondition(lambda self: not self.sb.full)
+    def allocate(self):
+        entry = self.sb.allocate(self.next_seq)
+        entry.addr = 8 * (self.next_seq % 5)
+        entry.resolved = True
+        self.model.append(entry)
+        self.next_seq += 3
+
+    @rule()
+    @precondition(lambda self: self.model and not self.model[0].retired)
+    def retire_oldest_unretired(self):
+        for entry in self.model:
+            if not entry.retired:
+                entry.retired = True
+                break
+
+    @rule()
+    @precondition(lambda self: self.model and self.model[0].retired)
+    def write_and_pop_head(self):
+        head = self.model[0]
+        head.written = True
+        popped = self.sb.pop_head()
+        assert popped is head
+        self.dead_keys.append(head.key)
+        self.model.pop(0)
+
+    @rule(offset=st.integers(0, 30))
+    def squash(self, offset):
+        target = self.next_seq - offset
+        retired_young = [e for e in self.model
+                         if e.seq >= target and e.retired]
+        if retired_young:
+            return  # squashing retired stores is illegal; skip
+        removed = self.sb.squash_from(target)
+        expected = [e for e in reversed(self.model) if e.seq >= target]
+        assert removed == expected
+        for entry in removed:
+            self.dead_keys.append(entry.key)
+        self.model = [e for e in self.model if e.seq < target]
+
+    @invariant()
+    def contents_match_model(self):
+        assert list(self.sb) == self.model
+        assert len(self.sb) == len(self.model)
+
+    @invariant()
+    def live_keys_unique_and_resolvable(self):
+        keys = [e.key for e in self.model]
+        assert len(keys) == len(set(keys))
+        for entry in self.model:
+            assert self.sb.holds_key(entry.key)
+            assert self.sb.entry_for_key(entry.key) is entry
+
+    @invariant()
+    def freshest_dead_key_per_slot_never_matches(self):
+        """The 1-bit sorting bit (Section IV-B-2) distinguishes adjacent
+        generations of a slot: the most recently deallocated key of each
+        slot can never match the slot's current occupant.  (Keys two or
+        more generations stale may alias — no load can legitimately hold
+        one, since the intervening deallocations imply the load's own
+        squash or retirement.)"""
+        freshest = {}
+        for key in self.dead_keys:
+            freshest[key & 0x7FFFFFFF] = key
+        for key in freshest.values():
+            assert not self.sb.holds_key(key)
+
+    @invariant()
+    def retired_entries_form_a_prefix(self):
+        seen_unretired = False
+        for entry in self.model:
+            if not entry.retired:
+                seen_unretired = True
+            else:
+                assert not seen_unretired, "retired store after unretired"
+
+    @invariant()
+    def forwarding_match_is_youngest_older(self):
+        probe_seq = self.next_seq + 1
+        for addr in {e.addr for e in self.model}:
+            expected = None
+            for entry in self.model:
+                if entry.seq < probe_seq and entry.addr == addr:
+                    expected = entry
+            assert self.sb.forwarding_match(addr, probe_seq) is expected
+
+
+TestStoreBufferMachine = StoreBufferMachine.TestCase
+TestStoreBufferMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)

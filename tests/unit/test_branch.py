@@ -1,0 +1,118 @@
+"""Unit tests for the TAGE branch predictor."""
+
+import random
+
+from repro.cpu.branch import TagePredictor
+
+
+def test_learns_constant_direction():
+    predictor = TagePredictor()
+    for _ in range(50):
+        predictor.update(0x40, True)
+    assert predictor.predict(0x40) is True
+    for _ in range(50):
+        predictor.update(0x44, False)
+    assert predictor.predict(0x44) is False
+
+
+def test_learns_alternating_pattern_through_history():
+    """A strict T/N/T/N pattern is unpredictable by a bimodal counter
+    but learnable from one bit of global history."""
+    predictor = TagePredictor()
+    outcome = True
+    # Warm up.
+    for _ in range(600):
+        predictor.update(0x80, outcome)
+        outcome = not outcome
+    correct = 0
+    for _ in range(200):
+        if predictor.predict(0x80) == outcome:
+            correct += 1
+        predictor.update(0x80, outcome)
+        outcome = not outcome
+    assert correct / 200 > 0.9
+
+
+def test_loop_pattern_with_period():
+    """Taken 7 times, not-taken once (a loop with 8 iterations)."""
+    predictor = TagePredictor()
+    def outcomes():
+        while True:
+            for i in range(8):
+                yield i != 7
+    gen = outcomes()
+    for _ in range(2000):
+        predictor.update(0x100, next(gen))
+    correct = 0
+    total = 400
+    for _ in range(total):
+        actual = next(gen)
+        if predictor.predict(0x100) == actual:
+            correct += 1
+        predictor.update(0x100, actual)
+    assert correct / total > 0.8
+
+
+def test_random_branch_is_hard():
+    predictor = TagePredictor()
+    rng = random.Random(7)
+    correct = 0
+    total = 2000
+    for _ in range(total):
+        actual = rng.random() < 0.5
+        if predictor.predict(0x200) == actual:
+            correct += 1
+        predictor.update(0x200, actual)
+    assert 0.35 < correct / total < 0.65
+
+
+def test_biased_branch_mostly_correct():
+    predictor = TagePredictor()
+    rng = random.Random(11)
+    correct = 0
+    total = 2000
+    for _ in range(total):
+        actual = rng.random() < 0.95
+        if predictor.predict(0x300) == actual:
+            correct += 1
+        predictor.update(0x300, actual)
+    assert correct / total > 0.85
+
+
+def test_independent_pcs_do_not_destroy_each_other():
+    predictor = TagePredictor()
+    for i in range(400):
+        predictor.update(0x1000, True)
+        predictor.update(0x2000, False)
+    assert predictor.predict(0x1000) is True
+    assert predictor.predict(0x2000) is False
+
+
+def test_stats_counters():
+    predictor = TagePredictor()
+    predictor.predict(0x10)
+    predictor.update(0x10, True)
+    assert predictor.predictions >= 1
+    assert 0.0 <= predictor.mispredict_rate <= 1.0
+
+
+def test_pipeline_uses_predictor():
+    """Biased branches barely slow the pipeline; coin-flip branches do."""
+    from repro.cpu.isa import Trace, alu, branch
+    from repro.sim.config import TINY
+    from repro.sim.system import simulate
+    import random as _random
+
+    rng = _random.Random(3)
+
+    def mk(flaky):
+        trace = Trace()
+        for i in range(400):
+            taken = (rng.random() < 0.5) if flaky else (i % 8 != 7)
+            trace.append(branch(taken=taken, pc=0x40))
+            trace.append(alu())
+        return trace
+
+    steady = simulate([mk(False)], "x86", TINY).execution_cycles
+    flaky = simulate([mk(True)], "x86", TINY).execution_cycles
+    assert flaky > steady * 1.5

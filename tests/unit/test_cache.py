@@ -1,0 +1,115 @@
+"""Unit tests for cache arrays and the private hierarchy."""
+
+import pytest
+
+from repro.coherence.cache import CacheArray, PrivateHierarchy
+from repro.sim.config import CacheConfig
+
+
+def _tiny_cache(size=4 * 64, ways=2):
+    return CacheArray(CacheConfig(size, ways, 4))
+
+
+class TestCacheArray:
+    def test_line_alignment(self):
+        cache = _tiny_cache()
+        assert cache.line_of(0x1005) == 0x1000
+        assert cache.line_of(0x1040) == 0x1040
+
+    def test_miss_then_hit(self):
+        cache = _tiny_cache()
+        assert not cache.lookup(0x1000)
+        cache.insert(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        # 2 sets, 2 ways.  Lines 0x0, 0x80, 0x100 map to set 0.
+        cache = _tiny_cache()
+        cache.insert(0x000)
+        cache.insert(0x080)
+        victim = cache.insert(0x100)
+        assert victim == 0x000  # least recently used
+        assert cache.evictions == 1
+
+    def test_lookup_refreshes_lru(self):
+        cache = _tiny_cache()
+        cache.insert(0x000)
+        cache.insert(0x080)
+        cache.lookup(0x000)          # refresh
+        victim = cache.insert(0x100)
+        assert victim == 0x080
+
+    def test_reinsert_refreshes_without_eviction(self):
+        cache = _tiny_cache()
+        cache.insert(0x000)
+        cache.insert(0x080)
+        assert cache.insert(0x000) is None
+        assert cache.insert(0x100) == 0x080
+
+    def test_remove(self):
+        cache = _tiny_cache()
+        cache.insert(0x000)
+        assert cache.remove(0x000)
+        assert not cache.remove(0x000)
+        assert not cache.contains(0x000)
+
+    def test_occupancy_and_resident_lines(self):
+        cache = _tiny_cache()
+        cache.insert(0x000)
+        cache.insert(0x040)
+        assert cache.occupancy() == 2
+        assert sorted(cache.resident_lines()) == [0x000, 0x040]
+
+
+class TestPrivateHierarchy:
+    def _hierarchy(self):
+        return PrivateHierarchy(CacheConfig(2 * 64, 1, 4),
+                                CacheConfig(4 * 64, 2, 12))
+
+    def test_l1_hit_latency(self):
+        h = self._hierarchy()
+        h.fill(0x000)
+        assert h.access_latency(0x000) == 4
+
+    def test_l2_hit_refills_l1(self):
+        h = self._hierarchy()
+        h.fill(0x000)
+        h.l1.remove(0x000)  # simulate an L1-only castout
+        assert h.access_latency(0x000) == 12
+        assert h.access_latency(0x000) == 4  # refilled into L1
+
+    def test_miss_returns_none(self):
+        assert self._hierarchy().access_latency(0x000) is None
+
+    def test_inclusion_on_l2_eviction(self):
+        h = self._hierarchy()
+        # Set 0 of L2 holds 2 ways: 0x000, 0x100 (line 64B, 2 sets).
+        h.fill(0x000)
+        h.fill(0x100)
+        victim = h.fill(0x200)
+        assert victim == 0x000
+        assert not h.l1.contains(0x000)  # inclusion enforced
+        assert not h.contains(0x000)
+
+    def test_invalidate_removes_everywhere(self):
+        h = self._hierarchy()
+        h.fill(0x000)
+        assert h.invalidate(0x000)
+        assert not h.contains(0x000)
+        assert not h.invalidate(0x000)
+
+    def test_l1_evict_listener_fires_on_castout(self):
+        h = self._hierarchy()
+        seen = []
+        h.l1_evict_listener = seen.append
+        # L1: 2 sets, 1 way.  0x000 and 0x080 share L1 set 0.
+        h.fill(0x000)
+        h.fill(0x080)
+        assert seen == [0x000]
+        assert h.contains(0x000)  # still in L2
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            PrivateHierarchy(CacheConfig(128, 1, 4, line_bytes=32),
+                             CacheConfig(256, 2, 12, line_bytes=64))

@@ -1,0 +1,61 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, figure10_chart, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        line_a, line_b = text.splitlines()
+        assert line_b.count("#") == 2 * line_a.count("#")
+
+    def test_baseline_marker(self):
+        text = bar_chart(["slow"], [2.0], width=10, baseline=1.0)
+        assert "|" in text.split("|", 1)[1]  # marker inside the bar area
+
+    def test_values_printed(self):
+        text = bar_chart(["x"], [1.234], unit="x")
+        assert "1.234x" in text
+
+    def test_title(self):
+        assert bar_chart(["x"], [1.0], title="T").startswith("T")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="T") == "T"
+
+    def test_zero_values_safe(self):
+        text = bar_chart(["a"], [0.0])
+        assert "0.000" in text
+
+
+class TestStackedBarChart:
+    def test_stacks_and_legend(self):
+        text = stacked_bar_chart(
+            ["bench"], {"ROB": [50.0], "LQ": [25.0], "SQ": [10.0]},
+            width=20, total=100.0)
+        assert "#=ROB" in text
+        assert "#" * 10 in text      # 50% of 20
+        assert "ROB=50.0" in text
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart(["a", "b"], {"ROB": [1.0]})
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart(["a"], {str(i): [1.0] for i in range(4)})
+
+
+def test_figure10_chart_contains_all_groups():
+    norms = {"barnes": {"NoSpec": 2.0, "key": 1.02},
+             "fft": {"NoSpec": 1.0, "key": 1.0}}
+    text = figure10_chart(norms, ["NoSpec", "key"], title="Fig10")
+    assert text.startswith("Fig10")
+    assert "barnes:NoSpec" in text
+    assert "fft:key" in text

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "n6" in out
+    assert "barnes" in out
+    assert "370-SLFSoS-key" in out
+
+
+def test_litmus_enumeration(capsys):
+    assert main(["litmus", "sb", "-m", "SC", "x86"]) == 0
+    out = capsys.readouterr().out
+    assert "SC: 3 outcomes" in out
+    assert "x86: 4 outcomes" in out
+
+
+def test_litmus_unknown_name():
+    with pytest.raises(SystemExit):
+        main(["litmus", "nope"])
+
+
+def test_explain(capsys):
+    assert main(["explain", "mp", "-m", "x86",
+                 "-w", "r0_rx=1", "r0_ry=0"]) == 0
+    out = capsys.readouterr().out
+    assert "FORBIDDEN" in out
+    assert "-->" in out
+
+
+def test_explain_requires_witness():
+    with pytest.raises(SystemExit):
+        main(["explain", "mp", "-m", "x86"])
+
+
+def test_explain_bad_witness():
+    with pytest.raises(SystemExit):
+        main(["explain", "mp", "-m", "x86", "-w", "rx"])
+
+
+def test_compare(capsys):
+    assert main(["compare", "n6"]) == 0
+    out = capsys.readouterr().out
+    assert "x86-only" in out
+
+
+def test_sample(capsys):
+    assert main(["sample", "sb", "-m", "x86", "-n", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "300 runs" in out
+
+
+def test_bench(capsys):
+    assert main(["bench", "fft", "-c", "2", "-l", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "fft under 370-SLFSoS-key" in out
+    assert "forwarded" in out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "fft", "-c", "2", "-l", "600"]) == 0
+    out = capsys.readouterr().out
+    for policy in ("x86", "370-NoSpec", "370-SLFSoS-key"):
+        assert policy in out
+
+
+def test_rmw_litmus_handles_pc_gracefully(capsys):
+    assert main(["litmus", "sb+rmw-both"]) == 0
+    out = capsys.readouterr().out
+    assert "not defined for the PC machine" in out
+
+
+def test_run_file(tmp_path, capsys):
+    source = """name: filed
+T0:
+  st x,1
+  ld y -> ry
+T1:
+  st y,1
+  ld x -> rx
+exists: r0_ry=0 r1_rx=0
+"""
+    path = tmp_path / "sb.litmus"
+    path.write_text(source)
+    assert main(["run-file", str(path), "-m", "SC", "x86"]) == 0
+    out = capsys.readouterr().out
+    assert "SC: 3 outcomes" in out
+    assert "forbidden" in out   # SC forbids the sb witness
+    assert "ALLOWED" in out     # x86 allows it
+
+
+def test_run_file_missing(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run-file", str(tmp_path / "nope.litmus")])
+
+
+def test_record_and_replay(tmp_path, capsys):
+    path = tmp_path / "w.json"
+    assert main(["record", "fft", str(path), "-c", "2", "-l", "500"]) == 0
+    assert main(["replay", str(path), "-p", "x86"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert "replayed" in out and "fft" in out
+
+
+def test_replay_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["replay", str(tmp_path / "missing.json")])

@@ -1,0 +1,118 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_schedule_and_run_in_order():
+    engine = Engine()
+    order = []
+    engine.schedule(5, order.append, "b")
+    engine.schedule(1, order.append, "a")
+    engine.schedule(9, order.append, "c")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 9
+
+
+def test_same_cycle_events_fire_in_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in range(10):
+        engine.schedule(3, order.append, tag)
+    engine.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_event_runs_at_current_cycle():
+    engine = Engine()
+    seen = []
+
+    def outer():
+        engine.schedule(0, seen.append, engine.now)
+
+    engine.schedule(4, outer)
+    engine.run()
+    assert seen == [4]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(2, lambda: engine.at(10, seen.append, "x"))
+    engine.run()
+    assert seen == ["x"]
+    assert engine.now == 10
+
+
+def test_run_until_predicate_stops_early():
+    engine = Engine()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        engine.schedule(1, tick)
+
+    engine.schedule(0, tick)
+    engine.run(until=lambda: count[0] >= 5)
+    assert count[0] == 5
+
+
+def test_run_max_cycles_bounds_time():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(10, forever)
+
+    engine.schedule(0, forever)
+    engine.run(max_cycles=55)
+    assert engine.now == 55
+    assert engine.pending > 0
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Engine().step() is False
+
+
+def test_events_can_cascade_within_same_cycle():
+    engine = Engine()
+    depth = []
+
+    def nest(n):
+        depth.append(n)
+        if n < 3:
+            engine.schedule(0, nest, n + 1)
+
+    engine.schedule(7, nest, 0)
+    engine.run()
+    assert depth == [0, 1, 2, 3]
+    assert engine.now == 7
+
+
+def test_pending_counts_events():
+    engine = Engine()
+    engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    assert engine.pending == 2
+    engine.step()
+    assert engine.pending == 1
+
+
+def test_determinism_across_identical_runs():
+    def run_once():
+        engine = Engine()
+        log = []
+        engine.schedule(3, log.append, 1)
+        engine.schedule(3, log.append, 2)
+        engine.schedule(1, lambda: engine.schedule(2, log.append, 3))
+        engine.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,97 @@
+"""Unit tests for the retire gate (paper Figure 8)."""
+
+import pytest
+
+from repro.core.gate import RetireGate
+
+
+def test_starts_open():
+    gate = RetireGate()
+    assert not gate.closed
+    assert gate.key is None
+
+
+def test_close_and_reopen_with_matching_key():
+    gate = RetireGate()
+    gate.close(0x2A)
+    assert gate.closed
+    assert gate.key == 0x2A
+    assert gate.open_with_key(0x2A)
+    assert not gate.closed
+    assert gate.key is None
+
+
+def test_wrong_key_does_not_open():
+    """Only the store that forwarded the data unlocks the gate: any other
+    store exiting the SB leaves it closed (Fig. 8 step c)."""
+    gate = RetireGate()
+    gate.close(0x2A)
+    assert not gate.open_with_key(0x2B)
+    assert gate.closed
+
+
+def test_open_with_key_on_open_gate_is_noop():
+    gate = RetireGate()
+    assert not gate.open_with_key(0x2A)
+    assert not gate.closed
+
+
+def test_double_close_forbidden():
+    """Retirement is in order, so a second SLF load cannot retire while
+    the gate is closed — double-closing indicates a pipeline bug."""
+    gate = RetireGate()
+    gate.close(1)
+    with pytest.raises(RuntimeError):
+        gate.close(2)
+
+
+def test_unconditional_open():
+    gate = RetireGate()
+    gate.close(7)
+    assert gate.open_unconditionally()
+    assert not gate.closed
+    assert not gate.open_unconditionally()  # already open
+
+
+def test_counters():
+    gate = RetireGate()
+    gate.close(1)
+    gate.open_with_key(1)
+    gate.close(2)
+    gate.open_unconditionally()
+    assert gate.closes == 2
+    assert gate.opens == 2
+
+
+def test_figure8_narrative():
+    """The three steps of the paper's Figure 8.
+
+    (a) ld x matches st x in the SQ/SB and copies its key;
+    (b) ld x retires and closes the gate with that key — ld y cannot
+        retire;
+    (c) st x exits the store buffer and reopens the gate with the
+        shared key — ld y retires.
+    """
+    from repro.cpu.store_buffer import StoreBuffer
+
+    sb = StoreBuffer(4)
+    st_x = sb.allocate(0)
+    st_x.addr, st_x.resolved = 0x100, True
+
+    # (a) store-to-load forwarding: the load copies the key.
+    match = sb.forwarding_match(0x100, load_seq=1)
+    assert match is st_x
+    load_key = match.key
+
+    # (b) the SLF load retires; its store is still in the buffer.
+    st_x.retired = True
+    gate = RetireGate()
+    assert sb.holds_key(load_key)
+    gate.close(load_key)
+    assert gate.closed  # ld y blocked
+
+    # (c) st x writes to the L1 and exits; its key reopens the gate.
+    st_x.written = True
+    sb.pop_head()
+    assert gate.open_with_key(st_x.key)
+    assert not gate.closed  # ld y free to retire

@@ -1,0 +1,122 @@
+"""Operational memory-model tests: the paper's litmus verdicts."""
+
+import pytest
+
+from repro.litmus.operational import (M370, MODELS, SC, X86, allows,
+                                      enumerate_outcomes, matching_outcomes)
+from repro.litmus.program import Fence, Ld, St, make_program
+from repro.litmus.tests import (ALL_CASES, FIG5, IRIW, MP, N6, PAPER_CASES,
+                                SB, SB_FENCED)
+
+
+class TestPaperVerdicts:
+    """Each litmus case must reproduce the verdicts of Figures 1-5."""
+
+    @pytest.mark.parametrize(
+        "case", ALL_CASES, ids=[c.program.name for c in ALL_CASES])
+    def test_case(self, case):
+        for model, expected in case.expected:
+            observed = allows(case.program, model, **case.witness_dict())
+            assert observed == expected, (
+                f"{case.program.name} under {model}: expected "
+                f"{'allowed' if expected else 'forbidden'}")
+
+
+class TestFig2N6:
+    def test_n6_witness_only_under_x86(self):
+        witness = dict(r0_rx=1, r0_ry=0, mem_x=1, mem_y=2)
+        assert allows(N6, X86, **witness)
+        assert not allows(N6, M370, **witness)
+        assert not allows(N6, SC, **witness)
+
+    def test_x86_outcomes_superset_of_370(self):
+        assert enumerate_outcomes(N6, M370) <= enumerate_outcomes(N6, X86)
+
+
+class TestTableII:
+    """Exhaustive fig5 search: exactly three outcomes under 370, plus
+    the disagreement outcome under x86 (Table II)."""
+
+    def test_370_has_exactly_three_outcomes(self):
+        outcomes = enumerate_outcomes(FIG5, M370)
+        assert len(outcomes) == 3
+        # Every 370 outcome has rx==1 in core0 and ry==1 in core1
+        # (each core must see its own store).
+        for o in outcomes:
+            assert o.reg(0, "rx") == 1
+            assert o.reg(1, "ry") == 1
+
+    def test_cases_2_3_4_of_table_ii(self):
+        outcomes = enumerate_outcomes(FIG5, M370)
+        observed = {(o.reg(0, "rx"), o.reg(0, "ry"),
+                     o.reg(1, "rx"), o.reg(1, "ry")) for o in outcomes}
+        assert observed == {
+            (1, 0, 1, 1),   # case 3: Core1 sees order, Core2 cannot
+            (1, 1, 0, 1),   # case 2: Core2 sees order, Core1 cannot
+            (1, 1, 1, 1),   # case 4: none can see any order
+        }
+
+    def test_case_1_disagreement_is_x86_only(self):
+        extra = (enumerate_outcomes(FIG5, X86)
+                 - enumerate_outcomes(FIG5, M370))
+        assert len(extra) == 1
+        (outcome,) = extra
+        assert (outcome.reg(0, "rx"), outcome.reg(0, "ry")) == (1, 0)
+        assert (outcome.reg(1, "ry"), outcome.reg(1, "rx")) == (1, 0)
+
+
+class TestModelHierarchy:
+    @pytest.mark.parametrize(
+        "case", ALL_CASES, ids=[c.program.name for c in ALL_CASES])
+    def test_sc_subset_370_subset_x86(self, case):
+        program = case.program
+        sc = enumerate_outcomes(program, SC)
+        m370 = enumerate_outcomes(program, M370)
+        x86 = enumerate_outcomes(program, X86)
+        assert sc <= m370 <= x86
+
+
+class TestSingleThreadSemantics:
+    def test_self_read_always_sees_own_store(self):
+        program = make_program("own", [[St("x", 7), Ld("x", "r0")]])
+        for model in MODELS:
+            for outcome in enumerate_outcomes(program, model):
+                assert outcome.reg(0, "r0") == 7
+
+    def test_final_memory_reflects_last_store(self):
+        program = make_program("final", [[St("x", 1), St("x", 2)]])
+        for model in MODELS:
+            for outcome in enumerate_outcomes(program, model):
+                assert outcome.mem("x") == 2
+
+    def test_initial_values_respected(self):
+        program = make_program("init", [[Ld("x", "r0")]], initial={"x": 9})
+        for model in MODELS:
+            outcomes = enumerate_outcomes(program, model)
+            assert len(outcomes) == 1
+            assert next(iter(outcomes)).reg(0, "r0") == 9
+
+
+class TestFences:
+    def test_fence_restores_sb_order(self):
+        witness = dict(r0_ry=0, r1_rx=0)
+        assert allows(SB, X86, **witness)
+        assert not allows(SB_FENCED, X86, **witness)
+
+    def test_fence_in_370_also_blocks(self):
+        assert allows(SB, M370, r0_ry=0, r1_rx=0)
+        assert not allows(SB_FENCED, M370, r0_ry=0, r1_rx=0)
+
+
+class TestApi:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_outcomes(MP, "PSO")
+
+    def test_matching_outcomes_filters(self):
+        hits = matching_outcomes(SB, X86, r0_ry=0, r1_rx=0)
+        assert len(hits) == 1
+
+    def test_bad_condition_key_rejected(self):
+        with pytest.raises(ValueError):
+            allows(SB, X86, bogus=1)

@@ -1,0 +1,49 @@
+"""Tests for the litmus program representation."""
+
+import pytest
+
+from repro.litmus.program import Fence, Ld, Outcome, Program, St, make_program
+
+
+def test_make_program_builds_tuples():
+    program = make_program("t", [[St("x", 1)], [Ld("x", "r0")]],
+                           initial={"x": 5})
+    assert isinstance(program.threads, tuple)
+    assert program.initial == (("x", 5),)
+    assert program.initial_value("x") == 5
+    assert program.initial_value("y") == 0
+
+
+def test_addresses_collected_in_order():
+    program = make_program("t", [[St("b", 1), Ld("a", "r0")],
+                                 [St("c", 2)]])
+    assert program.addresses == ("b", "a", "c")
+
+
+def test_loads_and_stores_iterators():
+    program = make_program("t", [[St("x", 1), Ld("x", "r0"), Fence()]])
+    assert [(tid, idx) for tid, idx, _ in program.loads()] == [(0, 1)]
+    assert [(tid, idx) for tid, idx, _ in program.stores()] == [(0, 0)]
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ValueError):
+        make_program("t", [])
+
+
+def test_register_reuse_rejected():
+    with pytest.raises(ValueError):
+        make_program("t", [[Ld("x", "r0"), Ld("y", "r0")]])
+
+
+def test_outcome_accessors():
+    outcome = Outcome(registers=(((0, "r0"), 7),),
+                      memory=(("x", 1), ("y", 2)))
+    assert outcome.reg(0, "r0") == 7
+    assert outcome.mem("y") == 2
+    with pytest.raises(KeyError):
+        outcome.reg(1, "r0")
+    with pytest.raises(KeyError):
+        outcome.mem("z")
+    assert "r0=7" in str(outcome)
+    assert "[x]=1" in str(outcome)

@@ -1,0 +1,247 @@
+"""Unit tests for the write-atomic MESI directory protocol."""
+
+import pytest
+
+from repro.coherence.mesi import E, M, S, CoherentMemorySystem
+from repro.sim.config import TINY, CacheConfig, MemoryConfig, SystemConfig
+from repro.sim.engine import Engine
+
+
+def _system(cores=3):
+    config = SystemConfig(
+        cores=cores,
+        memory=MemoryConfig(
+            l1=CacheConfig(4 * 1024, 2, 4),
+            l2=CacheConfig(16 * 1024, 4, 12),
+            l3_bank=CacheConfig(64 * 1024, 8, 35),
+            l3_banks=2,
+            prefetcher=False,
+        ))
+    engine = Engine()
+    return engine, CoherentMemorySystem(engine, config)
+
+
+def _complete(engine, flag):
+    def cb():
+        flag.append(engine.now)
+    return cb
+
+
+class TestLoads:
+    def test_first_load_granted_exclusive(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        done = []
+        assert ctrl.load(0x1000, _complete(engine, done)) is False
+        engine.run()
+        assert done, "load never completed"
+        assert ctrl.peek_state(0x1000) == E
+
+    def test_second_load_same_core_hits(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        done = []
+        ctrl.load(0x1000, _complete(engine, done))
+        engine.run()
+        start = engine.now
+        assert ctrl.load(0x1008, _complete(engine, done)) is True
+        engine.run()
+        assert len(done) == 2
+        # The hit completes after the L1 latency.
+        assert done[1] - start == mem.config.l1.hit_latency
+
+    def test_two_readers_share(self):
+        engine, mem = _system()
+        done = []
+        mem.controller(0).load(0x1000, _complete(engine, done))
+        engine.run()
+        mem.controller(1).load(0x1000, _complete(engine, done))
+        engine.run()
+        assert len(done) == 2
+        assert mem.controller(0).peek_state(0x1000) == S
+        assert mem.controller(1).peek_state(0x1000) == S
+
+    def test_miss_slower_than_hit(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        miss_done, hit_done = [], []
+        start = engine.now
+        ctrl.load(0x1000, _complete(engine, miss_done))
+        engine.run()
+        miss_latency = miss_done[0] - start
+        start = engine.now
+        ctrl.load(0x1000, _complete(engine, hit_done))
+        engine.run()
+        hit_latency = hit_done[0] - start
+        assert miss_latency > hit_latency
+        # Miss pays at least network + directory + network.
+        assert miss_latency >= 2 * 7 + 35
+
+
+class TestStores:
+    def test_store_miss_gets_m(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        done = []
+        ctrl.store(0x2000, _complete(engine, done))
+        engine.run()
+        assert done
+        assert ctrl.peek_state(0x2000) == M
+
+    def test_store_hit_on_exclusive_is_silent_upgrade(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        done = []
+        ctrl.load(0x2000, _complete(engine, done))
+        engine.run()
+        assert ctrl.peek_state(0x2000) == E
+        messages_before = mem.network.stats.total
+        assert ctrl.store(0x2000, _complete(engine, done)) is True
+        engine.run()
+        assert mem.network.stats.total == messages_before
+        assert ctrl.peek_state(0x2000) == M
+
+    def test_write_atomicity_store_waits_for_all_inv_acks(self):
+        """The paper's §II-E assumption: a write is acknowledged only
+        after *all* invalidations have been performed."""
+        engine, mem = _system(cores=3)
+        done = []
+        # Cores 1 and 2 share the line.
+        mem.controller(1).load(0x3000, _complete(engine, done))
+        engine.run()
+        mem.controller(2).load(0x3000, _complete(engine, done))
+        engine.run()
+        invs_before = mem.stats_invalidations
+        store_done = []
+        mem.controller(0).store(0x3000, _complete(engine, store_done))
+        engine.run()
+        assert store_done
+        assert mem.stats_invalidations - invs_before == 2
+        assert mem.controller(1).peek_state(0x3000) is None
+        assert mem.controller(2).peek_state(0x3000) is None
+        assert mem.controller(0).peek_state(0x3000) == M
+
+    def test_upgrade_from_shared(self):
+        engine, mem = _system()
+        done = []
+        mem.controller(0).load(0x3000, _complete(engine, done))
+        engine.run()
+        mem.controller(1).load(0x3000, _complete(engine, done))
+        engine.run()
+        # Core 0 upgrades: exactly one invalidation (to core 1).
+        invs_before = mem.stats_invalidations
+        mem.controller(0).store(0x3000, _complete(engine, done))
+        engine.run()
+        assert mem.stats_invalidations - invs_before == 1
+        assert mem.controller(0).peek_state(0x3000) == M
+
+
+class TestInvalidationDelivery:
+    def test_removal_listener_called_on_inval(self):
+        engine, mem = _system()
+        removed = []
+        done = []
+        mem.controller(1).load(0x4000, _complete(engine, done))
+        engine.run()
+        mem.controller(1).removal_listener = \
+            lambda line, kind: removed.append((line, kind))
+        mem.controller(0).store(0x4000, _complete(engine, done))
+        engine.run()
+        assert removed == [(0x4000, "inval")]
+
+    def test_owner_forward_on_remote_load(self):
+        engine, mem = _system()
+        done = []
+        mem.controller(0).store(0x5000, _complete(engine, done))
+        engine.run()
+        assert mem.controller(0).peek_state(0x5000) == M
+        mem.controller(1).load(0x5000, _complete(engine, done))
+        engine.run()
+        assert len(done) == 2
+        # Previous owner downgraded, both now share.
+        assert mem.controller(0).peek_state(0x5000) == S
+        assert mem.controller(1).peek_state(0x5000) == S
+
+
+class TestEvictions:
+    def test_capacity_eviction_notifies_core(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        removed = []
+        ctrl.removal_listener = lambda line, kind: removed.append(
+            (line, kind))
+        done = []
+        # L2 is 16KB/4-way/64 sets: lines 0, 16KB/4.., conflict in set 0.
+        set_stride = 64 * (16 * 1024 // (4 * 64))  # bytes between same-set lines
+        for i in range(5):
+            ctrl.load(i * set_stride, _complete(engine, done))
+            engine.run()
+        evicts = [r for r in removed if r[1] == "evict"]
+        assert evicts, "conflict misses should evict"
+        assert evicts[0][0] == 0  # the first-touched line went first
+
+    def test_dirty_eviction_writes_back(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        done = []
+        set_stride = 64 * (16 * 1024 // (4 * 64))
+        ctrl.store(0, _complete(engine, done))
+        engine.run()
+        for i in range(1, 5):
+            ctrl.load(i * set_stride, _complete(engine, done))
+            engine.run()
+        assert ctrl.peek_state(0) is None
+        # The directory no longer thinks core 0 owns line 0: a fresh
+        # load by core 1 is granted without forwarding to core 0.
+        mem.controller(1).load(0, _complete(engine, done))
+        engine.run()
+        assert mem.controller(1).peek_state(0) in (E, S)
+
+
+class TestMSHRs:
+    def test_mshr_limit_queues_excess_misses(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        ctrl.mshrs = 2
+        done = []
+        for i in range(4):
+            ctrl.load(0x10000 + i * 64, _complete(engine, done))
+        assert len(ctrl.txns) == 2
+        assert len(ctrl.txn_queue) == 2
+        engine.run()
+        assert len(done) == 4
+
+    def test_coalesced_loads_share_one_txn(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        done = []
+        ctrl.load(0x10000, _complete(engine, done))
+        ctrl.load(0x10008, _complete(engine, done))  # same line
+        assert len(ctrl.txns) == 1
+        engine.run()
+        assert len(done) == 2
+
+
+class TestPrefetch:
+    def test_prefetch_exclusive_installs_m(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        assert ctrl.prefetch_exclusive(0x6000) is True
+        engine.run()
+        assert ctrl.peek_state(0x6000) == M
+
+    def test_prefetch_dropped_when_mshrs_full(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        ctrl.mshrs = 1
+        ctrl.load(0x7000, lambda: None)
+        assert ctrl.prefetch_exclusive(0x8000) is False
+
+    def test_prefetch_noop_when_owned(self):
+        engine, mem = _system()
+        ctrl = mem.controller(0)
+        ctrl.store(0x9000, lambda: None)
+        engine.run()
+        before = mem.network.stats.total
+        assert ctrl.prefetch_exclusive(0x9000) is True
+        assert mem.network.stats.total == before

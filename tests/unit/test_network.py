@@ -1,0 +1,52 @@
+"""Unit tests for the interconnect model."""
+
+import pytest
+
+from repro.noc.network import CONTROL, DATA, Network
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Engine
+
+
+def _network():
+    engine = Engine()
+    return engine, Network(engine, NetworkConfig())
+
+
+def test_control_latency_table_iii():
+    engine, net = _network()
+    arrivals = []
+    net.send_control(lambda: arrivals.append(engine.now))
+    engine.run()
+    assert arrivals == [7]  # 6-cycle hop + 1 flit
+
+
+def test_data_latency_table_iii():
+    engine, net = _network()
+    arrivals = []
+    net.send_data(lambda: arrivals.append(engine.now))
+    engine.run()
+    assert arrivals == [11]  # 6-cycle hop + 5 flits
+
+
+def test_traffic_accounting():
+    engine, net = _network()
+    net.send_control(lambda: None)
+    net.send_control(lambda: None)
+    net.send_data(lambda: None)
+    assert net.stats.messages[CONTROL] == 2
+    assert net.stats.messages[DATA] == 1
+    assert net.stats.total == 3
+
+
+def test_arguments_passed_through():
+    engine, net = _network()
+    seen = []
+    net.send(DATA, lambda a, b: seen.append((a, b)), 1, 2)
+    engine.run()
+    assert seen == [(1, 2)]
+
+
+def test_unknown_class_rejected():
+    _, net = _network()
+    with pytest.raises(ValueError):
+        net.latency("quantum")

@@ -1,0 +1,153 @@
+"""Directed tests of the functional value layer and fence semantics."""
+
+from repro.core.policies import POLICY_ORDER
+from repro.cpu.isa import Trace, alu, fence, load, store
+from repro.sim.config import (CacheConfig, CoreConfig, MemoryConfig,
+                              SystemConfig)
+from repro.sim.system import System
+
+SMALL = SystemConfig(
+    cores=2,
+    core=CoreConfig(rob_entries=32, lq_entries=12, sq_sb_entries=8,
+                    mshrs=4),
+    memory=MemoryConfig(
+        l1=CacheConfig(4 * 1024, 2, 4),
+        l2=CacheConfig(16 * 1024, 4, 12),
+        l3_bank=CacheConfig(64 * 1024, 8, 35),
+        l3_banks=2,
+        prefetcher=False,
+    ),
+)
+
+
+def run(traces, policy, initial=None):
+    system = System(traces, policy, SMALL, warm_caches=False,
+                    initial_memory=initial)
+    system.run()
+    return system
+
+
+class TestForwardingValues:
+    def test_load_gets_forwarded_value(self):
+        t = Trace()
+        t.append(store(0x100, pc=0x30, value=42))
+        t.append(load(0x100, pc=0x40))
+        t.memdep_hints = [(0x40, 0x30)]
+        system = run([t], "x86")
+        assert system.cores[0].retired_load_values[1] == 42
+
+    def test_youngest_matching_store_wins(self):
+        t = Trace()
+        t.append(store(0x100, pc=0x30, value=1))
+        t.append(store(0x100, pc=0x31, value=2))
+        t.append(load(0x100, pc=0x40))
+        t.memdep_hints = [(0x40, 0x30), (0x40, 0x31)]
+        system = run([t], "x86")
+        assert system.cores[0].retired_load_values[2] == 2
+
+    def test_initial_memory_visible(self):
+        t = Trace.from_ops([load(0x200)])
+        system = run([t], "x86", initial={0x200: 99})
+        assert system.cores[0].retired_load_values[0] == 99
+
+    def test_nospec_reads_written_value(self):
+        t = Trace()
+        t.append(store(0x100, pc=0x30, value=7))
+        t.append(load(0x100, pc=0x40))
+        t.memdep_hints = [(0x40, 0x30)]
+        system = run([t], "370-NoSpec")
+        assert system.cores[0].retired_load_values[1] == 7
+        assert system.cores[0].stats.slf_loads == 0
+
+    def test_store_updates_global_memory_at_write(self):
+        t = Trace.from_ops([store(0x300, value=5)])
+        system = run([t], "x86")
+        assert system.memory_data[0x300] == 5
+
+
+class TestFenceIssueBarrier:
+    def test_load_waits_for_fence(self):
+        """A load after mfence must observe every pre-fence store of its
+        own thread from memory, even across the fence."""
+        for policy in POLICY_ORDER:
+            t = Trace()
+            t.append(store(0x100, pc=0x30, value=11))
+            t.append(fence())
+            t.append(load(0x100, pc=0x40))
+            system = run([t], policy)
+            assert system.cores[0].retired_load_values[2] == 11, policy
+
+    def test_fence_prevents_early_value_binding(self):
+        """Without the fence the second load may bind y before the
+        cross-core store; with fences on both sides, sb's relaxed
+        outcome must be gone for every timing (here: one timing)."""
+        t0 = Trace()
+        t0.append(store(0x100, pc=0x30, value=1))
+        t0.append(fence())
+        t0.append(load(0x200, pc=0x40))
+        t1 = Trace()
+        t1.append(store(0x200, pc=0x31, value=1))
+        t1.append(fence())
+        t1.append(load(0x100, pc=0x41))
+        system = run([t0, t1], "x86")
+        r0 = system.cores[0].retired_load_values[2]
+        r1 = system.cores[1].retired_load_values[2]
+        assert not (r0 == 0 and r1 == 0)
+
+    def test_fence_does_not_block_older_loads(self):
+        t = Trace()
+        t.append(load(0x100, pc=0x40))
+        t.append(fence())
+        t.append(alu())
+        system = run([t], "x86", initial={0x100: 3})
+        assert system.cores[0].retired_load_values[0] == 3
+
+
+class TestCrossCoreValues:
+    def test_reader_sees_writer_eventually(self):
+        writer = Trace.from_ops([store(0x400, value=123)])
+        # The reader spins long enough for the store to land.
+        reader = Trace()
+        for i in range(60):
+            reader.append(alu(latency=3,
+                              deps=(i - 1,) if i > 0 else ()))
+        reader.append(load(0x400, deps=(59,)))
+        system = run([reader, writer], "370-SLFSoS-key")
+        assert system.cores[0].retired_load_values[60] == 123
+
+
+class TestRmwOnPipeline:
+    def test_xchg_returns_old_and_writes_new(self):
+        from repro.cpu.isa import rmw
+        t = Trace()
+        t.append(store(0x100, pc=0x30, value=5))
+        t.append(rmw(0x100, value=9))
+        t.append(load(0x100, pc=0x40))
+        t.memdep_hints = [(0x40, 0x30)]
+        system = run([t], "x86")
+        core = system.cores[0]
+        assert core.retired_load_values[1] == 5
+        assert core.retired_load_values[2] == 9
+        assert system.memory_data[0x100] == 9
+
+    def test_two_xchg_never_both_read_initial(self):
+        from repro.cpu.isa import rmw
+        for policy in POLICY_ORDER:
+            t0 = Trace.from_ops([rmw(0x200, value=1)])
+            t1 = Trace.from_ops([rmw(0x200, value=2)])
+            system = run([t0, t1], policy)
+            old0 = system.cores[0].retired_load_values[0]
+            old1 = system.cores[1].retired_load_values[0]
+            assert not (old0 == 0 and old1 == 0), policy
+            assert {old0, old1} <= {0, 1, 2}
+
+    def test_rmw_waits_for_sb_drain(self):
+        """The locked op must not execute before older stores are
+        globally visible: the RMW's observed value reflects the older
+        store to the same address."""
+        from repro.cpu.isa import rmw
+        t = Trace()
+        t.append(store(0x300, pc=0x30, value=77))
+        t.append(rmw(0x300, value=88))
+        system = run([t], "370-SLFSoS-key")
+        assert system.cores[0].retired_load_values[1] == 77

@@ -1,0 +1,87 @@
+"""Unit tests for the pipeline tracer."""
+
+from repro.cpu.isa import Trace, alu, load, store
+from repro.sim.config import TINY
+from repro.sim.pipetrace import PipeTracer
+from repro.sim.system import System
+
+
+def _run(ops, policy="x86", cores=1, hints=((0x40, 0x30),)):
+    traces = []
+    for _ in range(cores):
+        trace = Trace.from_ops(ops)
+        trace.memdep_hints = list(hints)
+        traces.append(trace)
+    system = System(traces, policy, TINY, warm_caches=False,
+                    trace_pipeline=True)
+    system.run()
+    return system
+
+
+class TestHookIntegration:
+    def test_every_instruction_recorded_and_retired(self):
+        system = _run([alu(), store(0x100, pc=0x30, value=1),
+                       load(0x100, pc=0x40), alu()])
+        tracer = system.cores[0].tracer
+        assert len(tracer.retired_records()) == 4
+        assert tracer.squashed_records() == []
+
+    def test_lifecycle_ordering(self):
+        system = _run([store(0x100, pc=0x30, value=1),
+                       load(0x100, pc=0x40)])
+        for record in system.cores[0].tracer.retired_records():
+            assert record.dispatched is not None
+            assert record.dispatched <= record.issued
+            assert record.issued <= record.completed
+            assert record.completed <= record.retired
+
+    def test_slf_annotated(self):
+        system = _run([store(0x100, pc=0x30, value=1),
+                       load(0x100, pc=0x40)])
+        tracer = system.cores[0].tracer
+        ld = tracer.record_for(1)
+        assert ld.kind == "load"
+        assert ld.slf is True
+
+    def test_squash_creates_new_incarnation(self):
+        # An unhinted store->load collision with slow address generation
+        # squashes the load once.
+        slow = alu(latency=3)
+        ops = [slow, store(0x200, deps=(0,), pc=0x30, value=5),
+               load(0x200, pc=0x40)]
+        system = _run(ops, hints=())  # cold predictor: collision squashes
+        tracer = system.cores[0].tracer
+        squashed = tracer.squashed_records()
+        assert squashed, "expected a memdep squash"
+        assert squashed[0].squash_reason == "memdep"
+        final = tracer.record_for(2, incarnation=-1)
+        assert final.retired is not None
+        assert final.incarnation >= 1
+
+
+class TestRendering:
+    def test_render_contains_rows(self):
+        system = _run([store(0x100, pc=0x30, value=1),
+                       load(0x100, pc=0x40), alu()])
+        text = system.cores[0].tracer.render()
+        assert "seq" in text
+        assert "store" in text and "load" in text
+        assert "SLF" in text
+
+    def test_summary(self):
+        system = _run([alu() for _ in range(10)])
+        summary = system.cores[0].tracer.summary()
+        assert summary["retired"] == 10
+        assert summary["avg_latency"] > 0
+
+    def test_limit_respected(self):
+        tracer = PipeTracer(limit=2)
+        for seq in range(5):
+            tracer.on_dispatch(seq, 0, seq)
+        assert len(tracer.records) == 2
+
+
+def test_tracer_off_by_default():
+    traces = [Trace.from_ops([alu()])]
+    system = System(traces, "x86", TINY, warm_caches=False)
+    assert system.cores[0].tracer is None

@@ -1,0 +1,214 @@
+"""Unit tests for the five consistency policies (against a stub core)."""
+
+import pytest
+
+from repro.core.policies import (POLICIES, POLICY_ORDER, NoSpecPolicy,
+                                 SLFSoSKeyPolicy, SLFSoSPolicy, SLFSpecPolicy,
+                                 X86Policy, make_policy)
+from repro.core.reasons import GATE, SLF_SB
+from repro.cpu.load_queue import PERFORMED, LoadQueue
+from repro.cpu.store_buffer import StoreBuffer
+from repro.sim.stats import CoreStats
+
+
+class StubCore:
+    """Just enough core for the policy hooks."""
+
+    def __init__(self):
+        self.sb = StoreBuffer(8)
+        self.lq = LoadQueue(8)
+        self.stats = CoreStats()
+
+
+def _forwarding_pair(core, store_seq=0, load_seq=2, addr=0x100):
+    store = core.sb.allocate(store_seq)
+    store.addr, store.resolved = addr, True
+    load = core.lq.allocate(load_seq)
+    load.addr = addr
+    load.state = PERFORMED
+    return store, load
+
+
+class TestRegistry:
+    def test_all_five_present_in_paper_order(self):
+        assert POLICY_ORDER == ["x86", "370-NoSpec", "370-SLFSpec",
+                                "370-SLFSoS", "370-SLFSoS-key"]
+        assert set(POLICIES) == set(POLICY_ORDER)
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("x86"), X86Policy)
+        assert isinstance(make_policy("370-NoSpec"), NoSpecPolicy)
+        assert isinstance(make_policy("370-SLFSpec"), SLFSpecPolicy)
+        assert isinstance(make_policy("370-SLFSoS"), SLFSoSPolicy)
+        assert isinstance(make_policy("370-SLFSoS-key"), SLFSoSKeyPolicy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("SC++")
+
+    def test_store_atomicity_flags(self):
+        assert not make_policy("x86").store_atomic
+        for name in POLICY_ORDER[1:]:
+            assert make_policy(name).store_atomic
+
+    def test_forwarding_flags(self):
+        assert not make_policy("370-NoSpec").allows_forwarding
+        for name in ("x86", "370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"):
+            assert make_policy(name).allows_forwarding
+
+
+class TestOnForward:
+    def test_records_slf_state_and_key(self):
+        core = StubCore()
+        policy = make_policy("x86")
+        policy.attach(core)
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        assert load.slf
+        assert load.key == store.key
+        assert load.store_seq == store.seq
+
+
+class TestX86:
+    def test_never_blocks_retirement(self):
+        core = StubCore()
+        policy = make_policy("x86")
+        policy.attach(core)
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        assert policy.load_retire_block(load) is None
+
+    def test_no_extra_speculation(self):
+        policy = make_policy("x86")
+        policy.attach(StubCore())
+        assert policy.speculative_floor() == (None, False)
+
+
+class TestSLFSpec:
+    def test_slf_load_blocked_while_older_store_unwritten(self):
+        core = StubCore()
+        policy = make_policy("370-SLFSpec")
+        policy.attach(core)
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        assert policy.load_retire_block(load) == SLF_SB
+
+    def test_unblocked_once_sb_drains(self):
+        core = StubCore()
+        policy = make_policy("370-SLFSpec")
+        policy.attach(core)
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        store.retired = True
+        store.written = True
+        core.sb.pop_head()
+        assert policy.load_retire_block(load) is None
+
+    def test_non_slf_load_never_blocked(self):
+        core = StubCore()
+        policy = make_policy("370-SLFSpec")
+        policy.attach(core)
+        store, load = _forwarding_pair(core)
+        # No forwarding happened: plain load.
+        assert policy.load_retire_block(load) is None
+
+    def test_speculative_floor_inclusive_of_slf_load(self):
+        core = StubCore()
+        policy = make_policy("370-SLFSpec")
+        policy.attach(core)
+        store, load = _forwarding_pair(core, load_seq=2)
+        policy.on_forward(load, store)
+        floor, inclusive = policy.speculative_floor()
+        assert floor == 2 and inclusive is True
+
+
+class TestSoSVariants:
+    @pytest.fixture(params=["370-SLFSoS", "370-SLFSoS-key"])
+    def setup(self, request):
+        core = StubCore()
+        policy = make_policy(request.param)
+        policy.attach(core)
+        return core, policy
+
+    def test_slf_load_retires_and_closes_gate(self, setup):
+        core, policy = setup
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        store.retired = True
+        assert policy.load_retire_block(load) is None  # SLF load is free
+        policy.on_load_retire(load)
+        assert policy.gate.closed
+        assert core.stats.gate_closes == 1
+
+    def test_gate_not_closed_if_store_already_written(self, setup):
+        core, policy = setup
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        store.retired = True
+        store.written = True
+        core.sb.pop_head()
+        policy.on_load_retire(load)
+        assert not policy.gate.closed
+
+    def test_younger_loads_blocked_while_gate_closed(self, setup):
+        core, policy = setup
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        store.retired = True
+        policy.on_load_retire(load)
+        younger = core.lq.allocate(5)
+        younger.state = PERFORMED
+        assert policy.load_retire_block(younger) == GATE
+
+    def test_speculative_floor_excludes_slf_load(self, setup):
+        core, policy = setup
+        store, load = _forwarding_pair(core, load_seq=2)
+        policy.on_forward(load, store)
+        floor, inclusive = policy.speculative_floor()
+        assert floor == 2 and inclusive is False
+
+    def test_squash_clears_stale_forwardings(self, setup):
+        core, policy = setup
+        store, load = _forwarding_pair(core, load_seq=2)
+        policy.on_forward(load, store)
+        policy.on_squash(2)
+        assert policy.speculative_floor() == (None, False)
+
+
+class TestGateReopening:
+    def test_key_variant_reopens_on_forwarding_store_write(self):
+        core = StubCore()
+        policy = make_policy("370-SLFSoS-key")
+        policy.attach(core)
+        store, load = _forwarding_pair(core)
+        other = core.sb.allocate(5)
+        other.addr, other.resolved, other.retired = 0x200, True, True
+        policy.on_forward(load, store)
+        store.retired = True
+        policy.on_load_retire(load)
+        assert policy.gate.closed
+        # Another store writing does NOT open the gate (key mismatch)...
+        policy.on_store_written(other)
+        assert policy.gate.closed
+        # ...the forwarding store does.
+        policy.on_store_written(store)
+        assert not policy.gate.closed
+        assert policy.speculative_floor() == (None, False)
+
+    def test_drain_variant_reopens_only_on_sb_drain(self):
+        core = StubCore()
+        policy = make_policy("370-SLFSoS")
+        policy.attach(core)
+        store, load = _forwarding_pair(core)
+        policy.on_forward(load, store)
+        store.retired = True
+        policy.on_load_retire(load)
+        assert policy.gate.closed
+        # Writing the forwarding store is NOT enough for the keyless
+        # variant...
+        policy.on_store_written(store)
+        assert policy.gate.closed
+        # ...the SB must drain.
+        policy.on_sb_drained()
+        assert not policy.gate.closed
+        assert policy.speculative_floor() == (None, False)

@@ -1,0 +1,68 @@
+"""Unit tests for the stride prefetcher."""
+
+from repro.memory.prefetch import StridePrefetcher
+
+
+def _prefetcher(degree=2):
+    issued = []
+    pf = StridePrefetcher(issued.append, degree=degree)
+    return pf, issued
+
+
+def test_no_prefetch_before_confidence():
+    pf, issued = _prefetcher()
+    pf.observe(0x40, 1000)
+    pf.observe(0x40, 1064)
+    assert issued == []  # stride seen once: confidence 1 < 2
+
+
+def test_prefetch_after_repeated_stride():
+    pf, issued = _prefetcher(degree=2)
+    for i in range(4):
+        pf.observe(0x40, 1000 + 64 * i)
+    assert 1000 + 64 * 3 + 64 in issued
+    assert 1000 + 64 * 3 + 128 in issued
+
+
+def test_stride_change_resets_confidence():
+    pf, issued = _prefetcher()
+    for i in range(4):
+        pf.observe(0x40, 1000 + 64 * i)
+    issued.clear()
+    pf.observe(0x40, 50_000)   # wild jump
+    pf.observe(0x40, 50_008)   # new stride, confidence low again
+    assert issued == []
+
+
+def test_zero_stride_never_prefetches():
+    pf, issued = _prefetcher()
+    for _ in range(10):
+        pf.observe(0x40, 1000)
+    assert issued == []
+
+
+def test_separate_pcs_tracked_independently():
+    pf, issued = _prefetcher(degree=1)
+    for i in range(4):
+        pf.observe(0x40, 1000 + 64 * i)
+        pf.observe(0x41, 9000 + 8 * i)
+    assert 1000 + 64 * 3 + 64 in issued
+    assert 9000 + 8 * 3 + 8 in issued
+
+
+def test_table_capacity_evicts_lru_pc():
+    pf, issued = _prefetcher()
+    pf.table_size = 2
+    pf._table.clear()
+    pf.observe(1, 100)
+    pf.observe(2, 200)
+    pf.observe(3, 300)   # evicts pc 1
+    assert 1 not in pf._table
+    assert 2 in pf._table and 3 in pf._table
+
+
+def test_negative_stride_supported():
+    pf, issued = _prefetcher(degree=1)
+    for i in range(4):
+        pf.observe(0x40, 10_000 - 64 * i)
+    assert 10_000 - 64 * 3 - 64 in issued

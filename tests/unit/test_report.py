@@ -1,0 +1,70 @@
+"""Unit tests for the analysis/report formatting."""
+
+import pytest
+
+from repro.analysis.report import (CHARACTERIZATION_HEADERS,
+                                   characterization_row, figure10_table,
+                                   format_table, summarize_suite)
+from repro.sim.stats import CoreStats, SystemStats
+from repro.workloads.runner import BenchmarkResult
+from repro.workloads.tableiv import PARALLEL_ROWS
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["bbbb", 22]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # Right alignment of the numeric column.
+    assert lines[3].endswith(" 1")
+    assert lines[4].endswith("22")
+
+
+def test_format_table_floats_rounded():
+    text = format_table(["x", "y"], [["r", 1.23456]])
+    assert "1.235" in text
+
+
+def test_characterization_row_with_paper():
+    stats = CoreStats(retired_instructions=1000, retired_loads=300,
+                      slf_loads=50, gate_stall_events=10,
+                      gate_stall_cycles=120, reexecuted_instructions=4)
+    row = characterization_row("barnes", stats, PARALLEL_ROWS["barnes"])
+    assert len(row) == len(CHARACTERIZATION_HEADERS)
+    assert row[0] == "barnes"
+    assert row[2] == 30.0          # loads %
+    assert row[3] == 5.0           # forwarded %
+    assert row[7] == 31.78         # paper loads %
+
+
+def _result(name, policy, cycles):
+    stats = SystemStats()
+    stats.execution_cycles = cycles
+    return BenchmarkResult(name, "parallel", policy, stats)
+
+
+def _sweep(name, cycles_by_policy):
+    return {policy: _result(name, policy, cycles)
+            for policy, cycles in cycles_by_policy.items()}
+
+
+BASE = {"x86": 1000, "370-NoSpec": 1300, "370-SLFSpec": 1070,
+        "370-SLFSoS": 1050, "370-SLFSoS-key": 1025}
+
+
+def test_figure10_table_contains_geomeans():
+    results = {"benchA": _sweep("benchA", BASE)}
+    text = figure10_table(results, "parallel")
+    assert "geomean" in text
+    assert "paper-geomean" in text
+    assert "1.300" in text and "1.025" in text
+
+
+def test_summarize_suite_geomean():
+    results = {"a": _sweep("a", BASE),
+               "b": _sweep("b", {k: v * 2 for k, v in BASE.items()})}
+    summary = summarize_suite(results, "parallel")
+    assert summary["370-NoSpec"] == pytest.approx(1.3)
+    assert summary["370-SLFSoS-key"] == pytest.approx(1.025)

@@ -1,0 +1,65 @@
+"""Unit tests for the benchmark runner."""
+
+import pytest
+
+from repro.workloads.runner import (geomean, normalized_times,
+                                    run_benchmark, run_policy_sweep,
+                                    suite_names)
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([1.0]) == 1.0
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_suite_names():
+    assert "barnes" in suite_names("parallel")
+    assert "505.mcf" in suite_names("sequential")
+    assert len(suite_names("parallel")) == 25
+    assert len(suite_names("sequential")) == 36
+    with pytest.raises(ValueError):
+        suite_names("mobile")
+
+
+def test_run_benchmark_returns_result():
+    result = run_benchmark("fft", cores=2, length=600)
+    assert result.name == "fft"
+    assert result.suite == "parallel"
+    assert result.policy == "370-SLFSoS-key"
+    assert result.cycles > 0
+    assert result.stats.total.retired_instructions >= 1200
+
+
+def test_sequential_benchmark_uses_one_core():
+    result = run_benchmark("557.xz_2", cores=4, length=600)
+    assert len(result.stats.per_core) == 1
+
+
+def test_run_policy_sweep_and_normalization():
+    results = run_policy_sweep("water_spatial", cores=2, length=800,
+                               policies=("x86", "370-NoSpec"))
+    assert set(results) == {"x86", "370-NoSpec"}
+    norm = normalized_times(results)
+    assert norm["x86"] == 1.0
+    assert norm["370-NoSpec"] >= 1.0
+
+
+def test_sweep_is_reproducible():
+    a = run_policy_sweep("fft", cores=2, length=500,
+                         policies=("x86",))["x86"].cycles
+    b = run_policy_sweep("fft", cores=2, length=500,
+                         policies=("x86",))["x86"].cycles
+    assert a == b
+
+
+def test_compare_policies_helper():
+    from repro.sim.system import compare_policies
+    from repro.workloads import generate_workload, get_profile
+    traces = generate_workload(get_profile("fft"), cores=1,
+                               length_per_core=300)
+    results = compare_policies(traces, policies=("x86", "370-SLFSoS-key"))
+    assert set(results) == {"x86", "370-SLFSoS-key"}
+    for stats in results.values():
+        assert stats.total.retired_instructions == 300

@@ -1,0 +1,53 @@
+"""Unit tests for the statistics counters and derived metrics."""
+
+from repro.sim.stats import CoreStats, SystemStats
+
+
+def test_derived_percentages():
+    stats = CoreStats(retired_instructions=1000, retired_loads=240,
+                      slf_loads=37, gate_stall_events=11,
+                      gate_stall_cycles=220, reexecuted_instructions=5)
+    assert stats.loads_pct == 24.0
+    assert stats.forwarded_pct == 3.7
+    assert stats.gate_stalls_pct == 1.1
+    assert stats.avg_gate_stall_cycles == 20.0
+    assert stats.reexecuted_pct == 0.5
+
+
+def test_zero_denominators_are_safe():
+    stats = CoreStats()
+    assert stats.loads_pct == 0.0
+    assert stats.forwarded_pct == 0.0
+    assert stats.avg_gate_stall_cycles == 0.0
+    assert stats.stall_pct == {"ROB": 0.0, "LQ": 0.0, "SQ/SB": 0.0}
+
+
+def test_stall_percentages():
+    stats = CoreStats(cycles=1000, stall_cycles_rob=100,
+                      stall_cycles_lq=50, stall_cycles_sq=250)
+    assert stats.stall_pct == {"ROB": 10.0, "LQ": 5.0, "SQ/SB": 25.0}
+
+
+def test_merge_sums_everything():
+    a = CoreStats(cycles=100, retired_instructions=10, slf_loads=1)
+    b = CoreStats(cycles=200, retired_instructions=30, slf_loads=2)
+    a.merge(b)
+    assert a.cycles == 300
+    assert a.retired_instructions == 40
+    assert a.slf_loads == 3
+
+
+def test_system_total_aggregates_cores():
+    system = SystemStats()
+    system.per_core[0] = CoreStats(cycles=100, retired_instructions=50)
+    system.per_core[1] = CoreStats(cycles=120, retired_instructions=70)
+    system.execution_cycles = 120
+    total = system.total
+    assert total.retired_instructions == 120
+    assert total.cycles == 220          # summed: per-core-cycle ratios
+    assert system.execution_cycles == 120  # wall clock kept separately
+
+
+def test_stall_pct_bounded_by_100_per_core():
+    stats = CoreStats(cycles=1000, stall_cycles_rob=1000)
+    assert stats.stall_pct["ROB"] == 100.0

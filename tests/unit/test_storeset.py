@@ -1,0 +1,80 @@
+"""Unit tests for the StoreSet memory-dependence predictor."""
+
+from repro.cpu.storeset import StoreSetPredictor
+
+
+LOAD_PC, STORE_PC = 0x200, 0x100
+
+
+def test_untrained_predicts_nothing():
+    predictor = StoreSetPredictor()
+    assert predictor.predicted_store(LOAD_PC) is None
+
+
+def test_violation_trains_dependence():
+    predictor = StoreSetPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.store_dispatched(STORE_PC, seq=42)
+    assert predictor.predicted_store(LOAD_PC) == 42
+
+
+def test_resolution_clears_prediction():
+    predictor = StoreSetPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.store_dispatched(STORE_PC, seq=42)
+    predictor.store_resolved(STORE_PC, seq=42)
+    assert predictor.predicted_store(LOAD_PC) is None
+
+
+def test_stale_resolution_does_not_clear_newer_store():
+    predictor = StoreSetPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.store_dispatched(STORE_PC, seq=42)
+    predictor.store_dispatched(STORE_PC, seq=50)   # newer instance
+    predictor.store_resolved(STORE_PC, seq=42)     # stale resolve
+    assert predictor.predicted_store(LOAD_PC) == 50
+
+
+def test_squash_clears_like_resolution():
+    predictor = StoreSetPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.store_dispatched(STORE_PC, seq=42)
+    predictor.store_squashed(STORE_PC, seq=42)
+    assert predictor.predicted_store(LOAD_PC) is None
+
+
+def test_merge_converges_two_sets():
+    predictor = StoreSetPredictor()
+    predictor.train_violation(0x200, 0x100)
+    predictor.train_violation(0x201, 0x101)
+    # Now merge the two sets through a cross violation.
+    predictor.train_violation(0x200, 0x101)
+    predictor.store_dispatched(0x101, seq=9)
+    assert predictor.predicted_store(0x200) == 9
+
+
+def test_untrained_store_does_not_enter_lfst():
+    predictor = StoreSetPredictor()
+    predictor.store_dispatched(STORE_PC, seq=1)
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    # Training happened after dispatch: no LFST entry yet.
+    assert predictor.predicted_store(LOAD_PC) is None
+
+
+def test_periodic_clearing():
+    predictor = StoreSetPredictor(clear_interval=5)
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    for seq in range(6):
+        predictor.store_dispatched(STORE_PC, seq)
+    # The cyclic clear wiped the tables at some point; after re-training
+    # everything works again.
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.store_dispatched(STORE_PC, seq=100)
+    assert predictor.predicted_store(LOAD_PC) == 100
+
+
+def test_violations_counter():
+    predictor = StoreSetPredictor()
+    predictor.train_violation(LOAD_PC, STORE_PC)
+    predictor.train_violation(LOAD_PC + 1, STORE_PC + 1)
+    assert predictor.violations_trained == 2
