@@ -8,46 +8,47 @@ Not in the paper, but probing its design space:
 * StoreSet predictor on/off — memory-dependence squashes without it;
 * L1-eviction squashing (the stricter eviction rule) — extra
   re-executions, unchanged correctness.
+
+All grids run through the sweep runner (``repro.sweep``): each cell is
+an independent job, cached on disk and fanned across workers.
 """
 
 import dataclasses
 
-import pytest
-from conftest import add_report
+from conftest import add_report, run_jobs
 
 from repro.analysis.report import format_table
 from repro.sim.config import SKYLAKE_LIKE
-from repro.sim.system import simulate
-from repro.workloads import generate_warmup, generate_workload, get_profile
+from repro.sweep import SweepJob
 
 LENGTH = 2000
 CORES = 4
 
 
-def _traces(name, seed=0):
-    profile = get_profile(name)
-    return (generate_workload(profile, CORES, LENGTH, seed),
-            generate_warmup(profile, CORES, LENGTH, seed))
-
-
 def test_ablation_sb_size_sweep(once):
     """Gate-reopen policy vs SQ/SB depth (barnes, forwarding-heavy)."""
-    traces, warm = _traces("barnes")
+    sizes = (16, 32, 56)
+    policies = ("x86", "370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key")
+    jobs = []
+    for sb_size in sizes:
+        config = dataclasses.replace(
+            SKYLAKE_LIKE,
+            core=dataclasses.replace(SKYLAKE_LIKE.core,
+                                     sq_sb_entries=sb_size))
+        jobs.extend(SweepJob(name="barnes", policy=policy, cores=CORES,
+                             length=LENGTH, config=config)
+                    for policy in policies)
 
     def sweep():
+        results = run_jobs(jobs).results
         rows = []
-        for sb_size in (16, 32, 56):
-            config = dataclasses.replace(
-                SKYLAKE_LIKE,
-                core=dataclasses.replace(SKYLAKE_LIKE.core,
-                                         sq_sb_entries=sb_size))
-            base = simulate(traces, "x86", config, warm_caches=warm)
-            row = [f"SQ/SB={sb_size}"]
-            for policy in ("370-SLFSpec", "370-SLFSoS", "370-SLFSoS-key"):
-                stats = simulate(traces, policy, config, warm_caches=warm)
-                row.append(round(stats.execution_cycles
-                                 / base.execution_cycles, 3))
-            rows.append(row)
+        for i, sb_size in enumerate(sizes):
+            chunk = results[i * len(policies):(i + 1) * len(policies)]
+            base = chunk[0].stats
+            rows.append([f"SQ/SB={sb_size}"]
+                        + [round(r.stats.execution_cycles
+                                 / base.execution_cycles, 3)
+                           for r in chunk[1:]])
         return rows
 
     rows = once(sweep)
@@ -61,23 +62,13 @@ def test_ablation_sb_size_sweep(once):
 def test_ablation_storeset_off(once):
     """Without memory-dependence prediction (and without the warmed
     hints), colliding store->load pairs squash."""
-    profile = get_profile("502.gcc_1")
-    traces = generate_workload(profile, 1, 4000, 0)
-    warm = generate_warmup(profile, 1, 4000, 0)
-    stripped = [dataclasses.replace(t) if False else t for t in traces]
+    cold_job = SweepJob(name="502.gcc_1", policy="370-SLFSoS-key",
+                        cores=1, length=4000, memdep_hints=False)
+    warm_job = SweepJob(name="502.gcc_1", policy="370-SLFSoS-key",
+                        cores=1, length=4000)
 
-    def run_without_hints():
-        saved = [list(t.memdep_hints) for t in traces]
-        for t in traces:
-            t.memdep_hints = []
-        try:
-            return simulate(traces, "370-SLFSoS-key", warm_caches=warm)
-        finally:
-            for t, hints in zip(traces, saved):
-                t.memdep_hints = hints
-
-    cold = once(run_without_hints)
-    warm_run = simulate(traces, "370-SLFSoS-key", warm_caches=warm)
+    cold = once(lambda: run_jobs([cold_job]).results[0].stats)
+    warm_run = run_jobs([warm_job]).results[0].stats
     add_report("Ablation StoreSet", format_table(
         ["configuration", "memdep squashes", "reexec %"],
         [["cold predictor", cold.total.squashes_memdep,
@@ -91,18 +82,21 @@ def test_ablation_storeset_off(once):
 def test_ablation_prefetcher(once):
     """The stride L1 prefetcher (Table III) mostly helps strided
     workloads; the policy ranking must be robust to it."""
-    traces, warm = _traces("503.bwaves_1")  # strided loads
+    jobs = []
+    for enabled in (True, False):
+        config = dataclasses.replace(
+            SKYLAKE_LIKE,
+            memory=dataclasses.replace(SKYLAKE_LIKE.memory,
+                                       prefetcher=enabled))
+        jobs.extend(SweepJob(name="503.bwaves_1", policy=policy,
+                             cores=CORES, length=LENGTH, config=config)
+                    for policy in ("x86", "370-SLFSoS-key"))
 
     def run_both():
+        results = run_jobs(jobs).results
         rows = []
-        for enabled in (True, False):
-            config = dataclasses.replace(
-                SKYLAKE_LIKE,
-                memory=dataclasses.replace(SKYLAKE_LIKE.memory,
-                                           prefetcher=enabled))
-            base = simulate(traces, "x86", config, warm_caches=warm)
-            key = simulate(traces, "370-SLFSoS-key", config,
-                           warm_caches=warm)
+        for i, enabled in enumerate((True, False)):
+            base, key = results[2 * i].stats, results[2 * i + 1].stats
             rows.append(["on" if enabled else "off",
                          base.execution_cycles, key.execution_cycles,
                          round(key.execution_cycles
@@ -121,18 +115,22 @@ def test_ablation_prefetcher(once):
 def test_ablation_mispredict_penalty(once):
     """Redirect-penalty sweep: absolute time grows with the penalty,
     the key configuration's relative overhead stays put."""
-    traces, warm = _traces("502.gcc_1")
+    penalties = (5, 14, 30)
+    jobs = []
+    for penalty in penalties:
+        config = dataclasses.replace(
+            SKYLAKE_LIKE,
+            core=dataclasses.replace(SKYLAKE_LIKE.core,
+                                     mispredict_penalty=penalty))
+        jobs.extend(SweepJob(name="502.gcc_1", policy=policy,
+                             cores=CORES, length=LENGTH, config=config)
+                    for policy in ("x86", "370-SLFSoS-key"))
 
     def sweep():
+        results = run_jobs(jobs).results
         rows = []
-        for penalty in (5, 14, 30):
-            config = dataclasses.replace(
-                SKYLAKE_LIKE,
-                core=dataclasses.replace(SKYLAKE_LIKE.core,
-                                         mispredict_penalty=penalty))
-            base = simulate(traces, "x86", config, warm_caches=warm)
-            key = simulate(traces, "370-SLFSoS-key", config,
-                           warm_caches=warm)
+        for i, penalty in enumerate(penalties):
+            base, key = results[2 * i].stats, results[2 * i + 1].stats
             rows.append([f"penalty={penalty}", base.execution_cycles,
                          round(key.execution_cycles
                                / base.execution_cycles, 3)])
@@ -148,17 +146,18 @@ def test_ablation_mispredict_penalty(once):
 def test_ablation_l1_evict_squash(once):
     """The stricter L1-castout squash rule: more re-execution, still no
     witnessed violations."""
-    traces, warm = _traces("505.mcf")
     strict = dataclasses.replace(
         SKYLAKE_LIKE,
         core=dataclasses.replace(SKYLAKE_LIKE.core, l1_evict_squash=True))
+    jobs = [SweepJob(name="505.mcf", policy="370-SLFSoS-key", cores=CORES,
+                     length=LENGTH, detect_violations=True),
+            SweepJob(name="505.mcf", policy="370-SLFSoS-key", cores=CORES,
+                     length=LENGTH, config=strict,
+                     detect_violations=True)]
 
     def run_both():
-        default = simulate(traces, "370-SLFSoS-key", warm_caches=warm,
-                           detect_violations=True)
-        l1 = simulate(traces, "370-SLFSoS-key", strict, warm_caches=warm,
-                      detect_violations=True)
-        return default, l1
+        results = run_jobs(jobs).results
+        return results[0].stats, results[1].stats
 
     default, l1 = once(run_both)
     add_report("Ablation eviction squash level", format_table(

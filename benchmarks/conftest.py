@@ -1,12 +1,15 @@
 """Shared infrastructure for the reproduction benchmarks.
 
-* ``get_sweep(name)`` runs (and caches) one benchmark under all five
-  configurations, so Table IV / Figure 9 / Figure 10 benches share work.
+* ``get_sweep(name)`` runs one benchmark under all five configurations
+  through the parallel, disk-cached sweep runner (``repro.sweep``), so
+  Table IV / Figure 9 / Figure 10 benches share work — across processes
+  within a run, and across runs via ``benchmarks/.sweep_cache/``.
 * ``add_report(title, text)`` collects the regenerated tables; they are
   printed in the terminal summary and written to benchmarks/results/.
 * ``REPRO_SUITE=sample`` (default) uses a representative subset of the
   61 benchmarks; ``REPRO_SUITE=full`` runs everything the paper ran.
   ``REPRO_SCALE`` scales instruction counts (1.0 default).
+  ``REPRO_WORKERS`` sets the sweep pool size (default: CPU count).
 """
 
 import os
@@ -14,10 +17,12 @@ import pathlib
 
 import pytest
 
+from repro.core.policies import POLICY_ORDER
+from repro.sweep import SweepJob, run_sweep
 from repro.workloads.profiles import PARALLEL_PROFILES, SEQUENTIAL_PROFILES
-from repro.workloads.runner import run_policy_sweep
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SWEEP_CACHE_DIR = pathlib.Path(__file__).parent / ".sweep_cache"
 
 _SAMPLE_PARALLEL = ["barnes", "blackscholes", "dedup", "fft", "radix",
                     "raytrace", "water_spatial", "x264"]
@@ -39,10 +44,19 @@ def suite_benchmarks(suite):
                 else _SAMPLE_SEQUENTIAL)
 
 
+def run_jobs(jobs):
+    """Run sweep jobs through the shared benchmark result cache."""
+    return run_sweep(jobs, cache_dir=SWEEP_CACHE_DIR)
+
+
 def get_sweep(name):
-    """All-policy results for one benchmark (cached per session)."""
+    """All-policy results for one benchmark (cached per session in
+    memory, across sessions on disk)."""
     if name not in _SWEEPS:
-        _SWEEPS[name] = run_policy_sweep(name)
+        jobs = [SweepJob(name=name, policy=policy)
+                for policy in POLICY_ORDER]
+        outcome = run_jobs(jobs)
+        _SWEEPS[name] = dict(zip(POLICY_ORDER, outcome.results))
     return _SWEEPS[name]
 
 

@@ -8,7 +8,8 @@ Commands:
 ``compare NAME``                  ConsistencyChecker: 370 vs x86 diff
 ``sample NAME -m MODEL``          litmus7-style outcome sampling
 ``bench NAME [-p POLICY]``        run one benchmark, print its stats
-``sweep NAME``                    run one benchmark under all 5 configs
+``sweep NAME [NAME ...]``         benchmarks under all 5 configs, in
+                                  parallel, with on-disk result caching
 """
 
 from __future__ import annotations
@@ -188,14 +189,29 @@ def cmd_replay(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.workloads.runner import normalized_times, run_policy_sweep
-    results = run_policy_sweep(args.name, cores=args.cores,
-                               length=args.length, seed=args.seed)
-    norm = normalized_times(results)
-    print(f"{args.name}: execution time normalized to x86")
-    for policy in POLICY_ORDER:
-        print(f"  {policy:16s} {results[policy].cycles:9d} cycles "
-              f"({norm[policy]:5.3f}x)")
+    from repro.sweep import SweepJob, run_sweep
+    from repro.sweep.runner import stderr_progress
+    from repro.workloads.runner import normalized_times
+
+    jobs = [SweepJob(name=name, policy=policy, cores=args.cores,
+                     length=args.length, seed=args.seed)
+            for name in args.names for policy in POLICY_ORDER]
+    outcome = run_sweep(jobs, workers=args.jobs, cache=not args.no_cache,
+                        cache_dir=args.cache_dir,
+                        progress=stderr_progress if args.verbose else None)
+    width = len(POLICY_ORDER)
+    for i, name in enumerate(args.names):
+        chunk = outcome.results[i * width:(i + 1) * width]
+        results = dict(zip(POLICY_ORDER, chunk))
+        norm = normalized_times(results)
+        print(f"{name}: execution time normalized to x86")
+        for policy in POLICY_ORDER:
+            print(f"  {policy:16s} {results[policy].cycles:9d} cycles "
+                  f"({norm[policy]:5.3f}x)")
+    if args.verbose:
+        print(f"({outcome.simulated} simulated, {outcome.cached} cached, "
+              f"{outcome.workers} worker(s), {outcome.elapsed:.1f}s)",
+              file=sys.stderr)
     return 0
 
 
@@ -265,11 +281,24 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=POLICY_ORDER)
     p.set_defaults(func=cmd_replay)
 
-    p = sub.add_parser("sweep", help="all five configurations")
-    p.add_argument("name")
+    p = sub.add_parser(
+        "sweep",
+        help="benchmarks under all five configurations "
+             "(parallel across processes, results cached on disk)")
+    p.add_argument("names", nargs="+", metavar="name")
     p.add_argument("-c", "--cores", type=int, default=8)
     p.add_argument("-l", "--length", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="worker processes (default: $REPRO_WORKERS "
+                        "or the CPU count)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                        "$REPRO_SWEEP_CACHE or .sweep-cache)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="progress and cache statistics on stderr")
     p.set_defaults(func=cmd_sweep)
     return parser
 

@@ -22,6 +22,15 @@ class CacheArray:
         self.line_bytes = config.line_bytes
         self.num_sets = config.sets
         self.ways = config.ways
+        # Line size and set count are powers of two in every paper
+        # configuration, so the index/align computations on the access
+        # fast path reduce to masks and shifts (identical results to the
+        # div/mod forms; non-power-of-two geometries take the slow path).
+        self._pow2 = (self.line_bytes & (self.line_bytes - 1) == 0
+                      and self.num_sets & (self.num_sets - 1) == 0)
+        self._line_mask = ~(self.line_bytes - 1)
+        self._line_shift = self.line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
         # Each set is an OrderedDict {line_addr: None}; most recent last.
         self._sets: List["OrderedDict[int, None]"] = [
             OrderedDict() for _ in range(self.num_sets)]
@@ -33,9 +42,13 @@ class CacheArray:
 
     def line_of(self, addr: int) -> int:
         """The line address (block-aligned) containing byte ``addr``."""
+        if self._pow2:
+            return addr & self._line_mask
         return addr - (addr % self.line_bytes)
 
     def _set_of(self, line: int) -> "OrderedDict[int, None]":
+        if self._pow2:
+            return self._sets[(line >> self._line_shift) & self._set_mask]
         return self._sets[(line // self.line_bytes) % self.num_sets]
 
     # ------------------------------------------------------------------

@@ -43,7 +43,7 @@ PUTM = "PutM"
 RemovalListener = Callable[[int, str], None]  # (line, "inval"|"evict")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Txn:
     """An outstanding miss/upgrade at a private controller (one MSHR)."""
 

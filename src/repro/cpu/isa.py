@@ -24,7 +24,7 @@ KIND_NAMES = {ALU: "alu", LOAD: "load", STORE: "store",
               BRANCH: "branch", FENCE: "fence", RMW: "rmw"}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Op:
     """One micro-operation of a trace.
 

@@ -110,6 +110,24 @@ class LoadQueue:
         return [e for e in self._entries
                 if e.state == PERFORMED and e.line == line]
 
+    def memdep_violators(self, addr: int, store_seq: int) -> List[LoadEntry]:
+        """Loads younger than the store at ``store_seq`` to exactly
+        ``addr`` that already went to memory (or forwarded from an even
+        older store) — the memory-dependence violation candidates when
+        that store resolves.  Scans youngest-first and stops at
+        ``store_seq`` (entries are seq-ascending), so the common no-hit
+        case does not walk the whole queue.  Returned youngest-first."""
+        out: List[LoadEntry] = []
+        for entry in reversed(self._entries):
+            if entry.seq <= store_seq:
+                break
+            if (entry.addr == addr
+                    and entry.state in (ISSUED, PERFORMED)
+                    and (entry.store_seq is None
+                         or entry.store_seq < store_seq)):
+                out.append(entry)
+        return out
+
     def issued_or_performed_matching(self, addr: int,
                                      after_seq: int) -> List[LoadEntry]:
         """Loads younger than ``after_seq`` to exactly ``addr`` that have

@@ -63,6 +63,14 @@ class Core:
         self.core_id = core_id
         self.config = config.core
         self.trace = trace
+        # Hot-loop bindings: the dispatch loop runs every cycle, so the
+        # trace's op list / length and the pipeline widths are cached as
+        # plain attributes instead of going through Trace.__getitem__ /
+        # __len__ and the frozen config dataclass each iteration.
+        self._trace_ops = trace.ops
+        self._trace_len = len(trace.ops)
+        self._issue_width = self.config.issue_width
+        self._retire_width = self.config.retire_width
         self.controller = controller
         self.policy = policy
         self.on_finish = on_finish
@@ -113,6 +121,10 @@ class Core:
 
         self._sb_inflight = 0
         self._sb_miss_inflight = False
+        # Stores whose ownership prefetch was dropped for lack of an
+        # MSHR (resolved, rfo_sent still False): the drain-ahead scan
+        # only needs to run while this is non-zero.
+        self._rfo_pending = 0
         self.finished = False
         self._sleeping = False
         self._sleep_since = 0
@@ -165,7 +177,7 @@ class Core:
         if stall != _STALL_NONE:
             self._account_stall(stall, 1)
 
-        if (self.fetch_idx >= len(self.trace) and self.rob.empty
+        if (self.fetch_idx >= self._trace_len and self.rob.empty
                 and self.sb.empty):
             self._finish()
             return
@@ -200,7 +212,7 @@ class Core:
 
     def _retire(self) -> bool:
         retired = 0
-        while retired < self.config.retire_width:
+        while retired < self._retire_width:
             head = self.rob.head()
             if head is None or not head.completed:
                 # A locked RMW executes only at the ROB head with the SB
@@ -288,15 +300,19 @@ class Core:
         pipeline behind it — TSO requires in-order memory-order
         insertion)."""
         # Drain-ahead RFOs: overlap the coherence latency of upcoming
-        # stores with the current writes.
-        scanned = 0
-        for entry in self.sb:
-            if scanned >= self.RFO_AHEAD:
-                break
-            if entry.resolved and not entry.rfo_sent:
-                entry.rfo_sent = self.controller.prefetch_exclusive(
-                    entry.addr)
-            scanned += 1
+        # stores with the current writes.  Only stores whose earlier
+        # prefetch attempt was dropped need a retry, so the scan is
+        # skipped entirely while none are pending.
+        if self._rfo_pending:
+            scanned = 0
+            for entry in self.sb:
+                if scanned >= self.RFO_AHEAD:
+                    break
+                if entry.resolved and not entry.rfo_sent:
+                    if self.controller.prefetch_exclusive(entry.addr):
+                        entry.rfo_sent = True
+                        self._rfo_pending -= 1
+                scanned += 1
 
         candidate: Optional[StoreEntry] = None
         for entry in self.sb:
@@ -321,6 +337,8 @@ class Core:
     def _store_written(self, entry: StoreEntry) -> None:
         """The head store wrote to the L1: it is now in memory order."""
         entry.written = True
+        if not entry.rfo_sent:
+            self._rfo_pending -= 1
         self.memory_data[entry.addr] = entry.value
         self._sb_inflight -= 1
         self._sb_miss_inflight = False
@@ -345,8 +363,10 @@ class Core:
 
     def _issue(self) -> bool:
         issued = 0
-        while issued < self.config.issue_width and self.ready:
-            seq, epoch, entry = heapq.heappop(self.ready)
+        ready = self.ready
+        heappop = heapq.heappop
+        while issued < self._issue_width and ready:
+            seq, epoch, entry = heappop(ready)
             if entry.issue_epoch != epoch or entry.issued:
                 continue  # squashed incarnation or duplicate
             entry.issued = True
@@ -521,6 +541,8 @@ class Core:
         # drain-ahead scan if dropped for lack of an MSHR).
         if not store.rfo_sent:
             store.rfo_sent = self.controller.prefetch_exclusive(store.addr)
+            if not store.rfo_sent:
+                self._rfo_pending += 1
 
         self._check_memdep_violation(entry, store)
         for consumer, cepoch in self.deferred_on_store.pop(entry.seq, ()):
@@ -537,14 +559,10 @@ class Core:
         """An older store resolved to ``addr``: any younger load that
         already went to memory (or forwarded from an even older store)
         read a stale value — squash at the oldest such load."""
-        violators = [
-            l for l in self.lq
-            if l.seq > entry.seq and l.addr == store.addr
-            and l.state in (ISSUED, PERFORMED)
-            and (l.store_seq is None or l.store_seq < entry.seq)]
+        violators = self.lq.memdep_violators(store.addr, entry.seq)
         if not violators:
             return
-        oldest = min(violators, key=lambda l: l.seq)
+        oldest = violators[-1]  # youngest-first scan: last is oldest
         self.storeset.train_violation(oldest.pc, entry.op.pc)
         self._squash(oldest.seq, "memdep")
 
@@ -560,13 +578,16 @@ class Core:
     def _dispatch(self) -> Tuple[bool, int]:
         dispatched = 0
         stall = _STALL_NONE
-        while dispatched < self.config.issue_width:
-            if self.fetch_idx >= len(self.trace):
+        ops = self._trace_ops
+        trace_len = self._trace_len
+        rob = self.rob
+        while dispatched < self._issue_width:
+            if self.fetch_idx >= trace_len:
                 break
             if self.barrier_seq is not None:
                 break
-            op = self.trace[self.fetch_idx]
-            if self.rob.full:
+            op = ops[self.fetch_idx]
+            if rob.full:
                 stall = _STALL_ROB
                 break
             if op.kind == isa.LOAD and self.lq.full:
@@ -605,10 +626,12 @@ class Core:
                 self.barrier_seq = seq
 
         deps_left = 0
+        done = self.done
+        consumers = self.consumers
+        epoch = entry.issue_epoch
         for dep in op.deps:
-            if not self.done[dep]:
-                self.consumers.setdefault(dep, []).append(
-                    (entry, entry.issue_epoch))
+            if not done[dep]:
+                consumers.setdefault(dep, []).append((entry, epoch))
                 deps_left += 1
         entry.deps_left = deps_left
         if deps_left == 0 and op.kind != isa.RMW:
@@ -643,6 +666,8 @@ class Core:
         for store in self.sb.squash_from(seq):
             self.store_of.pop(store.seq, None)
             self.storeset.store_squashed(store.pc, store.seq)
+            if store.resolved and not store.rfo_sent:
+                self._rfo_pending -= 1
         for rentry in removed:
             self.done[rentry.seq] = 0
         self.fetch_idx = seq

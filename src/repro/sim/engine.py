@@ -2,65 +2,206 @@
 
 The whole performance model (out-of-order cores, coherence protocol,
 interconnect) is driven by a single :class:`Engine`: a monotonically
-increasing cycle counter plus a priority queue of scheduled callbacks.
+increasing cycle counter plus a set of scheduled callbacks.
 
 Cores tick cycle-by-cycle while they have work; a core that is fully
 stalled (e.g. waiting for a cache miss or for the store buffer to drain)
 deregisters its tick and is woken by the event that unblocks it.  This
 keeps long memory stalls cheap to simulate while preserving exact cycle
 accounting.
+
+Fast path
+---------
+
+Every event is totally ordered by ``(time, seq)`` where ``seq`` is a
+global insertion counter — that order is the determinism contract and
+is never violated.  Three structures hold pending events:
+
+* ``_bucket_now``  — events at the current cycle (delay-0 schedules);
+* ``_bucket_next`` — events at the next cycle (delay-1 schedules, i.e.
+  the per-cycle core ticks — the hottest class of event);
+* ``_heap``        — everything further out (cache fills, network
+  deliveries, execution latencies).
+
+Appending to / popping from the two deques is O(1), so the per-cycle
+core ticks never touch the heap; within each deque, FIFO order *is*
+``seq`` order, and any heap event landing on the same cycle necessarily
+carries an older ``seq`` (it was pushed at least two cycles earlier), so
+a cheap head comparison reproduces the exact global order a pure heap
+would produce.
+
+Termination uses a stop sentinel (:meth:`stop`) instead of polling an
+``until()`` closure on every event; the legacy ``until=`` argument is
+still honoured for callers that need predicate-based termination.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+_Event = Tuple[int, int, Callable[..., Any], tuple]
 
 
 class Engine:
     """A deterministic discrete-event engine with integer cycle time."""
 
+    #: Signals callers (e.g. :class:`repro.sim.system.System`) that this
+    #: engine supports :meth:`stop`-based termination, avoiding the
+    #: per-event ``until()`` predicate call.
+    supports_stop = True
+
+    __slots__ = ("now", "_queue", "_bucket_now", "_bucket_next", "_seq",
+                 "_stopped", "events_dispatched")
+
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+        self._queue: List[_Event] = []
+        self._bucket_now: Deque[_Event] = deque()
+        self._bucket_next: Deque[_Event] = deque()
         self._seq: int = 0  # tie-breaker for deterministic ordering
+        self._stopped = False
+        self.events_dispatched: int = 0  # lifetime dispatch counter
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` ``delay`` cycles from now (delay may be 0)."""
-        if delay < 0:
-            raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+        if delay == 1:
+            self._bucket_next.append((self.now + 1, self._seq, fn, args))
+        elif delay == 0:
+            self._bucket_now.append((self.now, self._seq, fn, args))
+        elif delay > 1:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+        else:
+            raise ValueError(f"negative delay: {delay}")
 
     def at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule an event at cycle {time}: the engine "
+                f"is already at cycle {self.now}")
         self.schedule(time - self.now, fn, *args)
+
+    def stop(self) -> None:
+        """Request termination: :meth:`run` returns before dispatching
+        the next event.  The flag is sticky (a later :meth:`run` on a
+        stopped engine returns immediately), mirroring a terminal
+        ``until()`` predicate."""
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
 
     @property
     def pending(self) -> int:
         """Number of events not yet dispatched."""
-        return len(self._queue)
+        return (len(self._queue) + len(self._bucket_now)
+                + len(self._bucket_next))
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, time: int) -> None:
+        """Move the clock to ``time`` (> now), rolling the next-cycle
+        bucket over.  If ``_bucket_next`` is non-empty the earliest
+        pending event is at ``now + 1``, so ``time`` can only be
+        ``now + 1`` and the rollover is a plain swap."""
+        self.now = time
+        if self._bucket_next:
+            self._bucket_now, self._bucket_next = (self._bucket_next,
+                                                   self._bucket_now)
 
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False if queue empty."""
-        if not self._queue:
+        queue = self._queue
+        best: Optional[_Event] = queue[0] if queue else None
+        bucket = None
+        for candidate_bucket in (self._bucket_now, self._bucket_next):
+            if candidate_bucket and (best is None
+                                     or candidate_bucket[0][:2] < best[:2]):
+                best = candidate_bucket[0]
+                bucket = candidate_bucket
+        if best is None:
             return False
-        time, _, fn, args = heapq.heappop(self._queue)
-        if time < self.now:
-            raise RuntimeError("event scheduled in the past")
-        self.now = time
+        if bucket is None:
+            heapq.heappop(queue)
+        else:
+            bucket.popleft()
+        time, _, fn, args = best
+        if time < self.now:  # pragma: no cover - invariant guard
+            raise RuntimeError(
+                f"event scheduled in the past (event at {time}, "
+                f"now {self.now})")
+        if time > self.now:
+            self._advance(time)
+        self.events_dispatched += 1
         fn(*args)
         return True
 
-    def run(self, until: Callable[[], bool] = None, max_cycles: int = None) -> int:
-        """Run events until the queue drains, ``until()`` becomes true, or
-        ``max_cycles`` is exceeded.  Returns the final cycle count."""
+    def run(self, until: Callable[[], bool] = None,
+            max_cycles: int = None) -> int:
+        """Run events until :meth:`stop` is called, the queue drains,
+        ``until()`` becomes true, or ``max_cycles`` is exceeded.
+        Returns the final cycle count.
+
+        When the cycle budget is exhausted the clock is left at the
+        deadline and every still-queued event strictly after it remains
+        queued; the engine stays consistent and can be reused (more
+        events scheduled, ``run`` called again) without ever seeing an
+        event in the past.
+        """
         deadline = None if max_cycles is None else self.now + max_cycles
-        while self._queue:
-            if until is not None and until():
-                break
-            if deadline is not None and self._queue[0][0] > deadline:
-                self.now = deadline
-                break
-            self.step()
+        queue = self._queue
+        heappop = heapq.heappop
+        now = self.now
+        dispatched = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if until is not None and until():
+                    break
+                bucket_now = self._bucket_now
+                if bucket_now:
+                    # Same-cycle events: a heap event on this cycle was
+                    # necessarily pushed >= 2 cycles ago and so precedes
+                    # (smaller seq) everything in the bucket.
+                    if queue and queue[0][0] == now:
+                        event = heappop(queue)
+                    else:
+                        event = bucket_now.popleft()
+                    dispatched += 1
+                    event[2](*event[3])
+                    continue
+                # Advance-the-clock path: find the earliest next event.
+                bucket_next = self._bucket_next
+                if bucket_next:
+                    # Heap events on cycle now+1 were pushed earlier and
+                    # precede the bucket; on cycle now they precede it
+                    # trivially.  Otherwise the bucket head is next.
+                    if queue and queue[0][0] <= now + 1:
+                        from_heap = True
+                        next_time = queue[0][0]
+                    else:
+                        from_heap = False
+                        next_time = now + 1
+                elif queue:
+                    from_heap = True
+                    next_time = queue[0][0]
+                else:
+                    break  # drained
+                if deadline is not None and next_time > deadline:
+                    if deadline > now:
+                        self.now = now = deadline
+                    break
+                event = heappop(queue) if from_heap else bucket_next.popleft()
+                if next_time > now:
+                    self._advance(next_time)
+                    now = next_time
+                dispatched += 1
+                event[2](*event[3])
+        finally:
+            self.events_dispatched += dispatched
         return self.now

@@ -90,6 +90,16 @@ class CoreStats:
         for name in vars(other):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as a plain dict.  Every field is an int, so the
+        JSON round-trip through :meth:`from_dict` is exact — the sweep
+        result cache relies on this."""
+        return dict(vars(self))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CoreStats":
+        return cls(**data)
+
 
 @dataclass
 class SystemStats:
@@ -115,6 +125,29 @@ class SystemStats:
         for stats in self.per_core.values():
             agg.merge(stats)
         return agg
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; exact under round-trip (all counters
+        are ints).  Core ids become string keys, as JSON requires."""
+        return {
+            "per_core": {str(cid): stats.to_dict()
+                         for cid, stats in self.per_core.items()},
+            "execution_cycles": self.execution_cycles,
+            "invalidations_sent": self.invalidations_sent,
+            "evictions": self.evictions,
+            "network_messages": dict(self.network_messages),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SystemStats":
+        return cls(
+            per_core={int(cid): CoreStats.from_dict(stats)
+                      for cid, stats in data["per_core"].items()},
+            execution_cycles=data["execution_cycles"],
+            invalidations_sent=data["invalidations_sent"],
+            evictions=data["evictions"],
+            network_messages=dict(data["network_messages"]),
+        )
 
 
 def _pct(num: int, den: int) -> float:

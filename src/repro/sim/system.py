@@ -26,7 +26,8 @@ class System:
                  detect_violations: bool = False,
                  warm_caches: object = True,
                  initial_memory: Optional[Dict[int, int]] = None,
-                 trace_pipeline: bool = False) -> None:
+                 trace_pipeline: bool = False,
+                 engine: Optional[Engine] = None) -> None:
         from repro.coherence.mesi import CoherentMemorySystem
         from repro.coherence.warmup import warm_from_traces
         from repro.core.policies import make_policy
@@ -40,7 +41,11 @@ class System:
                 f"{len(traces)} traces but only {base.cores} cores")
         self.config = base.with_cores(max(len(traces), 1))
         self.policy_name = policy_name
-        self.engine = Engine()
+        # An injected engine (e.g. a reference implementation in a
+        # benchmark) may lack the stop-sentinel fast path; fall back to
+        # predicate-polled termination for those.
+        self.engine = engine if engine is not None else Engine()
+        self._use_stop = getattr(self.engine, "supports_stop", False)
         self.memory = CoherentMemorySystem(self.engine, self.config)
         if warm_caches:
             # The paper measures after a warm-up phase; install working
@@ -69,6 +74,8 @@ class System:
 
     def _core_finished(self, core: "Core") -> None:
         self._unfinished -= 1
+        if self._unfinished == 0 and self._use_stop:
+            self.engine.stop()
 
     @staticmethod
     def _describe_core(core: "Core") -> str:
@@ -90,7 +97,10 @@ class System:
         drained its SB).  Raises on deadlock or cycle-budget overrun."""
         for core in self.cores:
             core.start()
-        self.engine.run(until=lambda: self.done, max_cycles=max_cycles)
+        if self._use_stop:
+            self.engine.run(max_cycles=max_cycles)
+        else:
+            self.engine.run(until=lambda: self.done, max_cycles=max_cycles)
         if not self.done:
             if self.engine.pending == 0:
                 raise RuntimeError(

@@ -1,0 +1,83 @@
+"""On-disk result cache for sweep jobs.
+
+One JSON file per result, named by the SHA-256 of the job's canonical
+description (see :func:`repro.sweep.runner.job_key`).  The key includes
+a hash of the simulator's own source tree, so any code change — an event
+reordering, a latency tweak, a new counter — invalidates every cached
+result automatically.  Nothing is ever considered stale by age; a cache
+directory can be deleted wholesale at any time.
+
+Writes are atomic (``os.replace`` of a per-process temp file), so
+concurrent workers racing to store the same key are safe: last writer
+wins and both wrote identical bytes anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Optional, Union
+
+#: Default cache location (relative to the current directory); override
+#: per call or with the ``REPRO_SWEEP_CACHE`` environment variable.
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Computed once per process.  Cached sweep results embed this hash in
+    their key, so editing any simulator module orphans old entries
+    instead of serving results the current code would not reproduce.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+        pkg = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(pkg.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def content_key(payload: dict) -> str:
+    """SHA-256 of a JSON-serializable payload, canonically encoded."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` result files."""
+
+    def __init__(self,
+                 directory: Union[str, pathlib.Path, None] = None) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_SWEEP_CACHE",
+                                       DEFAULT_CACHE_DIR)
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or None.  A corrupt or
+        truncated file (e.g. from a killed process on a filesystem
+        without atomic replace) reads as a miss, never an error."""
+        try:
+            return json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.directory / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.path_for(key))

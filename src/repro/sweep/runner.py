@@ -1,0 +1,230 @@
+"""The sweep runner: fan (profile × policy) simulations across processes.
+
+Every job is self-contained — traces are regenerated inside the worker
+from ``(profile, cores, length, seed)``, which is deterministic — so the
+pool needs to pickle only the small :class:`SweepJob` description, never
+a trace or a simulator.  The engine itself is deterministic, which makes
+the merge trivial: results are placed back at their job's input index,
+and a parallel sweep is cycle-identical to running the same jobs in a
+loop.
+
+Completed results are stored in a :class:`~repro.sweep.cache.ResultCache`
+keyed by :func:`job_key`, so re-running a figure after editing only the
+plotting code performs zero simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.policies import POLICY_ORDER
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SystemStats
+from repro.sim.system import simulate
+from repro.sweep.cache import ResultCache, code_version, content_key
+from repro.workloads.profiles import get_profile
+from repro.workloads.runner import (DEFAULT_CORES, BenchmarkResult,
+                                    resolved_length)
+from repro.workloads.synthetic import generate_warmup, generate_workload
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One cell of a sweep grid: a complete simulation specification."""
+
+    name: str                          # benchmark profile name
+    policy: str                        # consistency configuration
+    cores: int = DEFAULT_CORES
+    length: Optional[int] = None       # None = suite default × REPRO_SCALE
+    seed: int = 0
+    config: Optional[SystemConfig] = None
+    detect_violations: bool = False
+    # The ablation in benchmarks/bench_ablations.py runs with the
+    # profile's memory-dependence hints stripped (cold StoreSet).
+    memdep_hints: bool = True
+
+
+@dataclass
+class SweepOutcome:
+    """What a :func:`run_sweep` call did."""
+
+    results: List[BenchmarkResult]     # one per job, in input order
+    simulated: int = 0                 # jobs actually executed
+    cached: int = 0                    # jobs answered from the cache
+    elapsed: float = 0.0               # wall-clock seconds
+    workers: int = 1                   # pool size used (1 = in-process)
+    keys: List[str] = field(default_factory=list)  # cache key per job
+
+
+def job_key(job: SweepJob) -> str:
+    """Content hash identifying a job's *result*.
+
+    Covers the trace specification (profile, cores, resolved length,
+    seed, hint stripping), the system configuration, the policy, the
+    violation-detector flag, and the simulator source version — the
+    complete input closure of a simulation.
+    """
+    payload = {
+        "schema": 1,
+        "name": job.name,
+        "policy": job.policy,
+        "cores": job.cores,
+        "length": resolved_length(job.name, job.length),
+        "seed": job.seed,
+        "config": (None if job.config is None
+                   else dataclasses.asdict(job.config)),
+        "detect_violations": job.detect_violations,
+        "memdep_hints": job.memdep_hints,
+        "code": code_version(),
+    }
+    return content_key(payload)
+
+
+def execute_job(job: SweepJob) -> Dict:
+    """Run one job to completion; returns the stats as a JSON-safe dict.
+
+    Module-level so it pickles for the process pool.  Traces are
+    regenerated here — generation is seeded and deterministic, so every
+    worker sees byte-identical workloads.
+    """
+    profile = get_profile(job.name)
+    n = resolved_length(job.name, job.length)
+    traces = generate_workload(profile, job.cores, n, job.seed)
+    warm = generate_warmup(profile, job.cores, n, job.seed)
+    if not job.memdep_hints:
+        for trace in traces:
+            trace.memdep_hints = []
+    stats = simulate(traces, job.policy, config=job.config,
+                     warm_caches=warm,
+                     detect_violations=job.detect_violations)
+    return stats.to_dict()
+
+
+def _result(job: SweepJob, stats: SystemStats) -> BenchmarkResult:
+    return BenchmarkResult(job.name, get_profile(job.name).suite,
+                           job.policy, stats)
+
+
+def default_workers() -> int:
+    """Pool size when the caller does not choose: ``REPRO_WORKERS`` if
+    set, else the machine's CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def run_sweep(jobs: Sequence[SweepJob],
+              workers: Optional[int] = None,
+              cache: bool = True,
+              cache_dir: Union[str, os.PathLike, None] = None,
+              progress: Optional[ProgressFn] = None) -> SweepOutcome:
+    """Execute a batch of sweep jobs, in parallel where possible.
+
+    ``workers=None`` resolves via :func:`default_workers`; ``workers=1``
+    (or a single uncached job) runs in-process with no pool.  With
+    ``cache`` enabled (the default), finished results are read from and
+    written to ``cache_dir`` (default: ``$REPRO_SWEEP_CACHE`` or
+    ``.sweep-cache``).  ``progress`` receives human-readable status
+    lines, including an ETA once a completion time is known.
+
+    Results come back in input-job order; identical jobs are simulated
+    once and share the result.
+    """
+    t0 = time.perf_counter()
+    jobs = list(jobs)
+    store = ResultCache(cache_dir) if cache else None
+    keys = [job_key(job) for job in jobs]
+    stats_by_key: Dict[str, SystemStats] = {}
+
+    cached = 0
+    if store is not None:
+        for key in set(keys):
+            payload = store.get(key)
+            if payload is not None:
+                stats_by_key[key] = SystemStats.from_dict(payload)
+        cached = sum(1 for key in keys if key in stats_by_key)
+
+    # Deduplicated misses, in first-appearance order.
+    todo: List[int] = []
+    seen = set(stats_by_key)
+    for idx, key in enumerate(keys):
+        if key not in seen:
+            seen.add(key)
+            todo.append(idx)
+
+    nworkers = workers if workers is not None else default_workers()
+    nworkers = max(1, min(nworkers, len(todo) or 1))
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    if todo:
+        note(f"sweep: {len(todo)} of {len(jobs)} jobs to simulate "
+             f"({cached} cached), {nworkers} worker(s)")
+    done = 0
+    t_run = time.perf_counter()
+
+    def finished(idx: int, payload: Dict) -> None:
+        nonlocal done
+        key = keys[idx]
+        stats_by_key[key] = SystemStats.from_dict(payload)
+        if store is not None:
+            store.put(key, payload)
+        done += 1
+        rate = (time.perf_counter() - t_run) / done
+        eta = rate * (len(todo) - done)
+        job = jobs[idx]
+        note(f"sweep: [{done}/{len(todo)}] {job.name}/{job.policy} "
+             f"done, ETA {eta:.0f}s")
+
+    if nworkers <= 1 or len(todo) <= 1:
+        for idx in todo:
+            finished(idx, execute_job(jobs[idx]))
+    else:
+        with ProcessPoolExecutor(max_workers=nworkers) as pool:
+            futures = {pool.submit(execute_job, jobs[idx]): idx
+                       for idx in todo}
+            for future in as_completed(futures):
+                finished(futures[future], future.result())
+
+    results = [_result(job, stats_by_key[key])
+               for job, key in zip(jobs, keys)]
+    return SweepOutcome(results=results, simulated=len(todo),
+                        cached=cached,
+                        elapsed=time.perf_counter() - t0,
+                        workers=nworkers, keys=keys)
+
+
+def sweep_policies(name: str,
+                   policies: Sequence[str] = POLICY_ORDER,
+                   cores: int = DEFAULT_CORES,
+                   length: Optional[int] = None, seed: int = 0,
+                   config: Optional[SystemConfig] = None,
+                   workers: Optional[int] = None,
+                   cache: bool = True,
+                   cache_dir: Union[str, os.PathLike, None] = None,
+                   progress: Optional[ProgressFn] = None
+                   ) -> Dict[str, BenchmarkResult]:
+    """One benchmark under several policies — the parallel, cached
+    equivalent of :func:`repro.workloads.runner.run_policy_sweep`."""
+    jobs = [SweepJob(name=name, policy=policy, cores=cores, length=length,
+                     seed=seed, config=config) for policy in policies]
+    outcome = run_sweep(jobs, workers=workers, cache=cache,
+                        cache_dir=cache_dir, progress=progress)
+    return {policy: result
+            for policy, result in zip(policies, outcome.results)}
+
+
+def stderr_progress(msg: str) -> None:
+    """A ready-made ``progress`` callback for CLI use."""
+    print(msg, file=sys.stderr, flush=True)

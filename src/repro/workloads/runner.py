@@ -42,6 +42,14 @@ def _length_for(profile: BenchmarkProfile,
     return max(500, int(base * scale()))
 
 
+def resolved_length(name: str, length: Optional[int] = None) -> int:
+    """The per-core instruction count a job with ``length`` actually
+    runs — the suite default scaled by ``REPRO_SCALE`` when ``length``
+    is None.  The sweep cache keys on this resolved value, so the same
+    workload is shared across ways of naming it."""
+    return _length_for(get_profile(name), length)
+
+
 @dataclass
 class BenchmarkResult:
     """One (benchmark, policy) measurement."""

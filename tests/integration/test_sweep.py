@@ -1,0 +1,121 @@
+"""Integration tests for the parallel, cached sweep runner.
+
+The load-bearing properties:
+
+* a parallel sweep is *cycle-identical* to the serial
+  ``run_policy_sweep`` loop (the engine is deterministic and jobs are
+  independent, so process fan-out must not change any number);
+* the on-disk cache answers repeat sweeps with zero simulations, and
+  its keys distinguish everything that changes a result.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import SKYLAKE_LIKE, TINY
+from repro.sweep import SweepJob, job_key, run_sweep
+from repro.sweep.cache import ResultCache
+from repro.workloads.runner import run_policy_sweep
+
+PROFILES = ["fft", "radix", "502.gcc_1"]
+POLICIES = ["x86", "370-NoSpec", "370-SLFSpec", "370-SLFSoS",
+            "370-SLFSoS-key"]
+CORES = 2
+LENGTH = 400
+
+
+def _grid_jobs():
+    return [SweepJob(name=name, policy=policy, cores=CORES, length=LENGTH)
+            for name in PROFILES for policy in POLICIES]
+
+
+def test_parallel_sweep_matches_serial_reference(tmp_path):
+    """3 profiles x 5 policies through a 2-worker pool == the serial
+    in-process loop, stat for stat."""
+    outcome = run_sweep(_grid_jobs(), workers=2,
+                        cache_dir=tmp_path / "cache")
+    assert outcome.simulated == len(PROFILES) * len(POLICIES)
+    assert outcome.cached == 0
+
+    it = iter(outcome.results)
+    for name in PROFILES:
+        serial = run_policy_sweep(name, POLICIES, cores=CORES,
+                                  length=LENGTH)
+        for policy in POLICIES:
+            parallel = next(it)
+            assert parallel.name == name
+            assert parallel.policy == policy
+            assert (dataclasses.asdict(parallel.stats)
+                    == dataclasses.asdict(serial[policy].stats))
+
+
+def test_second_sweep_is_fully_cached(tmp_path):
+    jobs = _grid_jobs()
+    first = run_sweep(jobs, workers=2, cache_dir=tmp_path / "cache")
+    second = run_sweep(jobs, workers=2, cache_dir=tmp_path / "cache")
+    assert second.simulated == 0
+    assert second.cached == len(jobs)
+    for a, b in zip(first.results, second.results):
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
+
+
+def test_cache_disabled_simulates_again(tmp_path):
+    job = SweepJob(name="fft", policy="x86", cores=CORES, length=LENGTH)
+    run_sweep([job], cache_dir=tmp_path / "cache")
+    again = run_sweep([job], cache=False, cache_dir=tmp_path / "cache")
+    assert again.simulated == 1
+    assert again.cached == 0
+
+
+def test_duplicate_jobs_simulate_once(tmp_path):
+    job = SweepJob(name="fft", policy="x86", cores=CORES, length=LENGTH)
+    outcome = run_sweep([job, job, job], cache_dir=tmp_path / "cache")
+    assert outcome.simulated == 1
+    assert len(outcome.results) == 3
+    assert (dataclasses.asdict(outcome.results[0].stats)
+            == dataclasses.asdict(outcome.results[2].stats))
+
+
+def test_job_key_distinguishes_every_input():
+    base = SweepJob(name="fft", policy="x86", cores=CORES, length=LENGTH)
+    variants = [
+        dataclasses.replace(base, name="radix"),
+        dataclasses.replace(base, policy="370-SLFSoS-key"),
+        dataclasses.replace(base, cores=CORES + 1),
+        dataclasses.replace(base, length=LENGTH + 1),
+        dataclasses.replace(base, seed=1),
+        dataclasses.replace(base, config=TINY),
+        dataclasses.replace(base, config=SKYLAKE_LIKE),
+        dataclasses.replace(base, detect_violations=True),
+        dataclasses.replace(base, memdep_hints=False),
+    ]
+    keys = [job_key(job) for job in [base] + variants]
+    assert len(set(keys)) == len(keys)
+
+
+def test_job_key_stable_across_calls():
+    job = SweepJob(name="fft", policy="x86", cores=CORES, length=LENGTH)
+    assert job_key(job) == job_key(job)
+
+
+def test_corrupt_cache_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k", {"a": 1})
+    assert cache.get("k") == {"a": 1}
+    cache.path_for("k").write_text("{not json")
+    assert cache.get("k") is None
+    assert cache.get("missing") is None
+
+
+def test_memdep_hint_stripping_changes_the_run(tmp_path):
+    """A memdep_hints=False job really runs cold: it must squash at
+    least as often as the hinted run (cf. the StoreSet ablation)."""
+    kwargs = dict(name="502.gcc_1", policy="370-SLFSoS-key", cores=1,
+                  length=1500)
+    hinted = SweepJob(**kwargs)
+    cold = SweepJob(memdep_hints=False, **kwargs)
+    outcome = run_sweep([hinted, cold], cache_dir=tmp_path / "cache")
+    hinted_stats, cold_stats = (r.stats for r in outcome.results)
+    assert (cold_stats.total.squashes_memdep
+            >= hinted_stats.total.squashes_memdep)
