@@ -110,3 +110,59 @@ def summarize_suite(results: Dict[str, Dict[str, BenchmarkResult]],
                   for sweep in results.values()]
         out[policy] = geomean(ratios)
     return out
+
+
+def top_stalls(report, stats: SystemStats, top: int = 5) -> str:
+    """Text summary of where the cycles went in one observed run.
+
+    ``report`` is an :class:`repro.obs.session.ObsReport`; the output
+    lists the longest gate-closed intervals (keyed by the locking
+    store), the stall/drain/window histogram summaries, and squash
+    counts — the ``top-stalls`` section of ``repro trace`` and the
+    ``--obs`` flags.
+    """
+    lines = [f"top stalls ({report.policy}, "
+             f"{report.end_cycle} cycles):"]
+
+    worst = report.top_gate_intervals(top)
+    if worst:
+        lines.append(f"  longest gate-closed intervals (of "
+                     f"{report.gate_interval_count()}):")
+        for interval in worst:
+            lines.append(
+                f"    core {interval.core_id}  key=0x{interval.key:x}  "
+                f"[{interval.start}, {interval.end})  "
+                f"{interval.cycles} cycles  "
+                f"opened by {interval.open_reason}")
+    else:
+        lines.append("  no gate-closed intervals")
+
+    for cid, frac in sorted(report.gate_closed_fraction().items()):
+        if frac:
+            lines.append(f"  core {cid}: gate closed "
+                         f"{100.0 * frac:.2f}% of cycles")
+
+    hist_rows = []
+    for name, hist in report.histograms.items():
+        if hist.count:
+            s = hist.summary()
+            hist_rows.append([name, s["count"], s["mean"], s["p50"],
+                              s["p90"], s["p99"], s["max"]])
+    if hist_rows:
+        lines.append(format_table(
+            ["histogram (cycles)", "n", "mean", "p50", "p90", "p99",
+             "max"], hist_rows))
+
+    episodes = report.counters.get("squash_episodes", {})
+    flushed = report.counters.get("squash_flushed", {})
+    for reason in sorted(episodes):
+        lines.append(f"  squash {reason}: {episodes[reason]} episodes, "
+                     f"{flushed.get(reason, 0)} instructions flushed")
+
+    total = stats.total
+    if total.gate_stall_events:
+        lines.append(
+            f"  gate stalls: {total.gate_stall_events} events, "
+            f"{total.gate_stall_cycles} cycles "
+            f"(lock total {total.gate_lock_cycles})")
+    return "\n".join(lines)

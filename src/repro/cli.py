@@ -8,8 +8,16 @@ Commands:
 ``compare NAME``                  ConsistencyChecker: 370 vs x86 diff
 ``sample NAME -m MODEL``          litmus7-style outcome sampling
 ``bench NAME [-p POLICY]``        run one benchmark, print its stats
+``trace NAME [-p POLICY]``        run with full observability: Chrome
+                                  trace JSON (Perfetto-loadable) +
+                                  JSONL metrics + top-stalls summary
 ``sweep NAME [NAME ...]``         benchmarks under all 5 configs, in
                                   parallel, with on-disk result caching
+
+``bench`` and ``replay`` take ``--json`` (machine-readable stats) and
+``--obs``/``--obs-out`` (histograms + gate intervals, optionally as
+JSONL); ``sweep`` takes ``--obs``/``--obs-out`` to carry per-cell
+observability summaries alongside the cached results.
 """
 
 from __future__ import annotations
@@ -132,10 +140,32 @@ def cmd_sample(args) -> int:
     return 0
 
 
+def _emit_obs(report, stats, obs_out: Optional[str]) -> None:
+    """Shared --obs tail for bench/replay: summary + optional JSONL."""
+    from repro.analysis.report import top_stalls
+    print(top_stalls(report, stats))
+    if obs_out:
+        n = report.write_jsonl(obs_out)
+        print(f"wrote {obs_out}: {n} metric records")
+
+
 def cmd_bench(args) -> int:
-    from repro.workloads.runner import run_benchmark
-    result = run_benchmark(args.name, policy=args.policy, cores=args.cores,
-                           length=args.length, seed=args.seed)
+    obs = args.obs or bool(args.obs_out)
+    if obs:
+        from repro.workloads.runner import observe_benchmark
+        result, report, _system = observe_benchmark(
+            args.name, policy=args.policy, cores=args.cores,
+            length=args.length, seed=args.seed)
+    else:
+        from repro.workloads.runner import run_benchmark
+        result = run_benchmark(args.name, policy=args.policy,
+                               cores=args.cores, length=args.length,
+                               seed=args.seed)
+    if args.json:
+        print(result.stats.to_json(indent=2))
+        if obs and args.obs_out:
+            report.write_jsonl(args.obs_out)
+        return 0
     total = result.stats.total
     print(f"{args.name} under {args.policy}: "
           f"{result.cycles} cycles, "
@@ -148,6 +178,33 @@ def cmd_bench(args) -> int:
     stalls = total.stall_pct
     print(f"  dispatch stalls: ROB {stalls['ROB']:.1f}%  "
           f"LQ {stalls['LQ']:.1f}%  SQ/SB {stalls['SQ/SB']:.1f}%")
+    if obs:
+        _emit_obs(report, result.stats, args.obs_out)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.chrome_trace import write_chrome_trace
+    from repro.obs.validate import validate_chrome_trace
+    from repro.analysis.report import top_stalls
+    from repro.workloads.runner import observe_benchmark
+
+    result, report, system = observe_benchmark(
+        args.name, policy=args.policy, cores=args.cores,
+        length=args.length, seed=args.seed, trace_pipeline=True,
+        sample_interval=args.sample_interval)
+    out = args.out or f"{args.name}-{args.policy}.trace.json"
+    trace = write_chrome_trace(out, system, report, result.stats)
+    counts = validate_chrome_trace(trace)
+    print(f"wrote {out}: {len(trace['traceEvents'])} events "
+          f"({counts['X']} slices, {counts['C']} counter samples, "
+          f"{counts['gate_slices']} gate intervals) — "
+          f"load it at https://ui.perfetto.dev or chrome://tracing")
+    metrics = args.metrics or f"{args.name}-{args.policy}.metrics.jsonl"
+    n = report.write_jsonl(metrics)
+    print(f"wrote {metrics}: {n} metric records")
+    print()
+    print(top_stalls(report, result.stats, top=args.top))
     return 0
 
 
@@ -168,14 +225,25 @@ def cmd_record(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    from repro.sim.system import simulate
     from repro.workloads.tracefile import TraceFileError, load_workload
     try:
         traces, warmup, meta = load_workload(args.path)
     except (OSError, TraceFileError) as exc:
         raise SystemExit(str(exc))
-    stats = simulate(traces, args.policy,
-                     warm_caches=warmup if warmup else True)
+    obs = args.obs or bool(args.obs_out)
+    warm = warmup if warmup else True
+    if obs:
+        from repro.obs.session import observe_run
+        stats, report, _system = observe_run(traces, args.policy,
+                                             warm_caches=warm)
+    else:
+        from repro.sim.system import simulate
+        stats = simulate(traces, args.policy, warm_caches=warm)
+    if args.json:
+        print(stats.to_json(indent=2))
+        if obs and args.obs_out:
+            report.write_jsonl(args.obs_out)
+        return 0
     total = stats.total
     origin = f" (recorded from {meta['benchmark']})" \
         if "benchmark" in meta else ""
@@ -185,16 +253,21 @@ def cmd_replay(args) -> int:
     print(f"  forwarded {total.forwarded_pct:.2f}%  "
           f"gate stalls {total.gate_stalls_pct:.3f}%  "
           f"re-executed {total.reexecuted_pct:.3f}%")
+    if obs:
+        _emit_obs(report, stats, args.obs_out)
     return 0
 
 
 def cmd_sweep(args) -> int:
+    import json
+
     from repro.sweep import SweepJob, run_sweep
     from repro.sweep.runner import stderr_progress
     from repro.workloads.runner import normalized_times
 
+    obs = args.obs or bool(args.obs_out)
     jobs = [SweepJob(name=name, policy=policy, cores=args.cores,
-                     length=args.length, seed=args.seed)
+                     length=args.length, seed=args.seed, obs=obs)
             for name in args.names for policy in POLICY_ORDER]
     outcome = run_sweep(jobs, workers=args.jobs, cache=not args.no_cache,
                         cache_dir=args.cache_dir,
@@ -206,8 +279,22 @@ def cmd_sweep(args) -> int:
         norm = normalized_times(results)
         print(f"{name}: execution time normalized to x86")
         for policy in POLICY_ORDER:
-            print(f"  {policy:16s} {results[policy].cycles:9d} cycles "
-                  f"({norm[policy]:5.3f}x)")
+            line = (f"  {policy:16s} {results[policy].cycles:9d} cycles "
+                    f"({norm[policy]:5.3f}x)")
+            cell_obs = outcome.obs[i * width
+                                   + POLICY_ORDER.index(policy)]
+            if obs and cell_obs:
+                gate = cell_obs.get("gate", {})
+                line += (f"  [gate intervals: "
+                         f"{gate.get('intervals', 0)}]")
+            print(line)
+    if args.obs_out:
+        with open(args.obs_out, "w") as fh:
+            for job, cell_obs in zip(jobs, outcome.obs):
+                fh.write(json.dumps({"name": job.name,
+                                     "policy": job.policy,
+                                     "obs": cell_obs}) + "\n")
+        print(f"wrote {args.obs_out}: {len(jobs)} per-cell obs records")
     if args.verbose:
         print(f"({outcome.simulated} simulated, {outcome.cached} cached, "
               f"{outcome.workers} worker(s), {outcome.elapsed:.1f}s)",
@@ -265,7 +352,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-c", "--cores", type=int, default=8)
     p.add_argument("-l", "--length", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable stats (SystemStats.to_json)")
+    p.add_argument("--obs", action="store_true",
+                   help="attach the observability layer and print a "
+                        "top-stalls summary")
+    p.add_argument("--obs-out", default=None, metavar="PATH",
+                   help="also write the obs metrics as JSONL "
+                        "(implies --obs)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one benchmark with full observability and emit a "
+             "Perfetto-loadable Chrome trace + JSONL metrics")
+    p.add_argument("name")
+    p.add_argument("-p", "--policy", default="370-SLFSoS-key",
+                   choices=POLICY_ORDER)
+    p.add_argument("-c", "--cores", type=int, default=8)
+    p.add_argument("-l", "--length", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--out", default=None,
+                   help="Chrome trace JSON path "
+                        "(default: NAME-POLICY.trace.json)")
+    p.add_argument("--metrics", default=None,
+                   help="metrics JSONL path "
+                        "(default: NAME-POLICY.metrics.jsonl)")
+    p.add_argument("--sample-interval", type=int, default=64,
+                   help="occupancy sampling period in cycles")
+    p.add_argument("--top", type=int, default=5,
+                   help="gate intervals shown in the top-stalls summary")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("record", help="save a workload to a trace file")
     p.add_argument("name")
@@ -279,6 +396,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("-p", "--policy", default="370-SLFSoS-key",
                    choices=POLICY_ORDER)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable stats (SystemStats.to_json)")
+    p.add_argument("--obs", action="store_true",
+                   help="attach the observability layer and print a "
+                        "top-stalls summary")
+    p.add_argument("--obs-out", default=None, metavar="PATH",
+                   help="also write the obs metrics as JSONL "
+                        "(implies --obs)")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
@@ -299,6 +424,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "$REPRO_SWEEP_CACHE or .sweep-cache)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="progress and cache statistics on stderr")
+    p.add_argument("--obs", action="store_true",
+                   help="carry per-cell observability summaries "
+                        "(histograms, gate intervals) in the results")
+    p.add_argument("--obs-out", default=None, metavar="PATH",
+                   help="write per-cell obs summaries as JSONL "
+                        "(implies --obs)")
     p.set_defaults(func=cmd_sweep)
     return parser
 

@@ -30,6 +30,7 @@ from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.coherence.cache import CacheArray, PrivateHierarchy
 from repro.noc.network import Network
+from repro.obs.bus import NULL_BUS
 from repro.sim.config import MemoryConfig, SystemConfig
 from repro.sim.engine import Engine
 
@@ -219,6 +220,8 @@ class PrivateController:
         self.wb_buffer: Set[int] = set()
         self.removal_listener: Optional[RemovalListener] = None
         self.mshrs = system.core_mshrs
+        self._p_inval = system.probe_bus.resolve("mesi.inval")
+        self._p_evict = system.probe_bus.resolve("mesi.evict")
         if system.system_config.core.l1_evict_squash:
             self.hierarchy.l1_evict_listener = self._on_l1_evict
 
@@ -403,6 +406,9 @@ class PrivateController:
         present = self.hierarchy.invalidate(line)
         self.state.pop(line, None)
         self.wb_buffer.discard(line)
+        if self._p_inval is not None:
+            self._p_inval(self.core_id, self.system.engine.now, line,
+                          requestor, present)
         if present and self.removal_listener is not None:
             self.removal_listener(line, "inval")
         target = self.system.controllers[requestor]
@@ -422,6 +428,8 @@ class PrivateController:
     def _evict(self, line: int) -> None:
         state = self.state.pop(line, None)
         self.system.stats_evictions += 1
+        if self._p_evict is not None:
+            self._p_evict(self.core_id, self.system.engine.now, line)
         if self.removal_listener is not None:
             self.removal_listener(line, "evict")
         if state in (M, E):
@@ -438,7 +446,8 @@ class CoherentMemorySystem:
     controllers, glued together by the interconnect."""
 
     def __init__(self, engine: Engine, config: SystemConfig,
-                 network: Optional[Network] = None) -> None:
+                 network: Optional[Network] = None,
+                 probes=None) -> None:
         self.engine = engine
         self.system_config = config
         self.config: MemoryConfig = config.memory
@@ -446,6 +455,9 @@ class CoherentMemorySystem:
         self.core_mshrs = config.core.mshrs
         self.stats_invalidations = 0
         self.stats_evictions = 0
+        # Resolved by each PrivateController at construction; must be set
+        # before the controllers are built.
+        self.probe_bus = probes if probes is not None else NULL_BUS
         self.banks = [DirectoryBank(self, i)
                       for i in range(self.config.l3_banks)]
         self.controllers = [PrivateController(self, i)

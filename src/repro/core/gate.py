@@ -18,13 +18,25 @@ from typing import Optional
 
 
 class RetireGate:
-    """One open/closed bit and one key register."""
+    """One open/closed bit and one key register.
+
+    Beyond the architectural state, the gate keeps observability
+    counters: episode counts (``closes``/``opens``) and lock *durations*
+    — total closed cycles and a per-key breakdown — fed by the ``now``
+    argument the policies pass from the engine clock.  ``now`` defaults
+    to 0 so key-matching unit tests can exercise the state machine
+    without a clock (durations then all land on key 0 of the clock,
+    i.e. are meaningless, which is fine for those tests).
+    """
 
     def __init__(self) -> None:
         self._closed = False
         self._key: Optional[int] = None
+        self._closed_at = 0
         self.closes = 0
         self.opens = 0
+        self.lock_cycles = 0
+        self.lock_cycles_by_key: dict = {}
 
     @property
     def closed(self) -> bool:
@@ -34,7 +46,7 @@ class RetireGate:
     def key(self) -> Optional[int]:
         return self._key
 
-    def close(self, key: int) -> None:
+    def close(self, key: int, now: int = 0) -> None:
         """Lock the gate with ``key``.  Only legal when open: retirement
         is in order, so a second SLF load cannot retire (and hence cannot
         close the gate) while the gate is closed."""
@@ -42,21 +54,30 @@ class RetireGate:
             raise RuntimeError("retire gate is already closed")
         self._closed = True
         self._key = key
+        self._closed_at = now
         self.closes += 1
 
-    def open_with_key(self, key: int) -> bool:
+    def _record_unlock(self, key: int, now: int) -> None:
+        held = now - self._closed_at
+        self.lock_cycles += held
+        self.lock_cycles_by_key[key] = \
+            self.lock_cycles_by_key.get(key, 0) + held
+
+    def open_with_key(self, key: int, now: int = 0) -> bool:
         """A store exiting the SB presents its key; the gate opens only on
         a match.  Returns True if the gate opened."""
         if self._closed and self._key == key:
+            self._record_unlock(key, now)
             self._closed = False
             self._key = None
             self.opens += 1
             return True
         return False
 
-    def open_unconditionally(self) -> bool:
+    def open_unconditionally(self, now: int = 0) -> bool:
         """Drain-based reopen (370-SLFSoS: the SB emptied)."""
         if self._closed:
+            self._record_unlock(self._key, now)
             self._closed = False
             self._key = None
             self.opens += 1

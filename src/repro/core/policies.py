@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
 
 from repro.core.gate import RetireGate
 from repro.core.reasons import GATE, SLF_SB
+from repro.obs.bus import NULL_BUS
 from repro.cpu.load_queue import LoadEntry
 from repro.cpu.store_buffer import StoreEntry
 
@@ -164,6 +165,24 @@ class _SoSBase(ConsistencyPolicy):
         self.gate = RetireGate()
         # key -> seq of the (oldest) SLF load forwarded from that store.
         self.active_forwardings: Dict[int, int] = {}
+        self._p_gate_close = None
+        self._p_gate_open = None
+
+    def attach(self, core: "Core") -> None:
+        super().attach(core)
+        # getattr: policy unit tests attach to stub cores that carry
+        # only the structures the hooks touch (no bus, no engine).
+        bus = getattr(core, "probe_bus", NULL_BUS)
+        self._p_gate_close = bus.resolve("gate.close")
+        self._p_gate_open = bus.resolve("gate.open")
+
+    def _now(self) -> int:
+        engine = getattr(self.core, "engine", None)
+        return engine.now if engine is not None else 0
+
+    def _fire_open(self, key: int, reason: str) -> None:
+        if self._p_gate_open is not None:
+            self._p_gate_open(self.core.core_id, self._now(), key, reason)
 
     def on_forward(self, load: LoadEntry, store: StoreEntry) -> None:
         super().on_forward(load, store)
@@ -177,8 +196,12 @@ class _SoSBase(ConsistencyPolicy):
     def on_load_retire(self, load: LoadEntry) -> None:
         if load.slf and load.key is not None \
                 and self.core.sb.holds_key(load.key):
-            self.gate.close(load.key)
+            now = self._now()
+            self.gate.close(load.key, now)
             self.core.stats.gate_closes += 1
+            if self._p_gate_close is not None:
+                self._p_gate_close(self.core.core_id, now, load.key,
+                                   load.seq)
 
     def on_squash(self, seq: int) -> None:
         """Forwardings whose SLF load was flushed are no longer real."""
@@ -201,7 +224,9 @@ class SLFSoSPolicy(_SoSBase):
     name = "370-SLFSoS"
 
     def on_sb_drained(self) -> None:
-        self.gate.open_unconditionally()
+        key = self.gate.key
+        if self.gate.open_unconditionally(self._now()):
+            self._fire_open(key, "drain")
         self.active_forwardings.clear()
 
 
@@ -212,14 +237,17 @@ class SLFSoSKeyPolicy(_SoSBase):
     name = "370-SLFSoS-key"
 
     def on_store_written(self, store: StoreEntry) -> None:
-        self.gate.open_with_key(store.key)
+        if self.gate.open_with_key(store.key, self._now()):
+            self._fire_open(store.key, "key")
         self.active_forwardings.pop(store.key, None)
 
     def on_sb_drained(self) -> None:
         # Belt and braces: every store write already lifted its own
         # forwardings, so nothing should remain when the SB is empty.
         if self.gate.closed:  # pragma: no cover - defensive
-            self.gate.open_unconditionally()
+            key = self.gate.key
+            self.gate.open_unconditionally(self._now())
+            self._fire_open(key, "drain")
         self.active_forwardings.clear()
 
 

@@ -36,6 +36,7 @@ from repro.cpu.rob import ReorderBuffer, RobEntry
 from repro.cpu.store_buffer import StoreBuffer, StoreEntry
 from repro.cpu.storeset import StoreSetPredictor
 from repro.memory.prefetch import StridePrefetcher
+from repro.obs.bus import NULL_BUS
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.stats import CoreStats
@@ -58,7 +59,7 @@ class Core:
                  on_finish: Optional[Callable[["Core"], None]] = None,
                  detect_violations: bool = True,
                  memory_data: Optional[Dict[int, int]] = None,
-                 tracer=None) -> None:
+                 tracer=None, probes=None) -> None:
         self.engine = engine
         self.core_id = core_id
         self.config = config.core
@@ -74,6 +75,19 @@ class Core:
         self.controller = controller
         self.policy = policy
         self.on_finish = on_finish
+        # Probe resolution happens once, here; each site fires behind an
+        # ``is not None`` guard, so an unobserved run pays one pointer
+        # compare per site (the same contract as ``tracer`` below).  The
+        # bus must be in place before the policy attaches — _SoSBase
+        # resolves its gate probes from ``core.probe_bus`` in attach().
+        self.probe_bus = probes if probes is not None else NULL_BUS
+        self._p_slf_forward = self.probe_bus.resolve("slf.forward")
+        self._p_sb_write = self.probe_bus.resolve("sb.write_l1")
+        self._p_gate_stall = self.probe_bus.resolve("gate.stall")
+        self._p_squash = {
+            reason: self.probe_bus.resolve(f"squash.{reason}")
+            for reason in ("inval", "evict", "memdep")
+        }
         policy.attach(self)
         controller.removal_listener = self._on_line_removed
 
@@ -238,6 +252,8 @@ class Core:
                 self.rob.retire_head()
                 entry = self.store_of.pop(head.seq)
                 entry.retired = True
+                if self._p_sb_write is not None:
+                    entry.retired_at = self.engine.now
                 self.stats.retired_stores += 1
             else:
                 self.rob.retire_head()
@@ -265,6 +281,10 @@ class Core:
                 self.stats.gate_stall_cycles += blocked
             elif lentry.blocked_reason == SLF_SB:
                 self.stats.slf_retire_stall_cycles += blocked
+            if self._p_gate_stall is not None:
+                self._p_gate_stall(self.core_id, self.engine.now,
+                                   lentry.seq, blocked,
+                                   lentry.blocked_reason)
         self.rob.retire_head()
         self.lq.retire_head(head.seq)
         del self.load_of[head.seq]
@@ -343,6 +363,11 @@ class Core:
         self._sb_inflight -= 1
         self._sb_miss_inflight = False
         self.sb.pop_head()
+        if self._p_sb_write is not None:
+            now = self.engine.now
+            drain = now - entry.retired_at if entry.retired_at >= 0 else 0
+            self._p_sb_write(self.core_id, now, entry.seq, entry.addr,
+                             drain, entry.key)
         self.policy.on_store_written(entry)
         if self.detector is not None:
             self.detector.on_store_written(entry)
@@ -432,6 +457,9 @@ class Core:
         lentry.state = ISSUED
         lentry.value = store.value
         self.policy.on_forward(lentry, store)
+        if self._p_slf_forward is not None:
+            self._p_slf_forward(self.core_id, self.engine.now, lentry.seq,
+                                store.seq, store.key)
         if self.detector is not None:
             self.detector.on_forward(lentry, store)
         self.engine.schedule(self.config.forward_latency,
@@ -652,6 +680,9 @@ class Core:
             return
         if self.tracer is not None:
             self.tracer.on_squash(seq, self.engine.now, reason)
+        probe = self._p_squash.get(reason)
+        if probe is not None:
+            probe(self.core_id, self.engine.now, seq, len(removed))
         self.stats.squashes += 1
         if reason == "inval":
             self.stats.squashes_inval += 1

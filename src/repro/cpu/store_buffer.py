@@ -23,7 +23,7 @@ class StoreEntry:
 
     __slots__ = ("seq", "addr", "resolved", "retired", "issued", "written",
                  "slot", "sorting_bit", "waiters", "pc", "rfo_sent",
-                 "value")
+                 "value", "retired_at")
 
     def __init__(self, seq: int, slot: int, sorting_bit: int,
                  pc: int = 0, value: int = 0) -> None:
@@ -38,6 +38,7 @@ class StoreEntry:
         self.sorting_bit = sorting_bit
         self.pc = pc
         self.rfo_sent = False
+        self.retired_at = -1          # cycle stamped only when observed
         # 370-NoSpec loads blocked on this store's L1 write.
         self.waiters: List[Callable[[], None]] = []
 

@@ -1,0 +1,194 @@
+"""Time-series samplers and log-bucketed histograms.
+
+:class:`LogHistogram` is the distribution container used everywhere in
+the observability layer: power-of-two buckets over non-negative integer
+cycle counts, constant memory, exact ``count``/``total``/``max``, and a
+mergeable, JSON-round-trippable representation — which is what lets the
+sweep runner carry per-cell distributions back from worker processes.
+
+:class:`OccupancySampler` periodically records ROB / LQ / SQ-SB
+occupancy and the retire-gate state of every core, driven by the event
+engine itself (a self-rescheduling event), so a disabled run schedules
+nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import System
+
+#: One occupancy sample: (cycle, rob, lq, sb, gate_closed).
+Sample = Tuple[int, int, int, int, int]
+
+
+class LogHistogram:
+    """Histogram of non-negative ints in power-of-two buckets.
+
+    Bucket 0 holds the value 0; bucket ``b`` (b >= 1) holds values in
+    ``[2**(b-1), 2**b - 1]`` — i.e. the bucket index is the value's bit
+    length.  Percentiles are resolved to a bucket's upper bound (clamped
+    to the observed maximum), which is the usual log-histogram
+    trade-off: cheap to collect, at most 2x relative error per quantile.
+    """
+
+    __slots__ = ("count", "total", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.max = 0
+        self._buckets: Dict[int, int] = {}
+
+    def add(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative sample: {value}")
+        bucket = value.bit_length()
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "LogHistogram") -> None:
+        for bucket, n in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[int, int, int]]:
+        """Occupied buckets as ``(lo, hi, count)``, ascending."""
+        out = []
+        for bucket in sorted(self._buckets):
+            if bucket == 0:
+                lo = hi = 0
+            else:
+                lo, hi = 1 << (bucket - 1), (1 << bucket) - 1
+            out.append((lo, hi, self._buckets[bucket]))
+        return out
+
+    def percentile(self, p: float) -> int:
+        """Upper bound of the bucket containing the p-th percentile
+        (0 < p <= 100), clamped to the observed maximum."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if self.count == 0:
+            return 0
+        threshold = self.count * p / 100.0
+        seen = 0
+        for lo, hi, n in self.buckets():
+            seen += n
+            if seen >= threshold:
+                return min(hi, self.max)
+        return self.max  # pragma: no cover - float-edge fallback
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 2),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form; exact under :meth:`from_dict` round-trip."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "buckets": {str(b): n for b, n in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LogHistogram":
+        hist = cls()
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.max = data["max"]
+        hist._buckets = {int(b): n for b, n in data["buckets"].items()}
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LogHistogram n={self.count} mean={self.mean:.1f} "
+                f"max={self.max}>")
+
+
+class OccupancySampler:
+    """Periodic per-core occupancy + gate-state samples.
+
+    Installed on a running :class:`~repro.sim.system.System`, the
+    sampler schedules itself on the system's engine every ``interval``
+    cycles.  It stops automatically when every core has finished; as a
+    safety valve it also stops when nothing else is scheduled (a wedged
+    simulation must still hit the normal deadlock diagnostics, not be
+    kept alive — and filled with samples — by the sampler itself).
+    """
+
+    def __init__(self, interval: int = 64, limit: int = 1_000_000) -> None:
+        if interval < 1:
+            raise ValueError("sample interval must be >= 1")
+        self.interval = interval
+        self.limit = limit
+        self.samples: Dict[int, List[Sample]] = {}
+        self._system: Optional["System"] = None
+
+    def install(self, system: "System") -> None:
+        self._system = system
+        for core in system.cores:
+            self.samples[core.core_id] = []
+        system.engine.schedule(self.interval, self._sample)
+
+    def _sample(self) -> None:
+        system = self._system
+        if system is None or system.done:
+            return
+        engine = system.engine
+        # Safety valve: at dispatch time the sampler's own event has
+        # been popped, so pending == 0 means no simulation event is
+        # outstanding — the run is deadlocked and rescheduling would
+        # only mask it from the deadlock diagnostics.
+        if engine.pending == 0:
+            return
+
+        now = engine.now
+        taken = 0
+        for core in system.cores:
+            series = self.samples[core.core_id]
+            if len(series) >= self.limit:
+                continue
+            gate = getattr(core.policy, "gate", None)
+            closed = 1 if (gate is not None and gate.closed) else 0
+            series.append((now, len(core.rob), len(core.lq),
+                           len(core.sb), closed))
+            taken += 1
+        if taken:
+            engine.schedule(self.interval, self._sample)
+
+    def summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-core mean/max occupancy over the sampled series."""
+        out: Dict[int, Dict[str, float]] = {}
+        for core_id, series in self.samples.items():
+            if not series:
+                out[core_id] = {"samples": 0}
+                continue
+            n = len(series)
+            out[core_id] = {
+                "samples": n,
+                "rob_mean": round(sum(s[1] for s in series) / n, 2),
+                "rob_max": max(s[1] for s in series),
+                "lq_mean": round(sum(s[2] for s in series) / n, 2),
+                "lq_max": max(s[2] for s in series),
+                "sb_mean": round(sum(s[3] for s in series) / n, 2),
+                "sb_max": max(s[3] for s in series),
+                "gate_closed_frac": round(
+                    sum(s[4] for s in series) / n, 4),
+            }
+        return out

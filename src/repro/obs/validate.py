@@ -1,0 +1,122 @@
+"""Schema validation for emitted Chrome trace-event JSON.
+
+The Trace Event Format is loose, so this checks the subset the exporter
+promises — enough for CI to catch a malformed trace before a human
+loads it into Perfetto:
+
+* top level: ``traceEvents`` list + ``otherData`` metadata dict;
+* every event has ``ph``/``pid``/``tid``/``name``; phase is one the
+  exporter emits ("X", "M", "C", "i");
+* "X" slices have integer ``ts`` >= 0 and ``dur`` >= 1;
+* counter events carry numeric values only;
+* gate-closed slice count (cat == "gate") equals
+  ``otherData.gate_closes`` when present — the acceptance criterion
+  that the trace agrees with ``CoreStats.gate_closes`` exactly.
+
+Also a CLI (used by the CI smoke step)::
+
+    python -m repro.obs.validate trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+_PHASES = {"X", "M", "C", "i"}
+
+
+class TraceValidationError(Exception):
+    """The trace JSON does not satisfy the exporter's schema."""
+
+
+def _fail(msg: str) -> None:
+    raise TraceValidationError(msg)
+
+
+def validate_chrome_trace(trace: Dict) -> Dict[str, int]:
+    """Validate a loaded trace dict; returns summary counts by phase.
+
+    Raises :class:`TraceValidationError` on the first violation.
+    """
+    if not isinstance(trace, dict):
+        _fail(f"top level must be an object, got {type(trace).__name__}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        _fail("missing or non-list 'traceEvents'")
+    other = trace.get("otherData", {})
+    if not isinstance(other, dict):
+        _fail("'otherData' must be an object")
+
+    counts: Dict[str, int] = {ph: 0 for ph in _PHASES}
+    gate_slices = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            _fail(f"{where}: event must be an object")
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            _fail(f"{where}: bad phase {ph!r} (expected one of "
+                  f"{sorted(_PHASES)})")
+        counts[ph] += 1
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                _fail(f"{where}: missing {key!r}")
+        if not isinstance(event["pid"], int) \
+                or not isinstance(event["tid"], int):
+            _fail(f"{where}: pid/tid must be integers")
+        if ph in ("X", "C", "i"):
+            ts = event.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                _fail(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 1:
+                _fail(f"{where}: bad dur {dur!r} (slices need dur >= 1)")
+            if event.get("cat") == "gate":
+                gate_slices += 1
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                _fail(f"{where}: counter event needs non-empty args")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    _fail(f"{where}: counter arg {k!r} must be numeric, "
+                          f"got {type(v).__name__}")
+
+    expected = other.get("gate_closes")
+    if expected is not None and gate_slices != expected:
+        _fail(f"gate-closed slice count {gate_slices} != "
+              f"otherData.gate_closes {expected}")
+    counts["gate_slices"] = gate_slices
+    return counts
+
+
+def validate_chrome_trace_file(path: str) -> Dict[str, int]:
+    with open(path) as fh:
+        try:
+            trace = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TraceValidationError(f"{path}: not valid JSON: {exc}")
+    return validate_chrome_trace(trace)
+
+
+def main(argv: List[str] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json",
+              file=sys.stderr)
+        return 2
+    try:
+        counts = validate_chrome_trace_file(argv[0])
+    except TraceValidationError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"OK: {argv[0]} ({summary})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

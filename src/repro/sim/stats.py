@@ -25,6 +25,8 @@ class CoreStats:
     retired_stores: int = 0
     slf_loads: int = 0                 # loads performed via forwarding
     gate_closes: int = 0               # times the retire gate was closed
+    gate_opens: int = 0                # times it reopened (== closes at EOR)
+    gate_lock_cycles: int = 0          # total cycles the gate was closed
     gate_stall_events: int = 0         # instructions that stalled at ROB head
     gate_stall_cycles: int = 0         # total cycles the head was gate-blocked
     sb_wait_events: int = 0            # 370-NoSpec: loads made to wait for L1 write
@@ -42,6 +44,9 @@ class CoreStats:
     loads_issued: int = 0
     l1_load_hits: int = 0
     store_atomicity_violations: int = 0  # x86 only: detected would-be violations
+    # Cycles the gate was held closed, broken down by locking SB key —
+    # the per-key lock durations of the RetireGate, surfaced post-run.
+    gate_lock_by_key: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived metrics (Table IV / Section VI-A)
@@ -86,18 +91,32 @@ class CoreStats:
     def merge(self, other: "CoreStats") -> None:
         """Accumulate another core's counters into this one (everything
         sums, including cycles, so ratio metrics like stall percentages
-        become per-core-cycle averages) — used for whole-system totals."""
-        for name in vars(other):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+        become per-core-cycle averages) — used for whole-system totals.
+        The per-key lock breakdown sums key-wise."""
+        for name, value in vars(other).items():
+            if name == "gate_lock_by_key":
+                mine = self.gate_lock_by_key
+                for key, cycles in value.items():
+                    mine[key] = mine.get(key, 0) + cycles
+            else:
+                setattr(self, name, getattr(self, name) + value)
 
-    def to_dict(self) -> Dict[str, int]:
-        """All counters as a plain dict.  Every field is an int, so the
-        JSON round-trip through :meth:`from_dict` is exact — the sweep
-        result cache relies on this."""
-        return dict(vars(self))
+    def to_dict(self) -> Dict:
+        """All counters as a plain dict.  Every scalar is an int and the
+        one mapping gets string keys, so the JSON round-trip through
+        :meth:`from_dict` is exact — the sweep result cache relies on
+        this."""
+        out = dict(vars(self))
+        out["gate_lock_by_key"] = {
+            str(k): v for k, v in sorted(self.gate_lock_by_key.items())}
+        return out
 
     @classmethod
-    def from_dict(cls, data: Dict[str, int]) -> "CoreStats":
+    def from_dict(cls, data: Dict) -> "CoreStats":
+        data = dict(data)
+        data["gate_lock_by_key"] = {
+            int(k): v
+            for k, v in data.get("gate_lock_by_key", {}).items()}
         return cls(**data)
 
 
@@ -148,6 +167,43 @@ class SystemStats:
             evictions=data["evictions"],
             network_messages=dict(data["network_messages"]),
         )
+
+    def to_json(self, indent: int = None) -> str:
+        """The :meth:`to_dict` form as a JSON string (``repro bench
+        --json`` / ``repro replay --json``)."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def validate(self) -> None:
+        """Cross-check the gate counters for internal consistency.
+
+        For each core, at end of run:
+
+        * every close was matched by an open (the gate cannot outlive
+          the run: the SB must drain before a core finishes);
+        * the head cannot have been gate-blocked for longer than the
+          gate was actually held closed (in-order retirement means the
+          blocked head retires the same cycle the gate opens);
+        * the per-key lock breakdown sums to the lock total.
+
+        Raises ``AssertionError`` with the offending core on violation.
+        """
+        for cid, stats in self.per_core.items():
+            if stats.gate_closes != stats.gate_opens:
+                raise AssertionError(
+                    f"core {cid}: gate_closes={stats.gate_closes} != "
+                    f"gate_opens={stats.gate_opens}")
+            if stats.gate_stall_cycles > stats.gate_lock_cycles:
+                raise AssertionError(
+                    f"core {cid}: gate_stall_cycles="
+                    f"{stats.gate_stall_cycles} exceeds gate_lock_cycles="
+                    f"{stats.gate_lock_cycles}")
+            by_key = sum(stats.gate_lock_by_key.values())
+            if by_key != stats.gate_lock_cycles:
+                raise AssertionError(
+                    f"core {cid}: per-key lock cycles {by_key} != "
+                    f"gate_lock_cycles={stats.gate_lock_cycles}")
 
 
 def _pct(num: int, den: int) -> float:

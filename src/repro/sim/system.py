@@ -27,7 +27,8 @@ class System:
                  warm_caches: object = True,
                  initial_memory: Optional[Dict[int, int]] = None,
                  trace_pipeline: bool = False,
-                 engine: Optional[Engine] = None) -> None:
+                 engine: Optional[Engine] = None,
+                 probes=None) -> None:
         from repro.coherence.mesi import CoherentMemorySystem
         from repro.coherence.warmup import warm_from_traces
         from repro.core.policies import make_policy
@@ -46,7 +47,9 @@ class System:
         # predicate-polled termination for those.
         self.engine = engine if engine is not None else Engine()
         self._use_stop = getattr(self.engine, "supports_stop", False)
-        self.memory = CoherentMemorySystem(self.engine, self.config)
+        self.probe_bus = probes  # None => every component uses NULL_BUS
+        self.memory = CoherentMemorySystem(self.engine, self.config,
+                                           probes=probes)
         if warm_caches:
             # The paper measures after a warm-up phase; install working
             # sets functionally before the cores exist (so no squash
@@ -68,7 +71,8 @@ class System:
                         self.memory.controller(core_id), policy,
                         on_finish=self._core_finished,
                         detect_violations=detect_violations,
-                        memory_data=self.memory_data, tracer=tracer)
+                        memory_data=self.memory_data, tracer=tracer,
+                        probes=probes)
             self.cores.append(core)
             self._unfinished += 1
 
@@ -115,9 +119,22 @@ class System:
         stats.execution_cycles = max(c.stats.cycles for c in self.cores)
         for core in self.cores:
             stats.per_core[core.core_id] = core.stats
+            gate = getattr(core.policy, "gate", None)
+            if gate is not None:
+                # Surface the RetireGate's own bookkeeping into the
+                # core's stats and cross-check the pipeline-side count.
+                if gate.closes != core.stats.gate_closes:
+                    raise RuntimeError(
+                        f"core {core.core_id}: RetireGate.closes="
+                        f"{gate.closes} disagrees with stats.gate_closes="
+                        f"{core.stats.gate_closes}")
+                core.stats.gate_opens = gate.opens
+                core.stats.gate_lock_cycles = gate.lock_cycles
+                core.stats.gate_lock_by_key = dict(gate.lock_cycles_by_key)
         stats.invalidations_sent = self.memory.stats_invalidations
         stats.evictions = self.memory.stats_evictions
         stats.network_messages = dict(self.memory.network.stats.messages)
+        stats.validate()
         return stats
 
 

@@ -50,6 +50,12 @@ class SweepJob:
     # The ablation in benchmarks/bench_ablations.py runs with the
     # profile's memory-dependence hints stripped (cold StoreSet).
     memdep_hints: bool = True
+    # Attach the observability layer and carry its per-cell summary
+    # (histograms, gate intervals, squash counters) in the result
+    # payload.  Part of the cache key: an obs run records strictly more
+    # than a plain run, so the two cannot share cache entries.
+    obs: bool = False
+    obs_sample_interval: int = 64
 
 
 @dataclass
@@ -62,6 +68,9 @@ class SweepOutcome:
     elapsed: float = 0.0               # wall-clock seconds
     workers: int = 1                   # pool size used (1 = in-process)
     keys: List[str] = field(default_factory=list)  # cache key per job
+    # Per-job observability summary dicts (None for non-obs jobs), in
+    # input order — the ``repro.obs.session.ObsReport.to_dict()`` form.
+    obs: List[Optional[Dict]] = field(default_factory=list)
 
 
 def job_key(job: SweepJob) -> str:
@@ -83,6 +92,8 @@ def job_key(job: SweepJob) -> str:
                    else dataclasses.asdict(job.config)),
         "detect_violations": job.detect_violations,
         "memdep_hints": job.memdep_hints,
+        "obs": job.obs,
+        "obs_sample_interval": job.obs_sample_interval if job.obs else None,
         "code": code_version(),
     }
     return content_key(payload)
@@ -102,6 +113,17 @@ def execute_job(job: SweepJob) -> Dict:
     if not job.memdep_hints:
         for trace in traces:
             trace.memdep_hints = []
+    if job.obs:
+        from repro.obs.session import observe_run
+        stats, report, _system = observe_run(
+            traces, job.policy, config=job.config, warm_caches=warm,
+            detect_violations=job.detect_violations,
+            sample_interval=job.obs_sample_interval)
+        payload = stats.to_dict()
+        # Rides inside the cached payload; SystemStats.from_dict ignores
+        # keys it does not know, so old readers are unaffected.
+        payload["obs"] = report.to_dict()
+        return payload
     stats = simulate(traces, job.policy, config=job.config,
                      warm_caches=warm,
                      detect_violations=job.detect_violations)
@@ -144,6 +166,11 @@ def run_sweep(jobs: Sequence[SweepJob],
     store = ResultCache(cache_dir) if cache else None
     keys = [job_key(job) for job in jobs]
     stats_by_key: Dict[str, SystemStats] = {}
+    obs_by_key: Dict[str, Optional[Dict]] = {}
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
 
     cached = 0
     if store is not None:
@@ -151,7 +178,14 @@ def run_sweep(jobs: Sequence[SweepJob],
             payload = store.get(key)
             if payload is not None:
                 stats_by_key[key] = SystemStats.from_dict(payload)
+                obs_by_key[key] = payload.get("obs")
         cached = sum(1 for key in keys if key in stats_by_key)
+        # Cache hits are reported distinctly and *never* enter the ETA
+        # clock below: an instant cell says nothing about how long a
+        # simulation takes, so mixing them in skews the estimate.
+        for idx, key in enumerate(keys):
+            if key in stats_by_key:
+                note(f"sweep: [cache] {jobs[idx].name}/{jobs[idx].policy}")
 
     # Deduplicated misses, in first-appearance order.
     todo: List[int] = []
@@ -164,13 +198,11 @@ def run_sweep(jobs: Sequence[SweepJob],
     nworkers = workers if workers is not None else default_workers()
     nworkers = max(1, min(nworkers, len(todo) or 1))
 
-    def note(msg: str) -> None:
-        if progress is not None:
-            progress(msg)
-
     if todo:
         note(f"sweep: {len(todo)} of {len(jobs)} jobs to simulate "
              f"({cached} cached), {nworkers} worker(s)")
+    elif jobs:
+        note(f"sweep: all {len(jobs)} jobs cached, nothing to simulate")
     done = 0
     t_run = time.perf_counter()
 
@@ -178,9 +210,12 @@ def run_sweep(jobs: Sequence[SweepJob],
         nonlocal done
         key = keys[idx]
         stats_by_key[key] = SystemStats.from_dict(payload)
+        obs_by_key[key] = payload.get("obs")
         if store is not None:
             store.put(key, payload)
         done += 1
+        # ETA over simulated cells only (cache hits were answered
+        # before t_run and are excluded by construction).
         rate = (time.perf_counter() - t_run) / done
         eta = rate * (len(todo) - done)
         job = jobs[idx]
@@ -202,7 +237,8 @@ def run_sweep(jobs: Sequence[SweepJob],
     return SweepOutcome(results=results, simulated=len(todo),
                         cached=cached,
                         elapsed=time.perf_counter() - t0,
-                        workers=nworkers, keys=keys)
+                        workers=nworkers, keys=keys,
+                        obs=[obs_by_key.get(key) for key in keys])
 
 
 def sweep_policies(name: str,

@@ -79,6 +79,32 @@ def run_benchmark(name: str, policy: str = "370-SLFSoS-key",
     return BenchmarkResult(name, profile.suite, policy, stats)
 
 
+def observe_benchmark(name: str, policy: str = "370-SLFSoS-key",
+                      cores: int = DEFAULT_CORES,
+                      length: Optional[int] = None, seed: int = 0,
+                      config: Optional[SystemConfig] = None,
+                      trace_pipeline: bool = False,
+                      sample_interval: int = 64):
+    """Run one benchmark with the observability layer attached.
+
+    Returns ``(result, report, system)``: the usual
+    :class:`BenchmarkResult`, the :class:`repro.obs.session.ObsReport`,
+    and the finished system (whose tracers feed the Chrome exporter when
+    ``trace_pipeline`` is on).
+    """
+    from repro.obs.session import observe_run
+
+    profile = get_profile(name)
+    n = _length_for(profile, length)
+    traces = generate_workload(profile, cores, n, seed)
+    warm = generate_warmup(profile, cores, n, seed)
+    stats, report, system = observe_run(
+        traces, policy, config=config, warm_caches=warm,
+        trace_pipeline=trace_pipeline, sample_interval=sample_interval)
+    return (BenchmarkResult(name, profile.suite, policy, stats),
+            report, system)
+
+
 def run_policy_sweep(name: str, policies: Sequence[str] = POLICY_ORDER,
                      cores: int = DEFAULT_CORES,
                      length: Optional[int] = None, seed: int = 0,

@@ -108,6 +108,55 @@ def test_corrupt_cache_entry_reads_as_miss(tmp_path):
     assert cache.get("missing") is None
 
 
+def test_obs_job_carries_report_and_distinct_key(tmp_path):
+    plain = SweepJob(name="fft", policy="370-SLFSoS-key", cores=CORES,
+                     length=LENGTH)
+    observed = dataclasses.replace(plain, obs=True)
+    assert job_key(plain) != job_key(observed)
+    # The sample interval only matters once obs is on.
+    assert (job_key(dataclasses.replace(plain, obs_sample_interval=32))
+            == job_key(plain))
+    assert (job_key(dataclasses.replace(observed, obs_sample_interval=32))
+            != job_key(observed))
+
+    outcome = run_sweep([plain, observed], cache_dir=tmp_path / "cache")
+    assert outcome.obs[0] is None
+    cell = outcome.obs[1]
+    assert cell is not None
+    assert cell["gate"]["intervals"] == \
+        outcome.results[1].stats.total.gate_closes
+    assert "gate_lock" in cell["histograms"]
+    # The embedded summary must not perturb the stats themselves.
+    assert (dataclasses.asdict(outcome.results[0].stats)
+            == dataclasses.asdict(outcome.results[1].stats))
+
+
+def test_obs_report_survives_the_cache(tmp_path):
+    job = SweepJob(name="fft", policy="370-SLFSoS-key", cores=CORES,
+                   length=LENGTH, obs=True)
+    first = run_sweep([job], cache_dir=tmp_path / "cache")
+    second = run_sweep([job], cache_dir=tmp_path / "cache")
+    assert second.simulated == 0 and second.cached == 1
+    assert second.obs[0] == first.obs[0]
+
+
+def test_progress_reports_cache_hits_distinctly(tmp_path):
+    job = SweepJob(name="fft", policy="x86", cores=CORES, length=LENGTH)
+    lines: list = []
+    run_sweep([job], cache_dir=tmp_path / "cache",
+              progress=lines.append)
+    assert any("[cache]" not in line and "to simulate" in line
+               for line in lines)
+
+    lines.clear()
+    run_sweep([job], cache_dir=tmp_path / "cache",
+              progress=lines.append)
+    assert any(line.startswith("sweep: [cache] fft/x86")
+               for line in lines)
+    assert any("all 1 jobs cached" in line for line in lines)
+    assert not any("ETA" in line for line in lines)
+
+
 def test_memdep_hint_stripping_changes_the_run(tmp_path):
     """A memdep_hints=False job really runs cold: it must squash at
     least as often as the hinted run (cf. the StoreSet ablation)."""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -62,6 +64,42 @@ def test_bench(capsys):
     assert "forwarded" in out
 
 
+def test_bench_json(capsys):
+    assert main(["bench", "fft", "-c", "2", "-l", "600", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["execution_cycles"] > 0
+    assert "per_core" in stats and "0" in stats["per_core"]
+
+
+def test_bench_obs(capsys, tmp_path):
+    out = tmp_path / "m.jsonl"
+    assert main(["bench", "fft", "-c", "2", "-l", "600",
+                 "--obs", "--obs-out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "top stalls" in text
+    assert out.exists()
+    records = [json.loads(line)
+               for line in out.read_text().splitlines()]
+    assert records[0]["type"] == "meta"
+
+
+def test_trace(capsys, tmp_path):
+    trace_path = tmp_path / "fft.trace.json"
+    metrics_path = tmp_path / "fft.metrics.jsonl"
+    assert main(["trace", "fft", "-c", "2", "-l", "600",
+                 "-o", str(trace_path),
+                 "--metrics", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "gate intervals" in out
+    assert "top stalls" in out
+
+    from repro.obs.validate import validate_chrome_trace_file
+    counts = validate_chrome_trace_file(str(trace_path))
+    trace = json.loads(trace_path.read_text())
+    assert counts["gate_slices"] == trace["otherData"]["gate_closes"]
+    assert metrics_path.exists()
+
+
 def test_sweep(capsys):
     assert main(["sweep", "fft", "-c", "2", "-l", "600"]) == 0
     out = capsys.readouterr().out
@@ -106,6 +144,17 @@ def test_record_and_replay(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "wrote" in out
     assert "replayed" in out and "fft" in out
+
+
+def test_replay_json_and_obs(tmp_path, capsys):
+    path = tmp_path / "w.json"
+    assert main(["record", "fft", str(path), "-c", "2", "-l", "500"]) == 0
+    capsys.readouterr()
+    assert main(["replay", str(path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["execution_cycles"] > 0
+    assert main(["replay", str(path), "--obs"]) == 0
+    assert "top stalls" in capsys.readouterr().out
 
 
 def test_replay_missing_file(tmp_path):

@@ -63,6 +63,33 @@ def test_counters():
     assert gate.opens == 2
 
 
+def test_lock_cycles_accumulate():
+    gate = RetireGate()
+    gate.close(0x2A, now=100)
+    assert gate.open_with_key(0x2A, now=130)
+    gate.close(0x2B, now=200)
+    assert gate.open_unconditionally(now=250)
+    assert gate.lock_cycles == 30 + 50
+    assert gate.lock_cycles_by_key == {0x2A: 30, 0x2B: 50}
+
+
+def test_lock_cycles_per_key_accumulate_across_episodes():
+    gate = RetireGate()
+    for start, end in ((0, 10), (20, 25)):
+        gate.close(0x2A, now=start)
+        gate.open_with_key(0x2A, now=end)
+    assert gate.lock_cycles_by_key == {0x2A: 15}
+    assert gate.lock_cycles == 15
+
+
+def test_failed_unlock_records_nothing():
+    gate = RetireGate()
+    gate.close(0x2A, now=5)
+    assert not gate.open_with_key(0x2B, now=50)
+    assert gate.lock_cycles == 0
+    assert gate.lock_cycles_by_key == {}
+
+
 def test_figure8_narrative():
     """The three steps of the paper's Figure 8.
 

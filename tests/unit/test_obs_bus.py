@@ -1,0 +1,92 @@
+"""Unit tests for the probe bus and its zero-overhead contract."""
+
+import pytest
+
+from repro.obs.bus import NULL_BUS, PROBE_SIGNATURES, ProbeBus
+
+
+class TestSubscribe:
+    def test_exact_name(self):
+        bus = ProbeBus()
+        hits = []
+        bus.subscribe("gate.close", lambda *a: hits.append(a))
+        bus.resolve("gate.close")(0, 10, 0x2A, 5)
+        assert hits == [(0, 10, 0x2A, 5)]
+
+    def test_prefix_wildcard(self):
+        bus = ProbeBus()
+        bus.subscribe("squash.*", lambda *a: None)
+        assert bus.resolve("squash.inval") is not None
+        assert bus.resolve("squash.evict") is not None
+        assert bus.resolve("squash.memdep") is not None
+        assert bus.resolve("gate.close") is None
+
+    def test_star_matches_everything(self):
+        bus = ProbeBus()
+        bus.subscribe("*", lambda *a: None)
+        for name in PROBE_SIGNATURES:
+            assert bus.resolve(name) is not None
+
+    def test_unknown_name_raises(self):
+        bus = ProbeBus()
+        with pytest.raises(KeyError):
+            bus.subscribe("gate.does_not_exist", lambda *a: None)
+        with pytest.raises(KeyError):
+            bus.resolve("not.a.probe")
+
+    def test_unmatched_wildcard_raises(self):
+        bus = ProbeBus()
+        with pytest.raises(KeyError):
+            bus.subscribe("nosuch.*", lambda *a: None)
+
+
+class TestResolve:
+    def test_unobserved_probe_resolves_to_none(self):
+        """The zero-overhead contract: no subscriber => literal None, so
+        instrumented sites guard with a single ``is not None``."""
+        bus = ProbeBus()
+        assert bus.resolve("slf.forward") is None
+
+    def test_single_subscriber_returned_directly(self):
+        bus = ProbeBus()
+        fn = lambda *a: None  # noqa: E731
+        bus.subscribe("slf.forward", fn)
+        assert bus.resolve("slf.forward") is fn
+
+    def test_multiple_subscribers_fire_in_order(self):
+        bus = ProbeBus()
+        order = []
+        bus.subscribe("gate.open", lambda *a: order.append("first"))
+        bus.subscribe("gate.open", lambda *a: order.append("second"))
+        bus.resolve("gate.open")(0, 1, 2, "key")
+        assert order == ["first", "second"]
+
+    def test_active_property(self):
+        bus = ProbeBus()
+        assert not bus.active
+        bus.subscribe("mesi.inval", lambda *a: None)
+        assert bus.active
+
+
+class TestNullBus:
+    def test_resolves_known_names_to_none(self):
+        for name in PROBE_SIGNATURES:
+            assert NULL_BUS.resolve(name) is None
+
+    def test_still_checks_names(self):
+        with pytest.raises(KeyError):
+            NULL_BUS.resolve("typo.probe")
+
+    def test_rejects_subscriptions(self):
+        with pytest.raises(RuntimeError):
+            NULL_BUS.subscribe("gate.close", lambda *a: None)
+
+    def test_never_active(self):
+        assert not NULL_BUS.active
+
+
+def test_every_signature_documents_core_and_cycle():
+    """All probes lead with (core_id, cycle, ...) so watchers can be
+    written uniformly."""
+    for name, signature in PROBE_SIGNATURES.items():
+        assert signature.startswith("(core_id, cycle"), name

@@ -1,0 +1,155 @@
+"""Unit tests for the Chrome trace exporter and its schema validator."""
+
+import json
+
+import pytest
+
+from repro.cpu.isa import Trace, alu, load, store
+from repro.obs.chrome_trace import (GATE_TID, _assign_lanes,
+                                    build_chrome_trace, write_chrome_trace)
+from repro.obs.session import observe_run
+from repro.obs.validate import (TraceValidationError, validate_chrome_trace,
+                                validate_chrome_trace_file)
+from repro.sim.config import TINY
+
+
+def _observed(policy="370-SLFSoS-key", cores=1):
+    ops = []
+    for i in range(15):
+        addr = 0x1000 + 64 * i
+        ops.append(store(addr, pc=0x30, value=i))
+        ops.append(load(addr, pc=0x40))
+        ops.append(alu())
+    traces = [Trace.from_ops(ops) for _ in range(cores)]
+    return observe_run(traces, policy, TINY, warm_caches=False,
+                       trace_pipeline=True, sample_interval=16)
+
+
+class TestLaneAssignment:
+    def test_disjoint_spans_share_a_lane(self):
+        assert _assign_lanes([(0, 5), (5, 9), (10, 12)]) == [0, 0, 0]
+
+    def test_overlapping_spans_split(self):
+        assert _assign_lanes([(0, 10), (2, 4), (5, 8)]) == [0, 1, 1]
+
+    def test_lanes_never_overlap(self):
+        spans = [(i, i + 7) for i in range(0, 40, 2)]
+        lanes = _assign_lanes(spans)
+        busy = {}
+        for (start, end), lane in zip(spans, lanes):
+            for prev_start, prev_end in busy.get(lane, ()):
+                assert end <= prev_start or start >= prev_end
+            busy.setdefault(lane, []).append((start, end))
+
+
+class TestBuildTrace:
+    def test_valid_and_gate_slices_match_stats(self):
+        """The PR's acceptance criterion: gate-closed slice count equals
+        CoreStats.gate_closes exactly, enforced by the validator."""
+        stats, report, system = _observed()
+        trace = build_chrome_trace(system, report, stats)
+        counts = validate_chrome_trace(trace)
+        assert counts["gate_slices"] == stats.total.gate_closes > 0
+        assert trace["otherData"]["gate_closes"] == stats.total.gate_closes
+
+    def test_every_retired_instruction_has_a_slice(self):
+        stats, report, system = _observed()
+        trace = build_chrome_trace(system, report, stats)
+        insn = [e for e in trace["traceEvents"]
+                if e["ph"] == "X" and "insn" in e.get("cat", "")]
+        assert len(insn) >= stats.total.retired_instructions
+
+    def test_instruction_lanes_do_not_overlap(self):
+        stats, report, system = _observed()
+        trace = build_chrome_trace(system, report, stats)
+        by_track = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] == "X" and "insn" in e.get("cat", ""):
+                by_track.setdefault((e["pid"], e["tid"]), []).append(
+                    (e["ts"], e["ts"] + e["dur"]))
+        assert by_track, "expected instruction slices"
+        for spans in by_track.values():
+            spans.sort()
+            for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+                assert start >= prev_end
+
+    def test_gate_track_reserved(self):
+        stats, report, system = _observed()
+        trace = build_chrome_trace(system, report, stats)
+        for e in trace["traceEvents"]:
+            if e["ph"] == "X":
+                if e.get("cat") == "gate":
+                    assert e["tid"] == GATE_TID
+                else:
+                    assert e["tid"] > GATE_TID
+
+    def test_counters_emitted_from_samples(self):
+        stats, report, system = _observed()
+        trace = build_chrome_trace(system, report, stats)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        # occupancy + gate_closed per sample
+        assert len(counters) == 2 * sum(len(s)
+                                        for s in report.samples.values())
+
+    def test_multicore_pids(self):
+        stats, report, system = _observed(cores=2)
+        trace = build_chrome_trace(system, report, stats)
+        assert {e["pid"] for e in trace["traceEvents"]} == {0, 1}
+        validate_chrome_trace(trace)
+
+    def test_trace_is_json_serializable(self):
+        stats, report, system = _observed()
+        blob = json.dumps(build_chrome_trace(system, report, stats))
+        validate_chrome_trace(json.loads(blob))
+
+    def test_write_and_validate_file(self, tmp_path):
+        stats, report, system = _observed()
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(path, system, report, stats)
+        counts = validate_chrome_trace_file(str(path))
+        assert counts["X"] > 0 and counts["M"] > 0
+
+
+class TestValidatorRejections:
+    def _minimal(self):
+        return {"traceEvents": [], "otherData": {}}
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events(self):
+        with pytest.raises(TraceValidationError):
+            validate_chrome_trace({"otherData": {}})
+
+    def test_rejects_bad_phase(self):
+        trace = self._minimal()
+        trace["traceEvents"].append(
+            {"ph": "B", "name": "x", "pid": 0, "tid": 0, "ts": 0})
+        with pytest.raises(TraceValidationError, match="bad phase"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_zero_duration_slice(self):
+        trace = self._minimal()
+        trace["traceEvents"].append(
+            {"ph": "X", "name": "x", "pid": 0, "tid": 1, "ts": 0,
+             "dur": 0})
+        with pytest.raises(TraceValidationError, match="dur"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_non_numeric_counter(self):
+        trace = self._minimal()
+        trace["traceEvents"].append(
+            {"ph": "C", "name": "occupancy", "pid": 0, "tid": 0,
+             "ts": 0, "args": {"rob": "three"}})
+        with pytest.raises(TraceValidationError, match="numeric"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_gate_count_mismatch(self):
+        trace = self._minimal()
+        trace["otherData"]["gate_closes"] = 2
+        trace["traceEvents"].append(
+            {"ph": "X", "name": "gate closed", "cat": "gate",
+             "pid": 0, "tid": 0, "ts": 0, "dur": 3})
+        with pytest.raises(TraceValidationError, match="gate"):
+            validate_chrome_trace(trace)

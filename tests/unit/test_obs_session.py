@@ -1,0 +1,192 @@
+"""Unit tests for the histograms, watchers, and the observed-run path."""
+
+import json
+
+import pytest
+
+from repro.cpu.isa import Trace, alu, load, store
+from repro.obs.samplers import LogHistogram
+from repro.obs.session import observe_run
+from repro.sim.config import TINY
+
+
+class TestLogHistogram:
+    def test_zero_goes_to_bucket_zero(self):
+        hist = LogHistogram()
+        hist.add(0)
+        assert hist.buckets() == [(0, 0, 1)]
+        assert hist.max == 0
+
+    def test_bucket_bounds_are_powers_of_two(self):
+        hist = LogHistogram()
+        for v in (1, 2, 3, 4, 7, 8):
+            hist.add(v)
+        assert hist.buckets() == [(1, 1, 1), (2, 3, 2), (4, 7, 2),
+                                  (8, 15, 1)]
+
+    def test_exact_aggregates(self):
+        hist = LogHistogram()
+        for v in (5, 10, 100):
+            hist.add(v)
+        assert hist.count == 3
+        assert hist.total == 115
+        assert hist.max == 100
+        assert hist.mean == pytest.approx(115 / 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram().add(-1)
+
+    def test_percentile_clamped_to_max(self):
+        hist = LogHistogram()
+        hist.add(5)  # bucket [4, 7]
+        assert hist.percentile(50) == 5   # clamped, not 7
+        assert hist.percentile(100) == 5
+
+    def test_percentile_empty_and_range(self):
+        hist = LogHistogram()
+        assert hist.percentile(50) == 0
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_merge(self):
+        a, b = LogHistogram(), LogHistogram()
+        for v in (1, 2, 3):
+            a.add(v)
+        for v in (3, 50):
+            b.add(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == 59
+        assert a.max == 50
+
+    def test_json_round_trip_is_exact(self):
+        hist = LogHistogram()
+        for v in (0, 1, 9, 77, 1024):
+            hist.add(v)
+        blob = json.dumps(hist.to_dict())
+        back = LogHistogram.from_dict(json.loads(blob))
+        assert back.count == hist.count
+        assert back.total == hist.total
+        assert back.max == hist.max
+        assert back.buckets() == hist.buckets()
+
+    def test_summary_keys(self):
+        hist = LogHistogram()
+        hist.add(4)
+        assert set(hist.summary()) == {"count", "mean", "p50", "p90",
+                                       "p99", "max"}
+
+
+def _slf_trace(n_pairs=20):
+    """Store->load pairs to the same line: every load forwards, and the
+    SoS policies close the gate at each SLF-load retire."""
+    ops = []
+    for i in range(n_pairs):
+        addr = 0x1000 + 64 * i
+        ops.append(store(addr, pc=0x30, value=i))
+        ops.append(load(addr, pc=0x40))
+    return Trace.from_ops(ops)
+
+
+class TestObserveRun:
+    def test_gate_intervals_match_stats(self):
+        """The acceptance invariant at unit scale: every gate close
+        recorded by CoreStats appears as exactly one interval."""
+        stats, report, system = observe_run(
+            [_slf_trace()], "370-SLFSoS-key", TINY, warm_caches=False)
+        assert stats.total.gate_closes > 0
+        assert report.gate_interval_count() == stats.total.gate_closes
+        assert report.gate_interval_count() == stats.total.gate_opens
+
+    def test_intervals_are_closed_and_ordered(self):
+        stats, report, _ = observe_run(
+            [_slf_trace()], "370-SLFSoS-key", TINY, warm_caches=False)
+        for intervals in report.gate_intervals.values():
+            for interval in intervals:
+                assert 0 <= interval.start <= interval.end
+                assert interval.open_reason in ("key", "drain", "eof")
+            starts = [i.start for i in intervals]
+            assert starts == sorted(starts)
+
+    def test_lock_histogram_counts_every_interval(self):
+        stats, report, _ = observe_run(
+            [_slf_trace()], "370-SLFSoS", TINY, warm_caches=False)
+        hist = report.histograms["gate_lock"]
+        assert hist.count == report.gate_interval_count()
+        assert hist.total == sum(i.cycles
+                                 for v in report.gate_intervals.values()
+                                 for i in v)
+
+    def test_stall_histogram_tracks_stats(self):
+        stats, report, _ = observe_run(
+            [_slf_trace()], "370-SLFSoS-key", TINY, warm_caches=False)
+        hist = report.histograms["gate_stall"]
+        assert hist.count > 0
+        assert hist.count == stats.total.gate_stall_events
+        assert hist.total == stats.total.gate_stall_cycles
+
+    def test_drain_and_window_histograms_populated(self):
+        stats, report, _ = observe_run(
+            [_slf_trace()], "370-SLFSoS-key", TINY, warm_caches=False)
+        assert report.histograms["sb_drain"].count == \
+            stats.total.retired_stores
+        assert report.histograms["slf_window"].count > 0
+
+    def test_x86_records_no_gate_activity(self):
+        stats, report, _ = observe_run(
+            [_slf_trace()], "x86", TINY, warm_caches=False)
+        assert report.gate_interval_count() == 0
+        assert report.histograms["gate_lock"].count == 0
+
+    def test_occupancy_sampler_ran(self):
+        stats, report, _ = observe_run(
+            [_slf_trace(40)], "370-SLFSoS-key", TINY, warm_caches=False,
+            sample_interval=16)
+        assert report.sample_interval == 16
+        series = report.samples[0]
+        assert series, "expected occupancy samples"
+        cycles = [s[0] for s in series]
+        assert cycles == sorted(cycles)
+        assert all(c <= stats.execution_cycles for c in cycles)
+        assert report.occupancy[0]["samples"] == len(series)
+
+    def test_memdep_squash_counted(self):
+        ops = [alu(latency=3),
+               store(0x200, deps=(0,), pc=0x30, value=5),
+               load(0x200, pc=0x40)]
+        trace = Trace.from_ops(ops)
+        trace.memdep_hints = []  # cold predictor: collision squashes
+        stats, report, _ = observe_run([trace], "x86", TINY,
+                                       warm_caches=False)
+        episodes = report.counters["squash_episodes"]
+        assert episodes.get("memdep", 0) >= 1
+        assert any(ev[3] == "memdep" for ev in report.squash_events)
+
+    def test_to_dict_is_json_safe(self):
+        stats, report, _ = observe_run(
+            [_slf_trace()], "370-SLFSoS-key", TINY, warm_caches=False)
+        blob = json.dumps(report.to_dict())
+        back = json.loads(blob)
+        assert back["gate"]["intervals"] == report.gate_interval_count()
+        assert "samples" not in back
+        with_samples = report.to_dict(include_samples=True)
+        assert "samples" in with_samples
+
+    def test_write_jsonl(self, tmp_path):
+        stats, report, _ = observe_run(
+            [_slf_trace()], "370-SLFSoS-key", TINY, warm_caches=False)
+        path = tmp_path / "metrics.jsonl"
+        n = report.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        types = {r["type"] for r in records}
+        assert {"histogram", "counters", "gate_interval",
+                "sample"} <= types
+        n_intervals = sum(1 for r in records
+                          if r["type"] == "gate_interval")
+        assert n_intervals == report.gate_interval_count()

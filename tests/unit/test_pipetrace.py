@@ -1,5 +1,8 @@
 """Unit tests for the pipeline tracer."""
 
+import pytest
+
+from repro.core.policies import POLICY_ORDER
 from repro.cpu.isa import Trace, alu, load, store
 from repro.sim.config import TINY
 from repro.sim.pipetrace import PipeTracer
@@ -57,6 +60,81 @@ class TestHookIntegration:
         final = tracer.record_for(2, incarnation=-1)
         assert final.retired is not None
         assert final.incarnation >= 1
+
+
+class TestMultiIncarnation:
+    """The squash/re-execution path, traced under every policy."""
+
+    # Unhinted store->load collision with slow address generation: the
+    # load issues early, the late store hits it, and the memdep squash
+    # re-dispatches the load as a new incarnation.
+    OPS = staticmethod(lambda: [
+        alu(latency=3),
+        store(0x200, deps=(0,), pc=0x30, value=5),
+        load(0x200, pc=0x40),
+    ])
+
+    @pytest.mark.parametrize("policy", POLICY_ORDER)
+    def test_squash_traced_under_every_policy(self, policy):
+        system = _run(self.OPS(), policy=policy, hints=())
+        tracer = system.cores[0].tracer
+
+        squashed = tracer.squashed_records()
+        assert squashed, f"{policy}: expected a memdep squash"
+        for record in squashed:
+            assert record.squash_reason == "memdep"
+            assert record.retired is None
+            assert record.squashed is not None
+            assert record.squashed >= record.dispatched
+
+        # The killed and surviving incarnations are distinct records
+        # with increasing incarnation numbers, and the last one retires.
+        load_records = sorted(
+            (r for r in tracer.records if r.seq == 2),
+            key=lambda r: r.incarnation)
+        assert len(load_records) >= 2
+        incs = [r.incarnation for r in load_records]
+        assert incs == sorted(set(incs))
+        final = tracer.record_for(2, incarnation=-1)
+        assert final.retired is not None
+        assert final.incarnation >= 1
+
+    @pytest.mark.parametrize("policy", POLICY_ORDER)
+    def test_every_instruction_eventually_retires(self, policy):
+        system = _run(self.OPS(), policy=policy, hints=())
+        tracer = system.cores[0].tracer
+        retired_seqs = {r.seq for r in tracer.retired_records()}
+        assert retired_seqs == {0, 1, 2}
+
+
+class TestGateBlockedAnnotation:
+    """SoS policies annotate loads that stall behind a closed gate."""
+
+    # Back-to-back SLF pairs: each load closes the gate at retire, and
+    # the next pair's load reaches the ROB head before the SB entry has
+    # drained, so it must wait for the gate to reopen.
+    OPS = staticmethod(lambda: [
+        op
+        for i in range(10)
+        for op in (store(0x1000 + 64 * i, pc=0x30, value=i),
+                   load(0x1000 + 64 * i, pc=0x40))
+    ])
+
+    @pytest.mark.parametrize("policy", ["370-SLFSoS", "370-SLFSoS-key"])
+    def test_gate_blocked_cycles_recorded(self, policy):
+        system = _run(self.OPS(), policy=policy, hints=())
+        tracer = system.cores[0].tracer
+        blocked = [r for r in tracer.retired_records()
+                   if r.gate_blocked_cycles]
+        assert blocked, f"{policy}: expected a gate-blocked load"
+        assert all(r.kind == "load" for r in blocked)
+        assert all(r.gate_blocked_cycles > 0 for r in blocked)
+
+    def test_x86_never_gate_blocked(self):
+        system = _run(self.OPS(), policy="x86", hints=())
+        tracer = system.cores[0].tracer
+        assert all(r.gate_blocked_cycles == 0
+                   for r in tracer.retired_records())
 
 
 class TestRendering:

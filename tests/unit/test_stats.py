@@ -1,5 +1,9 @@
 """Unit tests for the statistics counters and derived metrics."""
 
+import json
+
+import pytest
+
 from repro.sim.stats import CoreStats, SystemStats
 
 
@@ -51,3 +55,72 @@ def test_system_total_aggregates_cores():
 def test_stall_pct_bounded_by_100_per_core():
     stats = CoreStats(cycles=1000, stall_cycles_rob=1000)
     assert stats.stall_pct["ROB"] == 100.0
+
+
+def test_merge_sums_lock_breakdown_keywise():
+    a = CoreStats(gate_lock_cycles=30,
+                  gate_lock_by_key={0x2A: 10, 0x2B: 20})
+    b = CoreStats(gate_lock_cycles=25,
+                  gate_lock_by_key={0x2B: 5, 0x2C: 20})
+    a.merge(b)
+    assert a.gate_lock_cycles == 55
+    assert a.gate_lock_by_key == {0x2A: 10, 0x2B: 25, 0x2C: 20}
+
+
+def test_core_stats_json_round_trip_with_lock_keys():
+    stats = CoreStats(retired_instructions=5, gate_closes=2, gate_opens=2,
+                      gate_lock_cycles=12,
+                      gate_lock_by_key={0x2A: 7, 0x100: 5})
+    blob = json.dumps(stats.to_dict())
+    back = CoreStats.from_dict(json.loads(blob))
+    assert back == stats
+    # JSON forces string keys; from_dict must restore the ints.
+    assert back.gate_lock_by_key == {0x2A: 7, 0x100: 5}
+
+
+def test_from_dict_defaults_missing_lock_breakdown():
+    # Payloads written before the breakdown existed must still load.
+    data = CoreStats(retired_instructions=3).to_dict()
+    del data["gate_lock_by_key"]
+    assert CoreStats.from_dict(data).gate_lock_by_key == {}
+
+
+def _system():
+    system = SystemStats(execution_cycles=500)
+    system.per_core[0] = CoreStats(
+        cycles=500, retired_instructions=50, gate_closes=2, gate_opens=2,
+        gate_lock_cycles=40, gate_stall_cycles=10,
+        gate_lock_by_key={1: 15, 2: 25})
+    return system
+
+
+def test_to_json_round_trips():
+    system = _system()
+    back = SystemStats.from_dict(json.loads(system.to_json()))
+    assert back == system
+    assert back.per_core[0].gate_lock_by_key == {1: 15, 2: 25}
+
+
+def test_validate_accepts_consistent_gate_counters():
+    _system().validate()
+
+
+def test_validate_rejects_unbalanced_closes():
+    system = _system()
+    system.per_core[0].gate_opens = 1
+    with pytest.raises(AssertionError, match="gate_closes"):
+        system.validate()
+
+
+def test_validate_rejects_stall_exceeding_lock():
+    system = _system()
+    system.per_core[0].gate_stall_cycles = 41
+    with pytest.raises(AssertionError, match="gate_stall_cycles"):
+        system.validate()
+
+
+def test_validate_rejects_breakdown_mismatch():
+    system = _system()
+    system.per_core[0].gate_lock_by_key = {1: 15}
+    with pytest.raises(AssertionError, match="per-key"):
+        system.validate()
