@@ -12,7 +12,10 @@ Commands:
                                   trace JSON (Perfetto-loadable) +
                                   JSONL metrics + top-stalls summary
 ``sweep NAME [NAME ...]``         benchmarks under all 5 configs, in
-                                  parallel, with on-disk result caching
+                                  parallel, with on-disk result caching,
+                                  per-job timeouts and bounded retries
+``chaos``                         litmus conformance under deterministic
+                                  fault injection (the chaos gate)
 
 ``bench`` and ``replay`` take ``--json`` (machine-readable stats) and
 ``--obs``/``--obs-out`` (histograms + gate intervals, optionally as
@@ -29,6 +32,7 @@ from typing import Dict, List, Optional
 from repro.core.policies import POLICY_ORDER
 from repro.litmus import (ALL_CASES, EXTRA_CASES, MODELS,
                           enumerate_outcomes, explain, sample)
+from repro.resilience import DEFAULT_CHAOS as DEFAULT_CHAOS_SPEC
 from repro.litmus.checker import compare
 from repro.litmus.program import Program
 
@@ -271,16 +275,26 @@ def cmd_sweep(args) -> int:
             for name in args.names for policy in POLICY_ORDER]
     outcome = run_sweep(jobs, workers=args.jobs, cache=not args.no_cache,
                         cache_dir=args.cache_dir,
-                        progress=stderr_progress if args.verbose else None)
+                        progress=stderr_progress if args.verbose else None,
+                        timeout=args.timeout, retries=args.retries)
     width = len(POLICY_ORDER)
     for i, name in enumerate(args.names):
         chunk = outcome.results[i * width:(i + 1) * width]
         results = dict(zip(POLICY_ORDER, chunk))
-        norm = normalized_times(results)
+        ok = {p: r for p, r in results.items() if r is not None}
+        # Normalization needs the x86 baseline cell; without it the
+        # surviving cells are still printed, just in raw cycles.
+        norm = normalized_times(ok) if "x86" in ok else {}
         print(f"{name}: execution time normalized to x86")
         for policy in POLICY_ORDER:
-            line = (f"  {policy:16s} {results[policy].cycles:9d} cycles "
-                    f"({norm[policy]:5.3f}x)")
+            cell = results[policy]
+            if cell is None:
+                err = outcome.errors[i * width + POLICY_ORDER.index(policy)]
+                print(f"  {policy:16s} FAILED: {err['type']}: "
+                      f"{err['message']}")
+                continue
+            ratio = f"{norm[policy]:5.3f}x" if policy in norm else "  n/a "
+            line = f"  {policy:16s} {cell.cycles:9d} cycles ({ratio})"
             cell_obs = outcome.obs[i * width
                                    + POLICY_ORDER.index(policy)]
             if obs and cell_obs:
@@ -295,11 +309,51 @@ def cmd_sweep(args) -> int:
                                      "policy": job.policy,
                                      "obs": cell_obs}) + "\n")
         print(f"wrote {args.obs_out}: {len(jobs)} per-cell obs records")
+    if args.out:
+        payload = {
+            "jobs": [{"name": j.name, "policy": j.policy, "cores": j.cores,
+                      "length": j.length, "seed": j.seed} for j in jobs],
+            "cycles": [None if r is None else r.cycles
+                       for r in outcome.results],
+            "errors": outcome.errors,
+            "failed": outcome.failed,
+            "interrupted": outcome.interrupted,
+            "simulated": outcome.simulated,
+            "cached": outcome.cached,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.out}")
     if args.verbose:
         print(f"({outcome.simulated} simulated, {outcome.cached} cached, "
+              f"{outcome.failed} failed, "
               f"{outcome.workers} worker(s), {outcome.elapsed:.1f}s)",
               file=sys.stderr)
-    return 0
+    return 1 if (outcome.failed or outcome.interrupted) else 0
+
+
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.resilience import DEFAULT_CHAOS, FaultSpec, run_chaos
+
+    spec = FaultSpec(noc_jitter=args.noc_jitter,
+                     noc_jitter_prob=args.noc_jitter_prob,
+                     evict_period=args.evict_period,
+                     squash_period=args.squash_period,
+                     sb_delay=args.sb_delay,
+                     sb_delay_prob=args.sb_delay_prob)
+    progress = (lambda msg: print(msg, file=sys.stderr, flush=True)) \
+        if args.verbose else None
+    report = run_chaos(trials=args.trials, seed=args.seed, spec=spec,
+                       policies=tuple(args.policies or POLICY_ORDER),
+                       progress=progress)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -430,7 +484,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--obs-out", default=None, metavar="PATH",
                    help="write per-cell obs summaries as JSONL "
                         "(implies --obs)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-job wall-clock budget in seconds; a cell "
+                        "that blows it is a structured failure, not a "
+                        "hung sweep")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts for failed cells (with "
+                        "exponential backoff between rounds)")
+    p.add_argument("-o", "--out", default=None, metavar="PATH",
+                   help="write the full outcome, including per-cell "
+                        "error payloads, as JSON")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="conformance under deterministic fault injection: the "
+             "litmus battery with NoC jitter, forced evictions, spurious "
+             "squashes and delayed SB drains — outcomes must stay within "
+             "the axiomatic models")
+    p.add_argument("--trials", type=int, default=25,
+                   help="fault seeds per (test, policy) cell")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-p", "--policies", nargs="*", choices=POLICY_ORDER,
+                   help="configurations to test (default: all five)")
+    p.add_argument("--noc-jitter", type=int,
+                   default=DEFAULT_CHAOS_SPEC.noc_jitter)
+    p.add_argument("--noc-jitter-prob", type=float,
+                   default=DEFAULT_CHAOS_SPEC.noc_jitter_prob)
+    p.add_argument("--evict-period", type=int,
+                   default=DEFAULT_CHAOS_SPEC.evict_period)
+    p.add_argument("--squash-period", type=int,
+                   default=DEFAULT_CHAOS_SPEC.squash_period)
+    p.add_argument("--sb-delay", type=int,
+                   default=DEFAULT_CHAOS_SPEC.sb_delay)
+    p.add_argument("--sb-delay-prob", type=float,
+                   default=DEFAULT_CHAOS_SPEC.sb_delay_prob)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full chaos report as JSON")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="per-cell progress on stderr")
+    p.set_defaults(func=cmd_chaos)
     return parser
 
 

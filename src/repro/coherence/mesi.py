@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.coherence.cache import CacheArray, PrivateHierarchy
 from repro.noc.network import Network
@@ -79,6 +79,10 @@ class DirectoryBank:
         self.sharers: Dict[int, Set[int]] = {}    # line -> sharer core ids
         self.busy: Set[int] = set()
         self.waiting: Dict[int, Deque[tuple]] = {}
+        # (line, core) -> count of in-flight PutMs already known stale:
+        # the core re-requested the line before its writeback arrived, so
+        # the writeback must not clear the *new* incarnation's ownership.
+        self.stale_putm: Dict[Tuple[int, int], int] = {}
 
     # -- request entry points (called after network latency) ----------
 
@@ -109,10 +113,14 @@ class DirectoryBank:
             self._process_putm(line, requestor)
             return
         # A GetS/GetM from the registered owner means the owner silently
-        # lost the line (its PutM may still be in flight); normalize so
-        # the stale PutM is later ignored.
+        # lost the line (its PutM is still in flight); normalize, and
+        # remember to ignore that writeback when it arrives — by then the
+        # same core may own the line again, so the owner check alone
+        # cannot tell the stale PutM from a genuine one.
         if self.owner.get(line) == requestor:
             del self.owner[line]
+            key = (line, requestor)
+            self.stale_putm[key] = self.stale_putm.get(key, 0) + 1
 
         self.busy.add(line)
         lookup = self.system.config.l3_bank.hit_latency
@@ -184,7 +192,14 @@ class DirectoryBank:
         # Writeback of a dirty evicted line.  A stale PutM (ownership has
         # already moved on) is acknowledged and otherwise ignored.
         ctrl = self.system.controllers[requestor]
-        if self.owner.get(line) == requestor and line not in self.busy:
+        key = (line, requestor)
+        pending = self.stale_putm.get(key, 0)
+        if pending:
+            if pending == 1:
+                del self.stale_putm[key]
+            else:
+                self.stale_putm[key] = pending - 1
+        elif self.owner.get(line) == requestor and line not in self.busy:
             del self.owner[line]
             self.sharers.pop(line, None)
             self.l3.insert(line)
@@ -220,6 +235,10 @@ class PrivateController:
         self.wb_buffer: Set[int] = set()
         self.removal_listener: Optional[RemovalListener] = None
         self.mshrs = system.core_mshrs
+        # Fault-injection hook (repro.resilience.faults): extra cycles
+        # on an owned-line store commit.  None when no plan installed.
+        self.fault_store_delay: Optional[Callable[[], int]] = None
+        self._fault_store_horizon = 0
         self._p_inval = system.probe_bus.resolve("mesi.inval")
         self._p_evict = system.probe_bus.resolve("mesi.evict")
         if system.system_config.core.l1_evict_squash:
@@ -260,11 +279,26 @@ class PrivateController:
             self.state[line] = M
             latency = self.hierarchy.access_latency(line)
             assert latency is not None, "state map out of sync with tags"
-            self.system.engine.schedule(
-                self.system.config.store_commit_latency, done)
+            delay = self.system.config.store_commit_latency
+            if self.fault_store_delay is not None:
+                delay = self._faulted_commit_delay(delay)
+            self.system.engine.schedule(delay, done)
             return True
         self._miss(GETM, line, done)
         return False
+
+    def _faulted_commit_delay(self, base: int) -> int:
+        """Apply the injected extra store-commit delay, clamped to a
+        monotone completion horizon: owned-line SB writes pipeline and
+        must complete in order (TSO memory-order insertion), so a jitter
+        that would finish a younger store first is stretched to the
+        oldest outstanding completion instead."""
+        now = self.system.engine.now
+        target = now + base + self.fault_store_delay()
+        if target < self._fault_store_horizon:
+            target = self._fault_store_horizon
+        self._fault_store_horizon = target
+        return target - now
 
     def prefetch(self, addr: int) -> None:
         """Best-effort GetS issued by the stride prefetcher."""
@@ -424,6 +458,19 @@ class PrivateController:
     # ------------------------------------------------------------------
     # Evictions
     # ------------------------------------------------------------------
+
+    def force_evict(self, line: int) -> bool:
+        """Fault injection: evict ``line`` from this private hierarchy
+        as if capacity-pressured.  Returns False when the line is not
+        held in a stable state (nothing to evict).  Goes through the
+        normal eviction path: speculative loads squash, M/E lines write
+        back, and the directory handles the silent loss exactly as it
+        does for organic evictions."""
+        if line not in self.state:
+            return False
+        self.hierarchy.invalidate(line)
+        self._evict(line)
+        return True
 
     def _evict(self, line: int) -> None:
         state = self.state.pop(line, None)

@@ -86,7 +86,7 @@ class Core:
         self._p_gate_stall = self.probe_bus.resolve("gate.stall")
         self._p_squash = {
             reason: self.probe_bus.resolve(f"squash.{reason}")
-            for reason in ("inval", "evict", "memdep")
+            for reason in ("inval", "evict", "memdep", "fault")
         }
         policy.attach(self)
         controller.removal_listener = self._on_line_removed
@@ -688,6 +688,9 @@ class Core:
             self.stats.squashes_inval += 1
         elif reason == "evict":
             self.stats.squashes_evict += 1
+        elif reason == "fault":
+            # Injected spurious squash (repro.resilience.faults).
+            self.stats.squashes_fault += 1
         else:
             self.stats.squashes_memdep += 1
         self.stats.reexecuted_instructions += len(removed)

@@ -104,14 +104,26 @@ def compile_program(program: Program, seed: int = 0,
 
 
 def run_once(program: Program, policy: str, seed: int = 0,
-             config: Optional[SystemConfig] = None) -> Outcome:
-    """One timed execution of the litmus test under ``policy``."""
+             config: Optional[SystemConfig] = None,
+             faults=None, watchdog=None,
+             max_cycles: int = 2_000_000) -> Outcome:
+    """One timed execution of the litmus test under ``policy``.
+
+    ``faults`` is an optional :class:`repro.resilience.faults.FaultPlan`
+    (single-use; make one per call) and ``watchdog`` an optional
+    :class:`repro.resilience.invariants.Watchdog` — both are installed
+    on the system before the run, which is how the chaos conformance
+    gate drives this function.
+    """
     traces, load_map, addresses = compile_program(program, seed)
     initial = {addr_val: program.initial_value(name)
                for name, addr_val in addresses.items()}
     system = System(traces, policy, config or LITMUS_CONFIG,
-                    warm_caches=False, initial_memory=initial)
-    system.run(max_cycles=2_000_000)
+                    warm_caches=False, initial_memory=initial,
+                    faults=faults)
+    if watchdog is not None:
+        watchdog.install(system)
+    system.run(max_cycles=max_cycles)
     registers = []
     for tid, thread in enumerate(program.threads):
         for idx, op in enumerate(thread):
@@ -128,12 +140,18 @@ def run_once(program: Program, policy: str, seed: int = 0,
 
 def observed_outcomes(program: Program, policy: str,
                       seeds: Sequence[int] = range(40),
-                      config: Optional[SystemConfig] = None
-                      ) -> FrozenSet[Outcome]:
-    """Outcomes observed across timing-perturbed runs."""
+                      config: Optional[SystemConfig] = None,
+                      fault_factory=None) -> FrozenSet[Outcome]:
+    """Outcomes observed across timing-perturbed runs.
+
+    ``fault_factory`` (seed -> FaultPlan), when given, injects a fresh
+    deterministic fault plan into every run — fault perturbation on top
+    of the padding perturbation.
+    """
     outcomes: Set[Outcome] = set()
     for seed in seeds:
-        outcomes.add(run_once(program, policy, seed, config))
+        faults = fault_factory(seed) if fault_factory is not None else None
+        outcomes.add(run_once(program, policy, seed, config, faults=faults))
     return frozenset(outcomes)
 
 
@@ -149,15 +167,20 @@ POLICY_MODEL = {
 
 def check_conformance(program: Program, policy: str,
                       seeds: Sequence[int] = range(40),
-                      config: Optional[SystemConfig] = None
+                      config: Optional[SystemConfig] = None,
+                      fault_factory=None
                       ) -> Tuple[bool, FrozenSet[Outcome],
                                  FrozenSet[Outcome]]:
     """Run the litmus test on the pipeline and compare with the model.
 
     Returns (conforms, observed, allowed): ``conforms`` is True iff
     every observed outcome is allowed by the policy's abstract model.
+    ``fault_factory`` forwards to :func:`observed_outcomes` — conformance
+    must hold under injected faults too (timing may change, allowed
+    outcomes may not).
     """
     from repro.litmus.operational import enumerate_outcomes
-    observed = observed_outcomes(program, policy, seeds, config)
+    observed = observed_outcomes(program, policy, seeds, config,
+                                 fault_factory=fault_factory)
     allowed = enumerate_outcomes(program, POLICY_MODEL[policy])
     return observed <= allowed, observed, allowed

@@ -14,7 +14,7 @@ sharers sends exactly two invalidations").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.config import NetworkConfig
 from repro.sim.engine import Engine
@@ -45,6 +45,10 @@ class Network:
         self.engine = engine
         self.config = config
         self.stats = TrafficStats()
+        # Fault-injection hook (repro.resilience.faults): extra cycles
+        # to add to one message's latency.  None when no plan installed;
+        # the cost is then one attribute load per send.
+        self.fault_delay: Optional[Callable[[str], int]] = None
 
     def latency(self, msg_class: str) -> int:
         if msg_class == DATA:
@@ -57,7 +61,10 @@ class Network:
              *args: Any) -> None:
         """Send a message: ``deliver(*args)`` runs after the link latency."""
         self.stats.count(msg_class)
-        self.engine.schedule(self.latency(msg_class), deliver, *args)
+        delay = self.latency(msg_class)
+        if self.fault_delay is not None:
+            delay += self.fault_delay(msg_class)
+        self.engine.schedule(delay, deliver, *args)
 
     def send_control(self, deliver: Callable[..., Any], *args: Any) -> None:
         self.send(CONTROL, deliver, *args)

@@ -45,6 +45,7 @@ PROBE_SIGNATURES: Dict[str, str] = {
     "squash.inval": "(core_id, cycle, from_seq, flushed)",
     "squash.evict": "(core_id, cycle, from_seq, flushed)",
     "squash.memdep": "(core_id, cycle, from_seq, flushed)",
+    "squash.fault": "(core_id, cycle, from_seq, flushed)",
     "mesi.inval": "(core_id, cycle, line, requestor, present)",
     "mesi.evict": "(core_id, cycle, line)",
 }

@@ -53,7 +53,7 @@ class Engine:
     supports_stop = True
 
     __slots__ = ("now", "_queue", "_bucket_now", "_bucket_next", "_seq",
-                 "_stopped", "events_dispatched")
+                 "_stopped", "events_dispatched", "event_hook")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -63,6 +63,11 @@ class Engine:
         self._seq: int = 0  # tie-breaker for deterministic ordering
         self._stopped = False
         self.events_dispatched: int = 0  # lifetime dispatch counter
+        # Optional no-arg callable invoked after every dispatched event
+        # (the per-event mode of the resilience watchdog).  Bound once at
+        # the top of :meth:`run`, so it must be set before running; when
+        # None, each event pays one local truthiness test.
+        self.event_hook: Optional[Callable[[], None]] = None
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` ``delay`` cycles from now (delay may be 0)."""
@@ -138,6 +143,8 @@ class Engine:
             self._advance(time)
         self.events_dispatched += 1
         fn(*args)
+        if self.event_hook is not None:
+            self.event_hook()
         return True
 
     def run(self, until: Callable[[], bool] = None,
@@ -156,6 +163,7 @@ class Engine:
         queue = self._queue
         heappop = heapq.heappop
         now = self.now
+        hook = self.event_hook
         dispatched = 0
         try:
             while True:
@@ -174,6 +182,8 @@ class Engine:
                         event = bucket_now.popleft()
                     dispatched += 1
                     event[2](*event[3])
+                    if hook is not None:
+                        hook()
                     continue
                 # Advance-the-clock path: find the earliest next event.
                 bucket_next = self._bucket_next
@@ -202,6 +212,8 @@ class Engine:
                     now = next_time
                 dispatched += 1
                 event[2](*event[3])
+                if hook is not None:
+                    hook()
         finally:
             self.events_dispatched += dispatched
         return self.now

@@ -33,10 +33,11 @@ class CoreStats:
     sb_wait_cycles: int = 0
     slf_retire_stall_events: int = 0   # SLFSpec: SLF loads blocked at head
     slf_retire_stall_cycles: int = 0
-    squashes: int = 0                  # squash episodes (inval/evict/memdep)
+    squashes: int = 0                  # squash episodes (all causes)
     squashes_inval: int = 0
     squashes_evict: int = 0
     squashes_memdep: int = 0
+    squashes_fault: int = 0            # injected (repro.resilience.faults)
     reexecuted_instructions: int = 0   # instrs flushed & re-dispatched
     stall_cycles_rob: int = 0          # dispatch blocked: ROB full
     stall_cycles_lq: int = 0           # dispatch blocked: LQ full

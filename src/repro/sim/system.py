@@ -7,6 +7,7 @@ it per-core traces and a consistency-model name, get back a
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.sim.config import SKYLAKE_LIKE, SystemConfig
@@ -28,7 +29,7 @@ class System:
                  initial_memory: Optional[Dict[int, int]] = None,
                  trace_pipeline: bool = False,
                  engine: Optional[Engine] = None,
-                 probes=None) -> None:
+                 probes=None, faults=None) -> None:
         from repro.coherence.mesi import CoherentMemorySystem
         from repro.coherence.warmup import warm_from_traces
         from repro.core.policies import make_policy
@@ -75,6 +76,12 @@ class System:
                         probes=probes)
             self.cores.append(core)
             self._unfinished += 1
+        # Deterministic fault injection (repro.resilience.faults): wire
+        # the plan's hooks last, once every component exists.  None (the
+        # default) leaves every hook site on its zero-cost path.
+        self.faults = faults
+        if faults is not None:
+            faults.install(self)
 
     def _core_finished(self, core: "Core") -> None:
         self._unfinished -= 1
@@ -134,6 +141,12 @@ class System:
         stats.invalidations_sent = self.memory.stats_invalidations
         stats.evictions = self.memory.stats_evictions
         stats.network_messages = dict(self.memory.network.stats.messages)
+        if self.config.strict or \
+                os.environ.get("REPRO_STRICT", "0") not in ("", "0"):
+            # Strict mode: a full runtime invariant sweep at end of run
+            # (the test suite's conftest enables it globally).
+            from repro.resilience.invariants import check_system
+            check_system(self)
         stats.validate()
         return stats
 

@@ -18,7 +18,8 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import Optional, Union
+import warnings
+from typing import Callable, Optional, Union
 
 #: Default cache location (relative to the current directory); override
 #: per call or with the ``REPRO_SWEEP_CACHE`` environment variable.
@@ -55,14 +56,29 @@ def content_key(payload: dict) -> str:
 
 
 class ResultCache:
-    """A directory of ``<key>.json`` result files."""
+    """A directory of ``<key>.json`` result files.
+
+    The cache is strictly best-effort: a corrupt, truncated, or
+    unreadable entry is a *miss with a warning note*, and a failed write
+    is a *note*, never an exception that aborts the sweep.  ``on_warning``
+    receives those notes (e.g. the sweep's progress callback); when None
+    they go through :mod:`warnings` so they still surface somewhere.
+    """
 
     def __init__(self,
-                 directory: Union[str, pathlib.Path, None] = None) -> None:
+                 directory: Union[str, pathlib.Path, None] = None,
+                 on_warning: Optional[Callable[[str], None]] = None) -> None:
         if directory is None:
             directory = os.environ.get("REPRO_SWEEP_CACHE",
                                        DEFAULT_CACHE_DIR)
         self.directory = pathlib.Path(directory)
+        self.on_warning = on_warning
+
+    def _warn(self, message: str) -> None:
+        if self.on_warning is not None:
+            self.on_warning(message)
+        else:
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.json"
@@ -70,14 +86,42 @@ class ResultCache:
     def get(self, key: str) -> Optional[dict]:
         """The cached payload for ``key``, or None.  A corrupt or
         truncated file (e.g. from a killed process on a filesystem
-        without atomic replace) reads as a miss, never an error."""
+        without atomic replace) reads as a miss with a warning note,
+        never an error."""
+        path = self.path_for(key)
         try:
-            return json.loads(self.path_for(key).read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None  # the ordinary miss: silent
+        except OSError as exc:
+            self._warn(f"sweep cache: cannot read {path.name} "
+                       f"({exc}); treating as a miss")
             return None
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            self._warn(f"sweep cache: corrupt entry {path.name} "
+                       f"({exc}); treating as a miss")
+            return None
+        if not isinstance(payload, dict):
+            self._warn(f"sweep cache: entry {path.name} is not a result "
+                       f"payload; treating as a miss")
+            return None
+        return payload
 
     def put(self, key: str, payload: dict) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Store a payload; atomic via ``os.replace``.  A failed write
+        (full or read-only filesystem) warns instead of raising — the
+        sweep's result matters more than its cache."""
         tmp = self.directory / f".{key}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, self.path_for(key))
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, self.path_for(key))
+        except OSError as exc:
+            self._warn(f"sweep cache: could not store {key[:12]}… "
+                       f"({exc}); result kept in memory only")
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

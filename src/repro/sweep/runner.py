@@ -11,12 +11,26 @@ loop.
 Completed results are stored in a :class:`~repro.sweep.cache.ResultCache`
 keyed by :func:`job_key`, so re-running a figure after editing only the
 plotting code performs zero simulations.
+
+Crash tolerance
+---------------
+
+A sweep survives its own cells: a per-job ``timeout`` (enforced with a
+SIGALRM timer inside the worker), bounded ``retries`` with exponential
+``backoff``, and per-cell structured error payloads.  A cell that keeps
+failing becomes ``None`` in ``SweepOutcome.results`` with its error in
+``SweepOutcome.errors`` at the same index — the sweep completes with
+partial results instead of dying.  A dead worker process (the pool
+breaks) fails every in-flight cell retryably; the next retry round gets
+a fresh pool.  Ctrl-C cancels outstanding futures, salvages cells that
+already finished, and returns (and caches) the partial outcome.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import signal
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -62,8 +76,10 @@ class SweepJob:
 class SweepOutcome:
     """What a :func:`run_sweep` call did."""
 
-    results: List[BenchmarkResult]     # one per job, in input order
-    simulated: int = 0                 # jobs actually executed
+    # One entry per job, in input order; None = the cell failed (see the
+    # matching ``errors`` entry).
+    results: List[Optional[BenchmarkResult]]
+    simulated: int = 0                 # jobs executed successfully
     cached: int = 0                    # jobs answered from the cache
     elapsed: float = 0.0               # wall-clock seconds
     workers: int = 1                   # pool size used (1 = in-process)
@@ -71,6 +87,16 @@ class SweepOutcome:
     # Per-job observability summary dicts (None for non-obs jobs), in
     # input order — the ``repro.obs.session.ObsReport.to_dict()`` form.
     obs: List[Optional[Dict]] = field(default_factory=list)
+    # Per-job structured error payloads (None for successful cells), in
+    # input order: name/policy/seed, exception type and message, whether
+    # it was a timeout, and the number of attempts made.
+    errors: List[Optional[Dict]] = field(default_factory=list)
+    failed: int = 0                    # cells without a result
+    interrupted: bool = False          # Ctrl-C cut the sweep short
+
+
+class JobTimeout(RuntimeError):
+    """A sweep job exceeded its per-job wall-clock budget."""
 
 
 def job_key(job: SweepJob) -> str:
@@ -130,6 +156,60 @@ def execute_job(job: SweepJob) -> Dict:
     return stats.to_dict()
 
 
+def _execute_job_guarded(job: SweepJob, timeout: Optional[float]) -> Dict:
+    """Worker entry point: :func:`execute_job` under a wall-clock
+    deadline.  Module-level so it pickles for the process pool.
+
+    The deadline uses a SIGALRM interval timer.  On platforms without
+    SIGALRM (Windows) the timeout degrades to "no timeout" rather than
+    failing.  A previously armed timer (e.g. the test suite's per-test
+    deadline when the sweep runs serially in-process) is restored with
+    its remaining time on exit, so nesting is safe.
+    """
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return execute_job(job)
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(
+            f"job {job.name}/{job.policy} exceeded its {timeout:g}s timeout")
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, timeout)
+    started = time.monotonic()
+    try:
+        return execute_job(job)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if outer_remaining > 0:
+            left = outer_remaining - (time.monotonic() - started)
+            signal.setitimer(signal.ITIMER_REAL, max(left, 1e-6))
+
+
+def _error_payload(job: SweepJob, exc: BaseException,
+                   attempts: int) -> Dict:
+    """The structured record of a failed cell (JSON-safe)."""
+    cause = getattr(exc, "__cause__", None)
+    return {
+        "name": job.name,
+        "policy": job.policy,
+        "cores": job.cores,
+        "seed": job.seed,
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "timeout": isinstance(exc, JobTimeout),
+        "attempts": attempts,
+        "cause": None if cause is None else str(cause),
+    }
+
+
+def _cancel_payload(job: SweepJob) -> Dict:
+    return {"name": job.name, "policy": job.policy, "cores": job.cores,
+            "seed": job.seed, "type": "Cancelled",
+            "message": "sweep interrupted before this job finished",
+            "timeout": False, "attempts": 0, "cause": None}
+
+
 def _result(job: SweepJob, stats: SystemStats) -> BenchmarkResult:
     return BenchmarkResult(job.name, get_profile(job.name).suite,
                            job.policy, stats)
@@ -148,7 +228,10 @@ def run_sweep(jobs: Sequence[SweepJob],
               workers: Optional[int] = None,
               cache: bool = True,
               cache_dir: Union[str, os.PathLike, None] = None,
-              progress: Optional[ProgressFn] = None) -> SweepOutcome:
+              progress: Optional[ProgressFn] = None,
+              timeout: Optional[float] = None,
+              retries: int = 0,
+              backoff: float = 0.5) -> SweepOutcome:
     """Execute a batch of sweep jobs, in parallel where possible.
 
     ``workers=None`` resolves via :func:`default_workers`; ``workers=1``
@@ -158,15 +241,24 @@ def run_sweep(jobs: Sequence[SweepJob],
     ``.sweep-cache``).  ``progress`` receives human-readable status
     lines, including an ETA once a completion time is known.
 
+    ``timeout`` bounds each job's wall-clock seconds; a cell that blows
+    it (or raises, or loses its worker process) is retried up to
+    ``retries`` more times with exponential ``backoff`` between rounds,
+    then recorded as a structured error payload — the sweep always
+    completes and returns the cells it has (see :class:`SweepOutcome`).
+    KeyboardInterrupt cancels outstanding work but completed cells are
+    kept (and were already cached).
+
     Results come back in input-job order; identical jobs are simulated
-    once and share the result.
+    once and share the result (including a shared error if they fail).
     """
     t0 = time.perf_counter()
     jobs = list(jobs)
-    store = ResultCache(cache_dir) if cache else None
+    store = ResultCache(cache_dir, on_warning=progress) if cache else None
     keys = [job_key(job) for job in jobs]
     stats_by_key: Dict[str, SystemStats] = {}
     obs_by_key: Dict[str, Optional[Dict]] = {}
+    errors_by_key: Dict[str, Dict] = {}
 
     def note(msg: str) -> None:
         if progress is not None:
@@ -176,9 +268,17 @@ def run_sweep(jobs: Sequence[SweepJob],
     if store is not None:
         for key in set(keys):
             payload = store.get(key)
-            if payload is not None:
+            if payload is None:
+                continue
+            try:
                 stats_by_key[key] = SystemStats.from_dict(payload)
-                obs_by_key[key] = payload.get("obs")
+            except Exception as exc:
+                # Valid JSON but not a stats payload (foreign file,
+                # schema drift): a miss with a note, never an abort.
+                note(f"sweep: cache entry {key[:12]}… unreadable "
+                     f"({type(exc).__name__}: {exc}); re-simulating")
+                continue
+            obs_by_key[key] = payload.get("obs")
         cached = sum(1 for key in keys if key in stats_by_key)
         # Cache hits are reported distinctly and *never* enter the ETA
         # clock below: an instant cell says nothing about how long a
@@ -206,14 +306,17 @@ def run_sweep(jobs: Sequence[SweepJob],
     done = 0
     t_run = time.perf_counter()
 
-    def finished(idx: int, payload: Dict) -> None:
+    def finished(idx: int, payload: Dict, quiet: bool = False) -> None:
         nonlocal done
         key = keys[idx]
         stats_by_key[key] = SystemStats.from_dict(payload)
         obs_by_key[key] = payload.get("obs")
+        errors_by_key.pop(key, None)  # a retry succeeded
         if store is not None:
             store.put(key, payload)
         done += 1
+        if quiet:
+            return
         # ETA over simulated cells only (cache hits were answered
         # before t_run and are excluded by construction).
         rate = (time.perf_counter() - t_run) / done
@@ -222,23 +325,118 @@ def run_sweep(jobs: Sequence[SweepJob],
         note(f"sweep: [{done}/{len(todo)}] {job.name}/{job.policy} "
              f"done, ETA {eta:.0f}s")
 
-    if nworkers <= 1 or len(todo) <= 1:
-        for idx in todo:
-            finished(idx, execute_job(jobs[idx]))
-    else:
-        with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            futures = {pool.submit(execute_job, jobs[idx]): idx
-                       for idx in todo}
-            for future in as_completed(futures):
-                finished(futures[future], future.result())
+    def failed(idx: int, exc: BaseException, attempts: int) -> None:
+        job = jobs[idx]
+        errors_by_key[keys[idx]] = _error_payload(job, exc, attempts)
+        note(f"sweep: [fail] {job.name}/{job.policy}: "
+             f"{type(exc).__name__}: {exc}")
 
-    results = [_result(job, stats_by_key[key])
-               for job, key in zip(jobs, keys)]
-    return SweepOutcome(results=results, simulated=len(todo),
+    def run_serial(indices: List[int], attempts: int
+                   ) -> "tuple[List[int], bool]":
+        """In-process execution; returns (retryable indices, interrupted)."""
+        retryable: List[int] = []
+        for pos, idx in enumerate(indices):
+            try:
+                finished(idx, _execute_job_guarded(jobs[idx], timeout))
+            except KeyboardInterrupt:
+                note("sweep: interrupted — keeping completed cells")
+                for cancelled in indices[pos:]:
+                    errors_by_key.setdefault(
+                        keys[cancelled], _cancel_payload(jobs[cancelled]))
+                return [], True
+            except Exception as exc:
+                failed(idx, exc, attempts)
+                retryable.append(idx)
+        return retryable, False
+
+    def run_pool(indices: List[int], attempts: int
+                 ) -> "tuple[List[int], bool]":
+        """Process-pool execution; returns (retryable, interrupted).
+
+        A fresh pool per round: a worker that died (OOM, signal) breaks
+        the pool, failing every in-flight future with BrokenProcessPool;
+        those cells are simply retryable like any other failure, and the
+        next round starts with working processes.
+        """
+        retryable: List[int] = []
+        interrupted = False
+        pool = ProcessPoolExecutor(max_workers=min(nworkers, len(indices)))
+        futures = {pool.submit(_execute_job_guarded, jobs[idx], timeout): idx
+                   for idx in indices}
+        try:
+            for future in as_completed(futures):
+                idx = futures[future]
+                try:
+                    finished(idx, future.result())
+                except Exception as exc:
+                    failed(idx, exc, attempts)
+                    retryable.append(idx)
+        except KeyboardInterrupt:
+            interrupted = True
+            note("sweep: interrupted — cancelling outstanding jobs, "
+                 "keeping completed cells")
+            for future in futures:
+                future.cancel()
+            # Salvage cells that finished but were not yet collected.
+            for future, idx in futures.items():
+                key = keys[idx]
+                if key in stats_by_key or key in errors_by_key:
+                    continue
+                if future.done() and not future.cancelled():
+                    try:
+                        finished(idx, future.result(), quiet=True)
+                    except BaseException as exc:
+                        errors_by_key[key] = _error_payload(
+                            jobs[idx], exc, attempts)
+                else:
+                    errors_by_key[key] = _cancel_payload(jobs[idx])
+            retryable = []
+        finally:
+            pool.shutdown(wait=not interrupted,
+                          cancel_futures=interrupted)
+        return retryable, interrupted
+
+    pending = list(todo)
+    interrupted = False
+    attempt = 0
+    while pending and not interrupted:
+        attempt += 1
+        if attempt > 1:
+            delay = backoff * (2 ** (attempt - 2))
+            note(f"sweep: retrying {len(pending)} failed job(s) "
+                 f"(attempt {attempt}, backoff {delay:.1f}s)")
+            if delay > 0:
+                time.sleep(delay)
+        if nworkers <= 1 or len(pending) <= 1:
+            pending, interrupted = run_serial(pending, attempt)
+        else:
+            pending, interrupted = run_pool(pending, attempt)
+        if attempt > retries:
+            break
+
+    results: List[Optional[BenchmarkResult]] = []
+    errors: List[Optional[Dict]] = []
+    for job, key in zip(jobs, keys):
+        stats = stats_by_key.get(key)
+        if stats is not None:
+            results.append(_result(job, stats))
+            errors.append(None)
+        else:
+            results.append(None)
+            # A cell never reached (interrupt during an earlier round)
+            # has no recorded error yet; mark it cancelled.
+            errors.append(errors_by_key.get(key) or _cancel_payload(job))
+    failed_cells = sum(1 for r in results if r is None)
+    if failed_cells:
+        note(f"sweep: {failed_cells} of {len(jobs)} cell(s) failed "
+             f"({'interrupted' if interrupted else 'after retries'})")
+    return SweepOutcome(results=results, simulated=done,
                         cached=cached,
                         elapsed=time.perf_counter() - t0,
                         workers=nworkers, keys=keys,
-                        obs=[obs_by_key.get(key) for key in keys])
+                        obs=[obs_by_key.get(key) for key in keys],
+                        errors=errors, failed=failed_cells,
+                        interrupted=interrupted)
 
 
 def sweep_policies(name: str,

@@ -1,0 +1,39 @@
+"""Suite-wide hardening: strict invariant mode + a per-test deadline.
+
+* ``REPRO_STRICT=1`` makes every ``System.run()`` in the suite finish
+  with a full runtime invariant sweep (:func:`repro.resilience.
+  invariants.check_system`) — the whole test suite doubles as an
+  invariant battery at no extra code cost.
+* Every test runs under a wall-clock deadline (``REPRO_TEST_TIMEOUT``
+  seconds, default 300) enforced with a SIGALRM interval timer, so a
+  wedged simulation fails the test instead of hanging CI.  On platforms
+  without SIGALRM the deadline is simply not enforced.
+"""
+
+import os
+import signal
+
+import pytest
+
+os.environ.setdefault("REPRO_STRICT", "1")
+
+_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline(request):
+    if _TIMEOUT <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        pytest.fail(f"test exceeded its {_TIMEOUT:g}s deadline "
+                    f"(REPRO_TEST_TIMEOUT)", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, _TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,72 @@
+"""The chaos conformance gate: litmus tests under injected faults.
+
+Faults change *timing*, never *allowed outcomes* — every outcome a
+faulted pipeline produces must still be in its axiomatic model's allowed
+set, and any run the faults manage to wedge must surface as a structured
+error, not a hang.  The full gate runs in CI as
+``repro chaos --seed 0 --trials 25``; these tests are its quick kernel.
+"""
+
+import json
+
+import pytest
+
+from repro.litmus.pipeline_runner import check_conformance
+from repro.litmus.tests import N6_CASE, SB_CASE
+from repro.resilience import DEFAULT_CHAOS, FaultPlan, FaultSpec, run_chaos
+
+QUICK_POLICIES = ("x86", "370-SLFSoS-key")
+
+
+def test_quick_chaos_gate_is_clean():
+    report = run_chaos(trials=3, seed=5, cases=[N6_CASE, SB_CASE],
+                       policies=QUICK_POLICIES)
+    assert report.ok, report.summary()
+    assert len(report.cells) == 2 * len(QUICK_POLICIES)
+    # The spec really injected something, or the gate tested nothing.
+    assert sum(report.injected.values()) > 0
+    assert "all outcomes allowed" in report.summary()
+
+
+def test_chaos_report_is_json_safe():
+    report = run_chaos(trials=1, seed=2, cases=[SB_CASE],
+                       policies=("x86",))
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["ok"] is True
+    assert payload["seed"] == 2
+    assert payload["spec"] == DEFAULT_CHAOS.to_dict()
+    cell = payload["cells"][0]
+    assert cell["case"] == "sb" and cell["policy"] == "x86"
+    assert cell["trials"] == 1 and cell["violations"] == []
+
+
+def test_chaos_records_errors_instead_of_dying():
+    """An impossible cycle budget makes every trial fail; the gate must
+    finish and report each failure as a structured payload."""
+    report = run_chaos(trials=2, seed=0, cases=[SB_CASE],
+                       policies=("x86",), max_cycles=50)
+    assert not report.ok
+    assert len(report.errors) == 2
+    for err in report.errors:
+        assert err["type"] == "RuntimeError"
+        assert "exceeded" in err["message"]
+    assert "error(s)" in report.summary()
+
+
+def test_chaos_is_deterministic():
+    kwargs = dict(trials=2, seed=9, cases=[N6_CASE],
+                  policies=("370-SLFSoS-key",))
+    assert run_chaos(**kwargs).to_dict() == run_chaos(**kwargs).to_dict()
+
+
+@pytest.mark.parametrize("policy", QUICK_POLICIES)
+def test_conformance_holds_under_fault_factory(policy):
+    """The pipeline-conformance bridge accepts a fault factory: outcomes
+    under per-seed fault plans stay within the abstract model."""
+    spec = FaultSpec(noc_jitter=8, noc_jitter_prob=0.4,
+                     evict_period=200, squash_period=500,
+                     sb_delay=6, sb_delay_prob=0.4)
+    conforms, observed, allowed = check_conformance(
+        N6_CASE.program, policy, seeds=range(6),
+        fault_factory=lambda seed: FaultPlan(spec, seed=seed))
+    assert conforms, (observed - allowed)
