@@ -16,6 +16,12 @@ Commands:
                                   per-job timeouts and bounded retries
 ``chaos``                         litmus conformance under deterministic
                                   fault injection (the chaos gate)
+``lint [PATH ...]``               static determinism/zero-overhead
+                                  discipline analysis (AST rules, see
+                                  docs/STATIC_ANALYSIS.md) and, with
+                                  ``--litmus``, the herd-style relation
+                                  classifier cross-checked against the
+                                  axiomatic enumerator
 
 ``bench`` and ``replay`` take ``--json`` (machine-readable stats) and
 ``--obs``/``--obs-out`` (histograms + gate intervals, optionally as
@@ -356,6 +362,118 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _changed_files(base: str) -> List[str]:
+    """Python files differing from ``base`` (committed, staged or
+    unstaged) plus untracked ones — the ``lint --changed`` file set."""
+    import os
+    import subprocess
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base],
+            capture_output=True, text=True, check=True)
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise SystemExit(f"--changed needs a git checkout with "
+                         f"{base!r} resolvable: {detail.strip()}")
+    names = diff.stdout.splitlines() + untracked.stdout.splitlines()
+    return sorted({os.path.abspath(n) for n in names
+                   if n.endswith(".py")})
+
+
+def cmd_lint(args) -> int:
+    import os
+
+    from repro.lint import registered_rules, render_human, render_json, \
+        run_lint
+
+    if args.rules:
+        for rule_id, rule in sorted(registered_rules().items()):
+            print(f"{rule_id} [{rule.scope}]: {rule.summary}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    failed = False
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(
+        sys.modules["repro"].__file__))]
+    only_files = None
+    if args.changed:
+        only_files = set(_changed_files(args.base))
+    try:
+        report = run_lint(paths, rules=args.rule or None,
+                          only_files=only_files)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(render_human(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(render_json(report) + "\n")
+        print(f"wrote {args.json}")
+    if not report.ok:
+        failed = True
+    if args.strict:
+        protected = report.suppressions_in(("sim", "cpu", "core"))
+        for suppression in protected:
+            print(f"{suppression.path}:{suppression.line}: strict: "
+                  f"suppression not permitted in sim/cpu/core "
+                  f"({', '.join(sorted(suppression.rules))})")
+        if protected:
+            failed = True
+
+    if args.litmus or args.random:
+        from repro.lint.memory_model import (cross_check_battery,
+                                             cross_check_random,
+                                             find_races)
+        result = cross_check_battery()
+        print(f"litmus cross-check: battery {result.programs_checked} "
+              f"programs ({result.programs_skipped} rmw skipped), "
+              f"{len(result.mismatches)} mismatches")
+        if args.random:
+            rand = cross_check_random(args.random, seed=args.seed)
+            result.programs_checked += rand.programs_checked
+            result.mismatches.extend(rand.mismatches)
+            print(f"litmus cross-check: {rand.programs_checked} random "
+                  f"programs (seed {args.seed}), "
+                  f"{len(rand.mismatches)} mismatches")
+        for mismatch in result.mismatches:
+            print(f"  MISMATCH {mismatch}")
+        races = []
+        for case in ALL_CASES + EXTRA_CASES:
+            try:
+                race_report = find_races(case.program)
+            except NotImplementedError:
+                continue
+            for race in race_report.races:
+                races.append((case.program.name, race))
+        print(f"store-atomicity races in the battery: {len(races)}")
+        for name, race in races:
+            print(f"  {name}: {race.shape} race, x86-allowed / "
+                  f"370-forbidden: {race.outcome}")
+        if args.litmus_json:
+            import json
+            payload = {
+                "ok": result.ok,
+                "programs_checked": result.programs_checked,
+                "programs_skipped": result.programs_skipped,
+                "mismatches": result.mismatches,
+                "races": [{"program": name, "shape": race.shape,
+                           "outcome": str(race.outcome),
+                           "cycle": [f"{e.src}--{e.kind}-->{e.dst}"
+                                     for e in race.witness.edges]}
+                          for name, race in races],
+            }
+            with open(args.litmus_json, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.litmus_json}")
+        if not result.ok:
+            failed = True
+
+    return 1 if failed else 0
+
+
 # ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -524,6 +642,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="per-cell progress on stderr")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "lint",
+        help="static determinism/zero-overhead discipline analysis "
+             "plus the herd-style litmus relation classifier "
+             "(docs/STATIC_ANALYSIS.md)")
+    p.add_argument("paths", nargs="*", metavar="path",
+                   help="files or directories (default: the installed "
+                        "repro package)")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail on suppression comments inside "
+                        "sim/cpu/core")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the machine-readable report as JSON")
+    p.add_argument("--rule", action="append", default=None, metavar="ID",
+                   help="run only this rule (repeatable)")
+    p.add_argument("--rules", action="store_true",
+                   help="list the registered rules and exit")
+    p.add_argument("--changed", action="store_true",
+                   help="restrict discipline rules to files differing "
+                        "from --base (fast pre-commit mode)")
+    p.add_argument("--base", default="main",
+                   help="git ref for --changed (default: main)")
+    p.add_argument("--litmus", action="store_true",
+                   help="cross-check the static litmus classifier "
+                        "against litmus/axiomatic.py on the battery and "
+                        "report store-atomicity races")
+    p.add_argument("--random", type=int, default=0, metavar="N",
+                   help="also cross-check N seeded random programs "
+                        "(implies --litmus)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for --random program generation")
+    p.add_argument("--litmus-json", default=None, metavar="PATH",
+                   help="write the cross-check/race report as JSON")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

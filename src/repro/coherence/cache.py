@@ -17,6 +17,10 @@ from repro.sim.config import CacheConfig
 class CacheArray:
     """A set-associative array of line addresses with true-LRU."""
 
+    __slots__ = ("config", "line_bytes", "num_sets", "ways", "_pow2",
+                 "_line_mask", "_line_shift", "_set_mask", "_sets",
+                 "hits", "misses", "evictions")
+
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.line_bytes = config.line_bytes
@@ -106,6 +110,8 @@ class PrivateHierarchy:
     is the eviction event the paper treats like an invalidation for
     squash purposes (Section IV, 'Evictions').
     """
+
+    __slots__ = ("l1", "l2", "line_bytes", "l1_evict_listener")
 
     def __init__(self, l1: CacheConfig, l2: CacheConfig) -> None:
         if l2.line_bytes != l1.line_bytes:

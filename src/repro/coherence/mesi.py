@@ -71,6 +71,9 @@ class DirectoryBank:
     L3 or by memory.
     """
 
+    __slots__ = ("system", "index", "l3", "owner", "sharers", "busy",
+                 "waiting", "stale_putm")
+
     def __init__(self, system: "CoherentMemorySystem", index: int) -> None:
         self.system = system
         self.index = index
@@ -166,7 +169,7 @@ class DirectoryBank:
         invalidatees: Set[int] = {c for c in sharers if c != requestor}
         if owner is not None:
             invalidatees.add(owner)
-        for victim in invalidatees:
+        for victim in sorted(invalidatees):
             victim_ctrl = self.system.controllers[victim]
             self.system.engine.schedule(
                 lookup, self.system.network.send_control,
@@ -223,6 +226,11 @@ class DirectoryBank:
 
 class PrivateController:
     """Per-core coherence controller for the private L1+L2 hierarchy."""
+
+    __slots__ = ("system", "core_id", "hierarchy", "state", "txns",
+                 "txn_queue", "wb_buffer", "removal_listener", "mshrs",
+                 "fault_store_delay", "_fault_store_horizon",
+                 "_p_inval", "_p_evict")
 
     def __init__(self, system: "CoherentMemorySystem", core_id: int) -> None:
         self.system = system
@@ -491,6 +499,10 @@ class PrivateController:
 class CoherentMemorySystem:
     """The full shared-memory system: directory banks + per-core
     controllers, glued together by the interconnect."""
+
+    __slots__ = ("engine", "system_config", "config", "network",
+                 "core_mshrs", "stats_invalidations", "stats_evictions",
+                 "probe_bus", "banks", "controllers", "line_bytes")
 
     def __init__(self, engine: Engine, config: SystemConfig,
                  network: Optional[Network] = None,

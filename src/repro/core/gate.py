@@ -29,6 +29,9 @@ class RetireGate:
     i.e. are meaningless, which is fine for those tests).
     """
 
+    __slots__ = ("_closed", "_key", "_closed_at", "closes", "opens",
+                 "lock_cycles", "lock_cycles_by_key")
+
     def __init__(self) -> None:
         self._closed = False
         self._key: Optional[int] = None

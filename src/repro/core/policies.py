@@ -51,6 +51,8 @@ class ConsistencyPolicy:
     allows_forwarding = True
     store_atomic = False
 
+    __slots__ = ("core",)
+
     def __init__(self) -> None:
         self.core: Optional["Core"] = None
 
@@ -106,6 +108,7 @@ class X86Policy(ConsistencyPolicy):
     enforcement; only load-load reordering is speculated in-window."""
 
     name = "x86"
+    __slots__ = ()
 
 
 class NoSpecPolicy(ConsistencyPolicy):
@@ -119,6 +122,7 @@ class NoSpecPolicy(ConsistencyPolicy):
     name = "370-NoSpec"
     allows_forwarding = False
     store_atomic = True
+    __slots__ = ()
 
 
 class SLFSpecPolicy(ConsistencyPolicy):
@@ -132,6 +136,7 @@ class SLFSpecPolicy(ConsistencyPolicy):
 
     name = "370-SLFSpec"
     store_atomic = True
+    __slots__ = ()
 
     def load_retire_block(self, load: LoadEntry) -> Optional[str]:
         if load.slf and self.core.sb.has_unwritten_older(load.seq):
@@ -159,6 +164,9 @@ class _SoSBase(ConsistencyPolicy):
     """
 
     store_atomic = True
+
+    __slots__ = ("gate", "active_forwardings", "_p_gate_close",
+                 "_p_gate_open")
 
     def __init__(self) -> None:
         super().__init__()
@@ -222,6 +230,7 @@ class SLFSoSPolicy(_SoSBase):
     """370-SLFSoS: gate reopens when the SB drains (no key)."""
 
     name = "370-SLFSoS"
+    __slots__ = ()
 
     def on_sb_drained(self) -> None:
         key = self.gate.key
@@ -235,6 +244,7 @@ class SLFSoSKeyPolicy(_SoSBase):
     reopens as soon as the *forwarding* store writes to the L1."""
 
     name = "370-SLFSoS-key"
+    __slots__ = ()
 
     def on_store_written(self, store: StoreEntry) -> None:
         if self.gate.open_with_key(store.key, self._now()):

@@ -28,6 +28,9 @@ from repro.cpu.store_buffer import StoreEntry
 class ViolationDetector:
     """Tracks retired loads inside open windows of vulnerability."""
 
+    __slots__ = ("line_bytes", "_forwardings", "_store_lines",
+                 "_windows", "violations")
+
     def __init__(self, line_bytes: int = 64) -> None:
         self.line_bytes = line_bytes
         # store key -> seq of its (oldest) SLF load.

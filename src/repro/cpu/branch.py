@@ -30,6 +30,10 @@ class TagePredictor:
 
     HISTORY_LENGTHS = (4, 8, 16, 32)
 
+    __slots__ = ("base_size", "tagged_size", "tag_mask", "base", "tables",
+                 "history", "useful_reset_interval", "_updates",
+                 "predictions", "mispredictions")
+
     def __init__(self, base_bits: int = 12, tagged_bits: int = 9,
                  tag_bits: int = 8, useful_reset_interval: int = 18_000):
         self.base_size = 1 << base_bits

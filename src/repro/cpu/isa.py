@@ -104,7 +104,7 @@ def rmw(addr: int, deps: Iterable[int] = (), pc: int = 0,
     return Op(RMW, addr=addr, deps=tuple(deps), pc=pc, value=value)
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """A per-core instruction stream.
 

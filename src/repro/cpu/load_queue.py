@@ -59,6 +59,8 @@ class LoadEntry:
 class LoadQueue:
     """Program-ordered queue of in-flight loads."""
 
+    __slots__ = ("capacity", "_entries")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")

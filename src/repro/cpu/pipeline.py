@@ -54,6 +54,19 @@ _STALL_SQ = 3
 class Core:
     """One out-of-order core executing a micro-op trace."""
 
+    __slots__ = (
+        "engine", "core_id", "config", "trace", "_trace_ops", "_trace_len",
+        "_issue_width", "_retire_width", "controller", "policy", "on_finish",
+        "probe_bus", "_p_slf_forward", "_p_sb_write", "_p_gate_stall",
+        "_p_squash", "stats", "rob", "lq", "sb", "storeset", "detector",
+        "prefetcher", "branch_predictor", "tracer", "memory_data",
+        "retired_load_values", "fetch_idx", "done", "load_of", "store_of",
+        "consumers", "ready", "deferred_on_store", "pending_fences",
+        "deferred_on_fence", "barrier_seq", "_sb_inflight",
+        "_sb_miss_inflight", "_rfo_pending", "finished", "_sleeping",
+        "_sleep_since", "_sleep_stall", "_tick_scheduled",
+    )
+
     def __init__(self, engine: Engine, core_id: int, config: SystemConfig,
                  trace: Trace, controller, policy: "ConsistencyPolicy",
                  on_finish: Optional[Callable[["Core"], None]] = None,

@@ -39,6 +39,8 @@ class RobEntry:
 class ReorderBuffer:
     """Program-ordered window of in-flight instructions."""
 
+    __slots__ = ("capacity", "_entries")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")

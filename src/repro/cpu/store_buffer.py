@@ -64,6 +64,8 @@ class StoreBuffer:
         every deallocation, including squashes).
     """
 
+    __slots__ = ("capacity", "_slots", "_bits", "_head", "_tail", "_count")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")

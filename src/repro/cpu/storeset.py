@@ -27,6 +27,9 @@ from typing import Dict, Optional
 class StoreSetPredictor:
     """Two-table StoreSet predictor with periodic clearing."""
 
+    __slots__ = ("ssit_size", "lfst_size", "clear_interval", "_ssit",
+                 "_lfst", "_next_ssid", "_accesses", "violations_trained")
+
     def __init__(self, ssit_size: int = 4096, lfst_size: int = 128,
                  clear_interval: int = 30000) -> None:
         self.ssit_size = ssit_size

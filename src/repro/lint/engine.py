@@ -1,0 +1,328 @@
+"""The lint engine: files, suppressions, the rule registry, the runner.
+
+A :class:`Rule` inspects one parsed :class:`SourceFile` and yields
+:class:`Violation` records.  Rules register themselves with
+:func:`register` (see :mod:`repro.lint.discipline` for the rule set) and
+declare a *scope*:
+
+``hot``
+    only files in the determinism-critical packages
+    (:data:`HOT_PACKAGES` under ``repro/``) are checked;
+``all``
+    every file under the linted tree is checked.
+
+Suppression
+-----------
+
+A violation is suppressed by a comment on the offending line::
+
+    t0 = time.time()          # lint: ignore[det-wallclock]
+    cache = {}                # lint: ignore            (all rules)
+
+and a whole file opts out of one rule with a top-of-file marker::
+
+    # lint: file-ignore[hot-slots]
+
+Suppressions are counted per package in the report so CI can enforce
+"zero suppressions in ``sim``/``cpu``/``core``" (the repo's acceptance
+bar — fix the code, don't baseline it).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Packages under ``repro/`` whose modules drive the deterministic
+#: simulation hot loop; the determinism and zero-overhead rules apply
+#: here (everything else only gets the repo-wide hygiene rules).
+HOT_PACKAGES = ("sim", "cpu", "core", "coherence", "noc", "memory")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*(file-)?ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+
+#: Marker meaning "every rule" in a suppression set.
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule tripped at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A ``# lint: ignore`` marker found in a file."""
+
+    path: str
+    line: int
+    rules: Set[str]          # rule ids, or {ALL_RULES}
+    file_level: bool
+
+
+class SourceFile:
+    """A parsed source file plus its suppression markers."""
+
+    __slots__ = ("path", "package", "text", "lines", "tree",
+                 "line_suppressions", "file_suppressions", "suppressions")
+
+    def __init__(self, path: str, text: str,
+                 package: Optional[str] = None) -> None:
+        self.path = path
+        self.package = package if package is not None \
+            else package_of(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        self.suppressions: List[Suppression] = []
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        # Tokenize rather than grep the raw lines so that markers quoted
+        # inside strings/docstrings (e.g. the examples in this module's
+        # own docstring) are not mistaken for live suppressions.
+        try:
+            comments = [
+                (token.start[0], token.string)
+                for token in tokenize.generate_tokens(
+                    io.StringIO(self.text).readline)
+                if token.type == tokenize.COMMENT]
+        except tokenize.TokenError:  # pragma: no cover - ast parsed OK
+            comments = []
+        for lineno, comment in comments:
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            file_level = bool(match.group(1))
+            names = match.group(2)
+            rules = ({ALL_RULES} if names is None else
+                     {name.strip() for name in names.split(",")
+                      if name.strip()})
+            self.suppressions.append(Suppression(
+                path=self.path, line=lineno, rules=rules,
+                file_level=file_level))
+            if file_level:
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if ALL_RULES in self.file_suppressions \
+                or rule in self.file_suppressions:
+            return True
+        marks = self.line_suppressions.get(line)
+        return marks is not None and (ALL_RULES in marks or rule in marks)
+
+    @property
+    def is_hot(self) -> bool:
+        return self.package in HOT_PACKAGES
+
+
+def package_of(path: str) -> Optional[str]:
+    """The ``repro`` sub-package a file belongs to (``"cpu"`` for
+    ``src/repro/cpu/pipeline.py``), or None outside the tree.  The
+    lookup keys on the last ``repro`` path component so fixture trees
+    (``tests/fixtures/lint/repro/sim/...``) scope exactly like the real
+    tree."""
+    parts = os.path.normpath(path).split(os.sep)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i + 1 < len(parts) - 1:
+            return parts[i + 1]
+        if parts[i] == "repro":
+            return ""          # repro/<file>.py: top-level module
+    return None
+
+
+class LintVisitor(ast.NodeVisitor):
+    """``ast.NodeVisitor`` that tracks ancestors and the enclosing
+    function, the two pieces of context every discipline rule needs.
+    Subclass and use :attr:`ancestors` / :attr:`function_stack` from
+    ``visit_*`` methods; call :meth:`walk` on a tree root."""
+
+    def __init__(self) -> None:
+        self.ancestors: List[ast.AST] = []
+        self.function_stack: List[ast.AST] = []
+
+    def walk(self, tree: ast.AST) -> None:
+        self.visit(tree)
+
+    def visit(self, node: ast.AST) -> None:
+        is_function = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        if is_function:
+            self.function_stack.append(node)
+        method = getattr(self, "visit_" + node.__class__.__name__, None)
+        if method is not None:
+            method(node)
+        self.ancestors.append(node)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self.ancestors.pop()
+        if is_function:
+            self.function_stack.pop()
+
+    def generic_visit(self, node: ast.AST) -> None:  # pragma: no cover
+        # Child traversal happens in visit(); generic_visit must not
+        # re-descend or every node would be visited twice.
+        pass
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` (kebab-case, stable — it is the
+    suppression key), :attr:`summary`, :attr:`rationale` (one paragraph,
+    rendered by ``repro lint --rules`` and the docs), and :attr:`scope`
+    (``"hot"`` or ``"all"``), and implement :meth:`check`.
+    """
+
+    id: str = ""
+    summary: str = ""
+    rationale: str = ""
+    scope: str = "hot"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if self.scope == "all":
+            return True
+        return source.is_hot
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, source: SourceFile, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(rule=self.id, path=source.path,
+                         line=getattr(node, "lineno", 0),
+                         col=getattr(node, "col_offset", 0) + 1,
+                         message=message)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    if rule.scope not in ("hot", "all"):
+        raise ValueError(f"{rule.id}: unknown scope {rule.scope!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def registered_rules() -> Dict[str, Rule]:
+    """The rule registry (id -> rule), importing the built-in rule set."""
+    # Deferred import: discipline.py itself imports this module.
+    from repro.lint import discipline  # noqa: F401
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_scanned: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def suppressions_in(self, packages: Sequence[str]) -> List[Suppression]:
+        """Suppression markers inside the given ``repro`` sub-packages —
+        the acceptance bar demands none in ``sim``/``cpu``/``core``."""
+        return [s for s in self.suppressions
+                if package_of(s.path) in packages]
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        collected: List[str] = []
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in ("__pycache__", ".git"))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    collected.append(os.path.join(dirpath, name))
+        for file_path in collected:
+            if file_path not in seen:
+                seen.add(file_path)
+                yield file_path
+
+
+def run_lint(paths: Sequence[str],
+             rules: Optional[Sequence[str]] = None,
+             only_files: Optional[Set[str]] = None) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    Args:
+        paths: files or directory roots.
+        rules: rule ids to run (default: all registered).
+        only_files: when given (``--changed`` mode), restrict checking
+            to files whose absolute path is in this set; other files are
+            still counted as skipped, not scanned.
+    """
+    registry = registered_rules()
+    if rules is not None:
+        unknown = [r for r in rules if r not in registry]
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}; "
+                             f"known: {', '.join(sorted(registry))}")
+        active = [registry[r] for r in rules]
+    else:
+        active = [registry[r] for r in sorted(registry)]
+
+    report = LintReport(rules_run=[rule.id for rule in active])
+    for file_path in iter_python_files(paths):
+        if only_files is not None \
+                and os.path.abspath(file_path) not in only_files:
+            continue
+        try:
+            with open(file_path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            source = SourceFile(file_path, text)
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        report.files_scanned += 1
+        report.suppressions.extend(source.suppressions)
+        for rule in active:
+            if not rule.applies_to(source):
+                continue
+            for violation in rule.check(source):
+                if source.suppressed(violation.rule, violation.line):
+                    report.suppressed_count += 1
+                else:
+                    report.violations.append(violation)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report

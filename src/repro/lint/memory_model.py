@@ -1,0 +1,580 @@
+"""Herd-style axiomatic relation analysis over litmus programs.
+
+This is the lint package's second rule family: a *static* memory-model
+classifier that computes the po/rf/co/fr relations of every candidate
+execution of a :class:`~repro.litmus.program.Program` and classifies
+each reachable outcome as allowed or forbidden per model by cycle
+detection — then cross-checks itself against the repo's existing
+enumerator (:mod:`repro.litmus.axiomatic`).
+
+The two implementations are deliberately independent so they can serve
+as oracles for each other:
+
+* ``axiomatic.py`` materialises the **transitive closure** of ``co``
+  (and full ``fr``) and tests acyclicity with an iterative DFS
+  three-colouring.
+* this module keeps only **immediate-successor** ``co`` edges (and the
+  corresponding first-successor ``fr`` edges) — reachability, and hence
+  acyclicity, is unchanged because every transitive edge is a chain of
+  immediate ones — and tests acyclicity with a **Kahn indegree peel**,
+  extracting a concrete witness cycle from the unpeeled residue.
+
+The model table matches the paper's Figure 2 distinction:
+
+========  ===========================  ============================
+model     ppo                          grf (rf edges in ghb)
+========  ===========================  ============================
+SC        po                           all rf
+370       po minus st→ld (unfenced)    all rf — **rfi is global**
+x86       po minus st→ld (unfenced)    rfe + rf-from-init only
+========  ===========================  ============================
+
+An outcome that x86 allows and 370 forbids always owes its 370 cycle to
+an ``rfi`` (store-to-load forwarding) edge — exactly the store-atomicity
+violation the paper's SLF gate exists to police.  :func:`find_races`
+reports those outcomes with their witness cycles and classifies the
+program's communication shape (forwarding / WRC / IRIW).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.litmus.axiomatic import M370, SC, X86, enumerate_axiomatic
+from repro.litmus.program import (Fence, Ld, Outcome, Program, Rmw, St)
+
+MODELS = (SC, M370, X86)
+
+#: (tid, idx); tid == -1 for the per-address initial store
+#: (idx = ordinal of the address in ``program.addresses``).
+Event = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One labelled happens-before edge of a candidate execution."""
+
+    src: Event
+    dst: Event
+    kind: str  # po | ppo | po-loc | rfi | rfe | rf-init | co | fr
+
+    def sort_key(self) -> Tuple[Event, Event, str]:
+        return (self.src, self.dst, self.kind)
+
+
+@dataclass(frozen=True)
+class CycleWitness:
+    """A happens-before cycle proving an outcome forbidden."""
+
+    axiom: str               # "sc-per-location" | "ghb"
+    edges: Tuple[Edge, ...]
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(edge.kind for edge in self.edges)
+
+    def has_kind(self, kind: str) -> bool:
+        return any(edge.kind == kind for edge in self.edges)
+
+    def communication_edges(self) -> Tuple[Edge, ...]:
+        """The rf/fr/co edges of the cycle — the inter-thread
+        communication chain, stripped of intra-thread program order."""
+        return tuple(e for e in self.edges
+                     if e.kind in ("rfi", "rfe", "rf-init", "co", "fr"))
+
+
+def event_name(program: Program, event: Event) -> str:
+    tid, idx = event
+    if tid < 0:
+        return f"init[{program.addresses[idx]}]"
+    return f"T{tid}:{program.threads[tid][idx]}"
+
+
+def render_cycle(program: Program, witness: CycleWitness) -> List[str]:
+    return [f"{event_name(program, e.src)}  --{e.kind}-->  "
+            f"{event_name(program, e.dst)}" for e in witness.edges]
+
+
+class RelationAnalysis:
+    """Relation scaffolding for one program: events, accesses, po.
+
+    Everything here is independent of the rf/co choice; a
+    :class:`Candidate` adds one concrete (rf, co) pick on top.
+    """
+
+    __slots__ = ("program", "loads", "stores", "init_events", "addr_of",
+                 "value_of", "po_pairs")
+
+    def __init__(self, program: Program) -> None:
+        for thread in program.threads:
+            if any(isinstance(op, Rmw) for op in thread):
+                raise NotImplementedError(
+                    "the relation analysis does not model atomic RMWs; "
+                    "use the operational engine")
+        self.program = program
+        self.loads: List[Tuple[Event, Ld]] = []
+        self.stores: List[Tuple[Event, St]] = []
+        self.init_events: Dict[str, Event] = {}
+        self.addr_of: Dict[Event, str] = {}
+        self.value_of: Dict[Event, int] = {}
+        for ordinal, addr in enumerate(program.addresses):
+            init = (-1, ordinal)
+            self.init_events[addr] = init
+            self.addr_of[init] = addr
+            self.value_of[init] = program.initial_value(addr)
+        for tid, thread in enumerate(program.threads):
+            for idx, op in enumerate(thread):
+                event = (tid, idx)
+                if isinstance(op, Ld):
+                    self.loads.append((event, op))
+                    self.addr_of[event] = op.addr
+                elif isinstance(op, St):
+                    self.stores.append((event, op))
+                    self.addr_of[event] = op.addr
+                    self.value_of[event] = op.value
+        # (a, b, fenced, a_is_store, b_is_store), a before b in thread.
+        self.po_pairs: List[Tuple[Event, Event, bool, bool, bool]] = []
+        for tid, thread in enumerate(program.threads):
+            accesses: List[Tuple[int, bool]] = []
+            fence_positions: List[int] = []
+            for idx, op in enumerate(thread):
+                if isinstance(op, Fence):
+                    fence_positions.append(idx)
+                elif isinstance(op, (Ld, St)):
+                    accesses.append((idx, isinstance(op, St)))
+            for i in range(len(accesses)):
+                idx_a, a_st = accesses[i]
+                for j in range(i + 1, len(accesses)):
+                    idx_b, b_st = accesses[j]
+                    fenced = any(idx_a < f < idx_b
+                                 for f in fence_positions)
+                    self.po_pairs.append(
+                        ((tid, idx_a), (tid, idx_b), fenced, a_st, b_st))
+
+    def candidates(self) -> Iterator["Candidate"]:
+        """Every candidate execution: an rf source per load crossed
+        with a coherence order per address."""
+        rf_domains: List[List[Event]] = []
+        for _, op in self.loads:
+            domain = [self.init_events[op.addr]]
+            domain.extend(event for event, store in self.stores
+                          if store.addr == op.addr)
+            rf_domains.append(domain)
+        per_addr: Dict[str, List[Event]] = {
+            addr: [] for addr in self.program.addresses}
+        for event, store in self.stores:
+            per_addr[store.addr].append(event)
+
+        def co_orders(addr_index: int,
+                      chosen: Dict[str, Tuple[Event, ...]]
+                      ) -> Iterator[Dict[str, Tuple[Event, ...]]]:
+            if addr_index == len(self.program.addresses):
+                yield dict(chosen)
+                return
+            addr = self.program.addresses[addr_index]
+            for order in _permutations(per_addr[addr]):
+                chosen[addr] = order
+                yield from co_orders(addr_index + 1, chosen)
+            chosen.pop(addr, None)
+
+        def rf_assignments(load_index: int, chosen: Dict[Event, Event]
+                           ) -> Iterator[Dict[Event, Event]]:
+            if load_index == len(self.loads):
+                yield dict(chosen)
+                return
+            load_event, _ = self.loads[load_index]
+            for source in rf_domains[load_index]:
+                chosen[load_event] = source
+                yield from rf_assignments(load_index + 1, chosen)
+            chosen.pop(load_event, None)
+
+        for rf in rf_assignments(0, {}):
+            for co in co_orders(0, {}):
+                yield Candidate(self, rf, co)
+
+
+def _permutations(items: List[Event]) -> Iterator[Tuple[Event, ...]]:
+    if not items:
+        yield ()
+        return
+    for i in range(len(items)):
+        rest = items[:i] + items[i + 1:]
+        for tail in _permutations(rest):
+            yield (items[i],) + tail
+
+
+class Candidate:
+    """One candidate execution: an (rf, co) choice over the analysis."""
+
+    __slots__ = ("analysis", "rf", "co")
+
+    def __init__(self, analysis: RelationAnalysis,
+                 rf: Dict[Event, Event],
+                 co: Dict[str, Tuple[Event, ...]]) -> None:
+        self.analysis = analysis
+        self.rf = rf
+        self.co = co
+
+    # -- relations -----------------------------------------------------
+    def rf_edges(self) -> List[Edge]:
+        edges = []
+        for load, source in self.rf.items():
+            if source[0] < 0:
+                kind = "rf-init"
+            elif source[0] == load[0]:
+                kind = "rfi"
+            else:
+                kind = "rfe"
+            edges.append(Edge(source, load, kind))
+        return edges
+
+    def co_edges(self) -> List[Edge]:
+        """Immediate-successor coherence edges (init first)."""
+        edges = []
+        for addr in self.analysis.program.addresses:
+            chain = (self.analysis.init_events[addr],) + self.co[addr]
+            for a, b in zip(chain, chain[1:]):
+                edges.append(Edge(a, b, "co"))
+        return edges
+
+    def fr_edges(self) -> List[Edge]:
+        """First-successor from-read edges: each load precedes the
+        store immediately co-after its source (transitively, via co,
+        every later store — same closure as full fr)."""
+        successor: Dict[Event, Event] = {}
+        for addr in self.analysis.program.addresses:
+            chain = (self.analysis.init_events[addr],) + self.co[addr]
+            for a, b in zip(chain, chain[1:]):
+                successor[a] = b
+        edges = []
+        for load, source in self.rf.items():
+            nxt = successor.get(source)
+            if nxt is not None:
+                edges.append(Edge(load, nxt, "fr"))
+        return edges
+
+    def uniproc_edges(self) -> List[Edge]:
+        edges = self.rf_edges() + self.co_edges() + self.fr_edges()
+        addr_of = self.analysis.addr_of
+        for a, b, _fenced, _a_st, _b_st in self.analysis.po_pairs:
+            if addr_of[a] == addr_of[b]:
+                edges.append(Edge(a, b, "po-loc"))
+        return edges
+
+    def ghb_edges(self, model: str) -> List[Edge]:
+        edges = self.co_edges() + self.fr_edges()
+        for edge in self.rf_edges():
+            if model == X86 and edge.kind == "rfi":
+                continue   # forwarding is not globally ordered on x86
+            edges.append(edge)
+        for a, b, fenced, a_st, b_st in self.analysis.po_pairs:
+            st_to_ld = a_st and not b_st
+            if model == SC or not st_to_ld or fenced:
+                edges.append(Edge(a, b, "po" if model == SC else "ppo"))
+        return edges
+
+    def outcome(self) -> Outcome:
+        analysis = self.analysis
+        regs = []
+        for load_event, op in analysis.loads:
+            source = self.rf[load_event]
+            regs.append(((load_event[0], op.reg),
+                         analysis.value_of[source]))
+        mem = []
+        for addr in analysis.program.addresses:
+            order = self.co[addr]
+            last = order[-1] if order else analysis.init_events[addr]
+            mem.append((addr, analysis.value_of[last]))
+        return Outcome(registers=tuple(sorted(regs)),
+                       memory=tuple(sorted(mem)))
+
+    def judge(self, model: str) -> Optional[CycleWitness]:
+        """None when the candidate satisfies the model's axioms, else
+        the witness cycle of the first violated axiom."""
+        cycle = find_cycle(self.uniproc_edges())
+        if cycle is not None:
+            return CycleWitness("sc-per-location", tuple(cycle))
+        cycle = find_cycle(self.ghb_edges(model))
+        if cycle is not None:
+            return CycleWitness("ghb", tuple(cycle))
+        return None
+
+
+def find_cycle(edges: Sequence[Edge]) -> Optional[List[Edge]]:
+    """Kahn indegree peel; returns a concrete cycle from the residual
+    graph, or None when the edge set is acyclic.
+
+    Deterministic: successors are visited in sorted order, so the same
+    edge set always yields the same witness cycle.
+    """
+    succ: Dict[Event, List[Edge]] = {}
+    indegree: Dict[Event, int] = {}
+    for edge in sorted(edges, key=Edge.sort_key):
+        succ.setdefault(edge.src, []).append(edge)
+        indegree.setdefault(edge.src, 0)
+        indegree[edge.dst] = indegree.get(edge.dst, 0) + 1
+
+    frontier = sorted(n for n, d in indegree.items() if d == 0)
+    remaining = dict(indegree)
+    while frontier:
+        node = frontier.pop()
+        remaining.pop(node)
+        for edge in succ.get(node, ()):
+            remaining[edge.dst] -= 1
+            if remaining[edge.dst] == 0:
+                frontier.append(edge.dst)
+    if not remaining:
+        return None
+
+    # The residue holds every cycle plus nodes upstream/downstream of
+    # one; peel sinks (no successor inside the residue) the same way to
+    # leave only nodes that lie on cycles, then walk until a repeat.
+    residue = set(remaining)
+    while True:
+        sinks = [n for n in residue
+                 if not any(e.dst in residue for e in succ.get(n, ()))]
+        if not sinks:
+            break
+        residue.difference_update(sinks)
+    start = min(residue)
+    path: List[Edge] = []
+    seen_at: Dict[Event, int] = {start: 0}
+    node = start
+    while True:
+        edge = next(e for e in succ[node] if e.dst in residue)
+        path.append(edge)
+        node = edge.dst
+        if node in seen_at:
+            return path[seen_at[node]:]
+        seen_at[node] = len(path)
+
+
+@dataclass
+class Classification:
+    """The static verdict for one program under one model."""
+
+    program: Program
+    model: str
+    allowed: FrozenSet[Outcome] = frozenset()
+    forbidden: FrozenSet[Outcome] = frozenset()
+    witnesses: Dict[Outcome, CycleWitness] = field(default_factory=dict)
+
+    def witness(self, outcome: Outcome) -> Optional[CycleWitness]:
+        return self.witnesses.get(outcome)
+
+
+def classify(program: Program, model: str) -> Classification:
+    """Partition the program's reachable outcomes into allowed and
+    forbidden under ``model``, with a witness cycle per forbidden
+    outcome (the shortest found across its candidates)."""
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; expected one of "
+                         f"{', '.join(MODELS)}")
+    analysis = RelationAnalysis(program)
+    allowed: set = set()
+    cycles: Dict[Outcome, CycleWitness] = {}
+    for candidate in analysis.candidates():
+        outcome = candidate.outcome()
+        witness = candidate.judge(model)
+        if witness is None:
+            allowed.add(outcome)
+            cycles.pop(outcome, None)
+        elif outcome not in allowed:
+            best = cycles.get(outcome)
+            if best is None or len(witness.edges) < len(best.edges):
+                cycles[outcome] = witness
+    forbidden = frozenset(o for o in cycles if o not in allowed)
+    return Classification(program=program, model=model,
+                          allowed=frozenset(allowed), forbidden=forbidden,
+                          witnesses={o: cycles[o] for o in forbidden})
+
+
+# ---------------------------------------------------------------------------
+# Non-multi-copy-atomic race analysis
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Race:
+    """An outcome x86 admits that the store-atomic 370 model forbids."""
+
+    outcome: Outcome
+    witness: CycleWitness          # the 370 cycle
+    shape: str                     # "forwarding" | "wrc" | "iriw" | "other"
+
+
+@dataclass
+class RaceReport:
+    program: Program
+    races: List[Race] = field(default_factory=list)
+    program_shapes: FrozenSet[str] = frozenset()
+
+    @property
+    def multi_copy_atomic(self) -> bool:
+        """True when 370 and x86 admit identical outcome sets — no
+        observable store-atomicity violation in this program."""
+        return not self.races
+
+
+def program_shapes(program: Program) -> FrozenSet[str]:
+    """Structural communication shapes that can expose non-MCA
+    behaviour: ``iriw`` (two writers, two readers disagreeing on the
+    write order) and ``wrc`` (write → read-then-write → reader chain)."""
+    shapes = set()
+    num_threads = len(program.threads)
+    accesses: List[List[Tuple[str, str]]] = []   # per thread: (kind, addr)
+    for thread in program.threads:
+        accesses.append([("st" if isinstance(op, St) else "ld", op.addr)
+                         for op in thread if isinstance(op, (Ld, St))])
+
+    def writes(tid: int) -> List[str]:
+        return [a for k, a in accesses[tid] if k == "st"]
+
+    def read_sequence(tid: int) -> List[str]:
+        return [a for k, a in accesses[tid] if k == "ld"]
+
+    # IRIW: writers w1 (addr a), w2 (addr b), readers r1 seeing a then
+    # b, r2 seeing b then a.
+    for w1 in range(num_threads):
+        for w2 in range(num_threads):
+            if w1 == w2:
+                continue
+            for a in set(writes(w1)):
+                for b in set(writes(w2)):
+                    if a == b:
+                        continue
+                    readers = [tid for tid in range(num_threads)
+                               if tid not in (w1, w2)]
+                    ab = [t for t in readers
+                          if _reads_in_order(read_sequence(t), a, b)]
+                    ba = [t for t in readers
+                          if _reads_in_order(read_sequence(t), b, a)]
+                    if any(x != y for x in ab for y in ba):
+                        shapes.add("iriw")
+    # WRC: w writes a; t reads a then writes b; r reads b then a.
+    for w in range(num_threads):
+        for a in set(writes(w)):
+            for t in range(num_threads):
+                if t == w:
+                    continue
+                seq = accesses[t]
+                for i, (k1, a1) in enumerate(seq):
+                    if k1 != "ld" or a1 != a:
+                        continue
+                    for k2, b in seq[i + 1:]:
+                        if k2 != "st" or b == a:
+                            continue
+                        for r in range(num_threads):
+                            if r in (w, t):
+                                continue
+                            if _reads_in_order(read_sequence(r), b, a):
+                                shapes.add("wrc")
+    return frozenset(shapes)
+
+
+def _reads_in_order(sequence: List[str], first: str, second: str) -> bool:
+    for i, addr in enumerate(sequence):
+        if addr == first:
+            return second in sequence[i + 1:]
+    return False
+
+
+def find_races(program: Program) -> RaceReport:
+    """Outcomes x86 allows but 370 forbids, each with the 370 cycle.
+
+    The cycle of every such outcome threads through at least one
+    ``rfi`` edge — the forwarded store observed early — because rfi
+    membership in ghb is the only difference between the two models.
+    """
+    x86 = classify(program, X86)
+    m370 = classify(program, M370)
+    shapes = program_shapes(program)
+    report = RaceReport(program=program, program_shapes=shapes)
+    for outcome in sorted(x86.allowed - m370.allowed, key=str):
+        witness = m370.witnesses[outcome]
+        if witness.has_kind("rfi"):
+            shape = "forwarding"
+        elif "iriw" in shapes:
+            shape = "iriw"
+        elif "wrc" in shapes:
+            shape = "wrc"
+        else:
+            shape = "other"
+        report.races.append(
+            Race(outcome=outcome, witness=witness, shape=shape))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Cross-checks against the enumerator in litmus/axiomatic.py
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CrossCheckResult:
+    programs_checked: int = 0
+    programs_skipped: int = 0       # Rmw programs (neither oracle models them)
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and self.programs_checked > 0
+
+
+def cross_check_program(program: Program,
+                        models: Sequence[str] = MODELS) -> List[str]:
+    """Compare this module's allowed sets against
+    :func:`repro.litmus.axiomatic.enumerate_axiomatic` per model;
+    returns human-readable mismatch descriptions (empty = agreement)."""
+    mismatches: List[str] = []
+    for model in models:
+        mine = classify(program, model).allowed
+        oracle = enumerate_axiomatic(program, model)
+        if mine == oracle:
+            continue
+        extra = sorted(mine - oracle, key=str)
+        missing = sorted(oracle - mine, key=str)
+        detail = []
+        if extra:
+            detail.append("relation-analysis-only: "
+                          + "; ".join(map(str, extra)))
+        if missing:
+            detail.append("enumerator-only: "
+                          + "; ".join(map(str, missing)))
+        mismatches.append(
+            f"{program.name} under {model}: {' / '.join(detail)}")
+    return mismatches
+
+
+def cross_check_battery(models: Sequence[str] = MODELS) -> CrossCheckResult:
+    """Cross-check the full built-in battery (Rmw cases skipped — the
+    axiomatic side does not model locked instructions)."""
+    from repro.litmus.battery import EXTRA_CASES
+    from repro.litmus.tests import ALL_CASES
+    result = CrossCheckResult()
+    for case in list(ALL_CASES) + list(EXTRA_CASES):
+        if any(isinstance(op, Rmw) for thread in case.program.threads
+               for op in thread):
+            result.programs_skipped += 1
+            continue
+        result.mismatches.extend(cross_check_program(case.program, models))
+        result.programs_checked += 1
+    return result
+
+
+def cross_check_random(count: int, seed: int,
+                       models: Sequence[str] = MODELS,
+                       threads: int = 2, max_ops: int = 3,
+                       allow_fences: bool = True) -> CrossCheckResult:
+    """Cross-check ``count`` seeded random programs from
+    :func:`repro.litmus.checker.random_program`."""
+    from repro.litmus.checker import random_program
+    rng = random.Random(seed)
+    result = CrossCheckResult()
+    for trial in range(count):
+        program = random_program(rng, name=f"random-{seed}-{trial}",
+                                 threads=threads, max_ops=max_ops,
+                                 allow_fences=allow_fences)
+        result.mismatches.extend(cross_check_program(program, models))
+        result.programs_checked += 1
+    return result

@@ -1,0 +1,65 @@
+"""Reporters for lint runs: human text and machine JSON.
+
+The JSON shape is stable (CI uploads it as an artifact):
+
+.. code-block:: json
+
+    {
+      "ok": true,
+      "files_scanned": 63,
+      "rules_run": ["det-rng", "..."],
+      "violations": [{"rule": "...", "path": "...", "line": 1,
+                      "col": 1, "message": "..."}],
+      "suppressed": 0,
+      "suppressions": [{"path": "...", "line": 3,
+                        "rules": ["hot-slots"], "file_level": false}],
+      "parse_errors": []
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import LintReport
+
+
+def render_json(report: LintReport) -> str:
+    payload: Dict[str, object] = {
+        "ok": report.ok,
+        "files_scanned": report.files_scanned,
+        "rules_run": list(report.rules_run),
+        "violations": [
+            {"rule": v.rule, "path": v.path, "line": v.line,
+             "col": v.col, "message": v.message}
+            for v in report.violations
+        ],
+        "suppressed": report.suppressed_count,
+        "suppressions": [
+            {"path": s.path, "line": s.line, "rules": sorted(s.rules),
+             "file_level": s.file_level}
+            for s in sorted(report.suppressions,
+                            key=lambda s: (s.path, s.line))
+        ],
+        "parse_errors": list(report.parse_errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_human(report: LintReport) -> str:
+    lines: List[str] = []
+    for violation in report.violations:
+        lines.append(f"{violation.location()}: {violation.rule}: "
+                     f"{violation.message}")
+    for error in report.parse_errors:
+        lines.append(f"error: {error}")
+    noun = "violation" if len(report.violations) == 1 else "violations"
+    summary = (f"{len(report.violations)} {noun} in "
+               f"{report.files_scanned} files")
+    if report.suppressed_count:
+        summary += f" ({report.suppressed_count} suppressed)"
+    if report.parse_errors:
+        summary += f", {len(report.parse_errors)} files failed to parse"
+    lines.append(summary)
+    return "\n".join(lines)

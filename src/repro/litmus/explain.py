@@ -121,6 +121,54 @@ def _find_cycle(edges: List[LabeledEdge]) -> Optional[List[LabeledEdge]]:
     return None
 
 
+def explain_chain(program: Program, model: str,
+                  **conditions: int) -> Optional[str]:
+    """Communication-chain view of a forbidden witness, computed by the
+    static relation analysis (:mod:`repro.lint.memory_model`).
+
+    Returns None when no outcome matching the witness conditions is
+    forbidden under ``model`` (or the program uses operations the
+    relation analysis does not model, e.g. RMWs).  The chain strips the
+    witness cycle down to its rf/fr/co edges — the inter-thread
+    communication the cycle actually rides on — and, when the cycle
+    hinges on a forwarding (rfi) edge, notes whether x86-TSO (which
+    does not order rfi globally) admits the same outcome: this is the
+    paper's Figure 2 store-atomicity distinction, derived rather than
+    hand-written.
+    """
+    from repro.lint.memory_model import classify
+
+    try:
+        verdict = classify(program, model)
+    except NotImplementedError:
+        return None
+    matching = [o for o in sorted(verdict.forbidden,
+                                  key=lambda o: (o.registers, o.memory))
+                if _matches(o, conditions)]
+    if not matching:
+        return None
+    lines: List[str] = []
+    for outcome in matching:
+        witness = verdict.witnesses[outcome]
+        comm = witness.communication_edges()
+        lines.append(f"  communication chain ({witness.axiom} cycle, "
+                     f"{len(witness.edges)} edges total):")
+        for edge in comm:
+            lines.append(f"    {_event_name(program, edge.src)}"
+                         f"  --{edge.kind}-->  "
+                         f"{_event_name(program, edge.dst)}")
+        if model != "x86" and witness.has_kind("rfi"):
+            x86_verdict = classify(program, "x86")
+            if outcome in x86_verdict.allowed:
+                rfi = next(e for e in comm if e.kind == "rfi")
+                lines.append(
+                    f"    note: x86-TSO drops the forwarding edge "
+                    f"{_event_name(program, rfi.src)} --rfi--> "
+                    f"{_event_name(program, rfi.dst)} from global "
+                    f"happens-before; the same outcome is ALLOWED there.")
+    return "\n".join(lines)
+
+
 def explain(program: Program, model: str, **conditions: int) -> str:
     """Explain why a witness outcome is forbidden (or that it is not).
 
@@ -188,5 +236,9 @@ def explain(program: Program, model: str, **conditions: int) -> str:
     if candidates == 0:
         return (f"{header}\n  UNREACHABLE: no read-from assignment "
                 f"produces these values.")
+    body = "\n".join(explanations)
+    chain = explain_chain(program, model, **conditions)
+    if chain is not None:
+        body += "\n" + chain
     return (f"{header}\n  FORBIDDEN: every matching candidate execution "
-            f"is cyclic.\n" + "\n".join(explanations))
+            f"is cyclic.\n" + body)

@@ -25,6 +25,9 @@ class StridePrefetcher:
 
     CONFIDENT = 2
 
+    __slots__ = ("_issue", "line_bytes", "degree", "table_size",
+                 "_table", "prefetches_issued")
+
     def __init__(self, issue: Callable[[int], None], line_bytes: int = 64,
                  degree: int = 2, table_size: int = 256) -> None:
         self._issue = issue

@@ -23,7 +23,7 @@ CONTROL = "control"
 DATA = "data"
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficStats:
     """Message counts by class."""
 
@@ -40,6 +40,8 @@ class TrafficStats:
 
 class Network:
     """Delivers callbacks after the configured message latency."""
+
+    __slots__ = ("engine", "config", "stats", "fault_delay")
 
     def __init__(self, engine: Engine, config: NetworkConfig) -> None:
         self.engine = engine

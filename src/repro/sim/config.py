@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreConfig:
     """Out-of-order core parameters (paper Table III, 'Processor')."""
 
@@ -33,7 +33,7 @@ class CoreConfig:
     l1_evict_squash: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheConfig:
     """A single set-associative cache level."""
 
@@ -50,7 +50,7 @@ class CacheConfig:
         return sets
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryConfig:
     """Memory hierarchy parameters (paper Table III, 'Memory')."""
 
@@ -70,7 +70,7 @@ class MemoryConfig:
     prefetch_degree: int = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkConfig:
     """Interconnect parameters (paper Table III, 'Network').
 
@@ -91,7 +91,7 @@ class NetworkConfig:
         return self.switch_latency + self.data_flits
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SystemConfig:
     """Complete simulated-system configuration."""
 

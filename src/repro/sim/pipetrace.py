@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cpu.isa import KIND_NAMES
 
 
-@dataclass
+@dataclass(slots=True)
 class InstructionRecord:
     """One dynamic incarnation of a trace instruction."""
 
@@ -47,6 +47,8 @@ class InstructionRecord:
 
 class PipeTracer:
     """Records instruction lifecycles for one core."""
+
+    __slots__ = ("records", "_live", "_incarnations", "limit")
 
     def __init__(self, limit: int = 100_000) -> None:
         self.records: List[InstructionRecord] = []

@@ -11,11 +11,11 @@ These counters implement the exact metrics reported in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Counters collected by one core during a run."""
 
@@ -94,7 +94,9 @@ class CoreStats:
         sums, including cycles, so ratio metrics like stall percentages
         become per-core-cycle averages) — used for whole-system totals.
         The per-key lock breakdown sums key-wise."""
-        for name, value in vars(other).items():
+        for f in fields(other):
+            name = f.name
+            value = getattr(other, name)
             if name == "gate_lock_by_key":
                 mine = self.gate_lock_by_key
                 for key, cycles in value.items():
@@ -107,7 +109,7 @@ class CoreStats:
         one mapping gets string keys, so the JSON round-trip through
         :meth:`from_dict` is exact — the sweep result cache relies on
         this."""
-        out = dict(vars(self))
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["gate_lock_by_key"] = {
             str(k): v for k, v in sorted(self.gate_lock_by_key.items())}
         return out
@@ -121,7 +123,7 @@ class CoreStats:
         return cls(**data)
 
 
-@dataclass
+@dataclass(slots=True)
 class SystemStats:
     """Aggregated statistics for one simulation run."""
 

@@ -22,6 +22,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class System:
     """A simulated multicore: N cores + coherent memory hierarchy."""
 
+    __slots__ = ("config", "policy_name", "engine", "_use_stop",
+                 "probe_bus", "memory", "cores", "memory_data",
+                 "_unfinished", "faults")
+
     def __init__(self, traces: Sequence["Trace"], policy_name: str,
                  config: Optional[SystemConfig] = None,
                  detect_violations: bool = False,

@@ -1,0 +1,19 @@
+"""Fixture: unseeded / OS-entropy randomness in a hot package (det-rng)."""
+
+import os
+import random
+import uuid
+
+
+def pick():
+    return random.random()
+
+
+def shuffle(items):
+    rng = random.Random()
+    rng.shuffle(items)
+    return items
+
+
+def token():
+    return os.urandom(8), uuid.uuid4()

@@ -1,0 +1,13 @@
+"""Fixture: randomness is fine when the stream is explicitly seeded."""
+
+import random
+
+
+def pick(seed):
+    return random.Random(seed).random()
+
+
+def shuffle(items, seed):
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    return items

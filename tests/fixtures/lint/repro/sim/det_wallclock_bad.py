@@ -1,0 +1,16 @@
+"""Fixture: wall-clock reads inside a hot package (det-wallclock)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return time.perf_counter()
+
+
+def today():
+    return datetime.now()

@@ -1,0 +1,9 @@
+"""Fixture: simulated time comes from the engine, not the host clock."""
+
+
+def stamp(engine):
+    return engine.now
+
+
+def elapsed(engine, start):
+    return engine.now - start

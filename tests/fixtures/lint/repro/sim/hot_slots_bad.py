@@ -1,0 +1,9 @@
+"""Fixture: hot-loop class without ``__slots__`` (hot-slots)."""
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1

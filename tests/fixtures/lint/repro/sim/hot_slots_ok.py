@@ -1,0 +1,26 @@
+"""Fixture: the accepted ways a hot-loop class declares its layout."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+
+@dataclass(slots=True)
+class Pair:
+    a: int = 0
+    b: int = 0
+
+
+class DrainStalledError(Exception):
+    """Exceptions are cold-path; no slots required."""
+
+
+class Phase(Enum):
+    FETCH = 0
+    RETIRE = 1

@@ -1,0 +1,11 @@
+"""Fixture: iteration over a set leaks hash order (iter-set-order)."""
+
+
+def drain(pending):
+    waiting = {p for p in pending if p}
+    for item in waiting:
+        yield item
+
+
+def snapshot(a, b):
+    return list(a | b)

@@ -1,0 +1,16 @@
+"""Fixture: set iteration is deterministic once sorted."""
+
+
+def drain(pending):
+    waiting = {p for p in pending if p}
+    for item in sorted(waiting):
+        yield item
+
+
+def snapshot(a, b):
+    return sorted(a | b)
+
+
+def membership(seen, item):
+    # Membership tests and len() do not observe iteration order.
+    return item in seen and len(seen) > 0

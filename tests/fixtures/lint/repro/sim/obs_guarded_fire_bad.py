@@ -1,0 +1,12 @@
+"""Fixture: probe fired without an ``is not None`` guard
+(obs-guarded-fire)."""
+
+
+class Component:
+    __slots__ = ("_p_tick",)
+
+    def __init__(self, bus):
+        self._p_tick = bus.resolve("component.tick")
+
+    def tick(self, now):
+        self._p_tick(now)

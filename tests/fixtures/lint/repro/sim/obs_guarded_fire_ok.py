@@ -1,0 +1,17 @@
+"""Fixture: every probe fire sits behind a None guard."""
+
+
+class Component:
+    __slots__ = ("_p_tick", "_p_done")
+
+    def __init__(self, bus):
+        self._p_tick = bus.resolve("component.tick")
+        self._p_done = bus.resolve("component.done")
+
+    def tick(self, now):
+        if self._p_tick is not None:
+            self._p_tick(now)
+
+    def finish(self, now, active):
+        if active and self._p_done is not None:
+            self._p_done(now)

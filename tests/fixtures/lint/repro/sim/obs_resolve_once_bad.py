@@ -1,0 +1,13 @@
+"""Fixture: probe resolved on the hot path (obs-resolve-once)."""
+
+
+class Component:
+    __slots__ = ("bus",)
+
+    def __init__(self, bus):
+        self.bus = bus
+
+    def tick(self, now):
+        probe = self.bus.resolve("component.tick")
+        if probe is not None:
+            probe(now)

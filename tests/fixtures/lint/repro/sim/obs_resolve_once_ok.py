@@ -1,0 +1,23 @@
+"""Fixture: probes resolved once at construction / attach time."""
+
+
+class Component:
+    __slots__ = ("_p_tick",)
+
+    def __init__(self, bus):
+        self._p_tick = bus.resolve("component.tick")
+
+    def tick(self, now):
+        if self._p_tick is not None:
+            self._p_tick(now)
+
+
+class Attachable:
+    __slots__ = ("_p_event",)
+
+    def attach(self, bus):
+        self._p_event = bus.resolve("attachable.event")
+
+    def fire(self, now):
+        if self._p_event is not None:
+            self._p_event(now)

@@ -1,0 +1,12 @@
+# lint: file-ignore[det-rng]
+"""Fixture: a file-level marker opts the whole file out of one rule."""
+
+import random
+
+
+def pick():
+    return random.random()
+
+
+def roll():
+    return random.randint(1, 6)

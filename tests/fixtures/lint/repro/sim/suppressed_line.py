@@ -1,0 +1,7 @@
+"""Fixture: a line-level suppression hides one det-wallclock hit."""
+
+import time
+
+
+def stamp():
+    return time.time()  # lint: ignore[det-wallclock]

@@ -1,0 +1,10 @@
+"""Fixture: hot-scope rules do not apply outside the hot packages —
+wall-clock use in a tool/reporting module is legitimate."""
+
+import time
+
+
+def wall_duration(fn):
+    start = time.time()
+    fn()
+    return time.time() - start

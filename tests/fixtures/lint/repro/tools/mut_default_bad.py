@@ -1,0 +1,14 @@
+"""Fixture: mutable default arguments (mut-default, repo-wide scope)."""
+
+
+def collect(items=[]):
+    items.append(1)
+    return items
+
+
+def index(table={}):
+    return table
+
+
+def merge(seen=set()):
+    return seen

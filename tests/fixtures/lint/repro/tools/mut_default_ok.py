@@ -1,0 +1,12 @@
+"""Fixture: the None-sentinel idiom for default containers."""
+
+
+def collect(items=None):
+    if items is None:
+        items = []
+    items.append(1)
+    return items
+
+
+def label(name="", count=0, flag=False, pair=(1, 2)):
+    return name, count, flag, pair

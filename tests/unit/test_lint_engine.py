@@ -1,0 +1,209 @@
+"""Engine-level tests for ``repro.lint``: fixtures, suppressions,
+scoping, rule selection, and report rendering."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.lint import (registered_rules, render_human, render_json,
+                        run_lint)
+from repro.lint.engine import package_of
+
+FIXTURES = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "fixtures", "lint")
+
+
+def _fixture(*parts):
+    return os.path.join(FIXTURES, "repro", *parts)
+
+
+def _rules_tripped(path):
+    return {v.rule for v in run_lint([path]).violations}
+
+
+# ----------------------------------------------------------------------
+# Meta-test: every registered rule has at least one positive and one
+# negative fixture, and they behave as labelled.
+# ----------------------------------------------------------------------
+
+def _fixture_files(suffix):
+    found = {}
+    for dirpath, _, filenames in os.walk(FIXTURES):
+        for name in filenames:
+            if not name.endswith(".py"):
+                continue
+            stem = name[:-3]
+            marker = f"_{suffix}"
+            if marker in stem:
+                slug = stem.split(marker)[0]
+                found.setdefault(slug, []).append(
+                    os.path.join(dirpath, name))
+    return found
+
+
+def test_every_rule_has_positive_and_negative_fixtures():
+    bad = _fixture_files("bad")
+    ok = _fixture_files("ok")
+    for rule_id in registered_rules():
+        slug = rule_id.replace("-", "_")
+        assert bad.get(slug), f"no positive fixture for {rule_id}"
+        assert ok.get(slug), f"no negative fixture for {rule_id}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(registered_rules()))
+def test_positive_fixtures_trip_exactly_their_rule(rule_id):
+    slug = rule_id.replace("-", "_")
+    for path in _fixture_files("bad")[slug]:
+        assert _rules_tripped(path) == {rule_id}, path
+
+
+@pytest.mark.parametrize("rule_id", sorted(registered_rules()))
+def test_negative_fixtures_are_clean(rule_id):
+    slug = rule_id.replace("-", "_")
+    for path in _fixture_files("ok")[slug]:
+        assert rule_id not in _rules_tripped(path), path
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+def test_line_suppression_hides_and_counts():
+    report = run_lint([_fixture("sim", "suppressed_line.py")])
+    assert report.violations == []
+    assert report.suppressed_count == 1
+    assert len(report.suppressions) == 1
+    assert report.suppressions[0].rules == {"det-wallclock"}
+    assert not report.suppressions[0].file_level
+
+
+def test_file_suppression_covers_every_hit():
+    report = run_lint([_fixture("sim", "suppressed_file.py")])
+    assert report.violations == []
+    assert report.suppressed_count == 2
+    assert any(s.file_level for s in report.suppressions)
+
+
+def test_bare_ignore_suppresses_all_rules(tmp_path):
+    hot = tmp_path / "repro" / "sim"
+    hot.mkdir(parents=True)
+    target = hot / "mixed.py"
+    target.write_text(textwrap.dedent("""\
+        import time
+
+
+        def stamp():
+            return time.time()  # lint: ignore
+    """))
+    report = run_lint([str(target)])
+    assert report.violations == []
+    assert report.suppressed_count == 1
+
+
+def test_suppression_only_covers_named_rule(tmp_path):
+    hot = tmp_path / "repro" / "sim"
+    hot.mkdir(parents=True)
+    target = hot / "mixed.py"
+    target.write_text(textwrap.dedent("""\
+        import time
+        import random
+
+
+        def stamp():
+            return time.time()  # lint: ignore[det-rng]
+    """))
+    report = run_lint([str(target)])
+    assert [v.rule for v in report.violations] == ["det-wallclock"]
+    assert report.suppressed_count == 0
+
+
+def test_suppressions_in_reports_hot_packages():
+    report = run_lint([_fixture("sim")])
+    inside = report.suppressions_in(("sim", "cpu", "core"))
+    assert len(inside) == 2           # suppressed_line + suppressed_file
+    assert report.suppressions_in(("noc",)) == []
+
+
+# ----------------------------------------------------------------------
+# Scoping, rule selection, --changed restriction
+# ----------------------------------------------------------------------
+
+def test_hot_rules_do_not_apply_outside_hot_packages():
+    report = run_lint([_fixture("tools", "det_wallclock_ok_scope.py")])
+    assert report.violations == []
+
+
+def test_package_of_keys_on_last_repro_component():
+    assert package_of("src/repro/cpu/pipeline.py") == "cpu"
+    assert package_of(_fixture("sim", "hot_slots_bad.py")) == "sim"
+    assert package_of("src/repro/cli.py") == ""
+    assert package_of("/somewhere/else/module.py") is None
+
+
+def test_rule_selection_runs_only_named_rules():
+    path = _fixture("sim", "det_wallclock_bad.py")
+    report = run_lint([path], rules=["hot-slots"])
+    assert report.violations == []
+    assert report.rules_run == ["hot-slots"]
+
+
+def test_unknown_rule_id_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        run_lint([FIXTURES], rules=["no-such-rule"])
+
+
+def test_only_files_restricts_scan():
+    everything = _fixture("sim")
+    target = os.path.abspath(_fixture("sim", "hot_slots_bad.py"))
+    report = run_lint([everything], only_files={target})
+    assert report.files_scanned == 1
+    assert {v.rule for v in report.violations} == {"hot-slots"}
+
+
+def test_parse_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    report = run_lint([str(bad)])
+    assert not report.ok
+    assert len(report.parse_errors) == 1
+    assert "broken.py" in report.parse_errors[0]
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+def test_render_json_schema():
+    report = run_lint([_fixture("sim", "hot_slots_bad.py")])
+    payload = json.loads(render_json(report))
+    assert payload["ok"] is False
+    assert payload["files_scanned"] == 1
+    assert payload["suppressed"] == 0
+    assert sorted(payload["rules_run"]) == sorted(registered_rules())
+    [violation] = payload["violations"]
+    assert violation["rule"] == "hot-slots"
+    assert violation["line"] >= 1 and violation["col"] >= 1
+    assert violation["path"].endswith("hot_slots_bad.py")
+
+
+def test_render_human_lists_location_and_summary():
+    report = run_lint([_fixture("sim", "hot_slots_bad.py")])
+    text = render_human(report)
+    assert "hot_slots_bad.py" in text
+    assert "hot-slots" in text
+    assert "1 violation" in text
+
+
+def test_clean_run_renders_zero_summary():
+    report = run_lint([_fixture("sim", "hot_slots_ok.py")])
+    assert report.ok
+    assert "0 violations" in render_human(report)
+
+
+def test_rule_listing_has_docs_for_every_rule():
+    for rule_id, rule in registered_rules().items():
+        assert rule.summary, rule_id
+        assert rule.rationale, rule_id
+        assert rule.scope in ("hot", "all")

@@ -1,0 +1,173 @@
+"""The static herd-style relation analysis against the axiomatic
+oracle, plus the race classifier and the explain() chain rendering."""
+
+import pytest
+
+from repro.lint.memory_model import (Edge, classify, cross_check_battery,
+                                     cross_check_program,
+                                     cross_check_random, find_cycle,
+                                     find_races, program_shapes)
+from repro.litmus import FIG5, IRIW, MP, N6, SB, M370, SC, X86
+from repro.litmus.explain import explain, explain_chain
+from repro.litmus.program import Ld, St, make_program
+
+# ----------------------------------------------------------------------
+# Oracle agreement
+# ----------------------------------------------------------------------
+
+def test_battery_agrees_with_axiomatic_oracle():
+    result = cross_check_battery()
+    assert result.ok, "\n".join(result.mismatches)
+    assert result.programs_checked >= 10
+    assert result.programs_skipped >= 1     # the Rmw cases
+
+
+def test_random_programs_agree_with_axiomatic_oracle():
+    result = cross_check_random(200, seed=20260805)
+    assert result.ok, "\n".join(result.mismatches[:5])
+    assert result.programs_checked == 200
+
+
+def test_random_three_thread_programs_agree():
+    result = cross_check_random(40, seed=11, threads=3, max_ops=2)
+    assert result.ok, "\n".join(result.mismatches[:5])
+
+
+def test_single_program_cross_check_reports_no_mismatch():
+    assert cross_check_program(N6) == []
+    assert cross_check_program(IRIW) == []
+
+
+# ----------------------------------------------------------------------
+# Per-model classification
+# ----------------------------------------------------------------------
+
+def test_n6_witness_outcome_split_between_models():
+    x86 = classify(N6, X86)
+    m370 = classify(N6, M370)
+    gap = x86.allowed - m370.allowed
+    assert len(gap) == 1
+    [outcome] = gap
+    witness = m370.witness(outcome)
+    assert witness is not None
+    assert witness.has_kind("rfi"), witness.kinds
+
+
+def test_sc_is_strictest():
+    for program in (N6, FIG5, MP, SB, IRIW):
+        sc = classify(program, SC).allowed
+        m370 = classify(program, M370).allowed
+        x86 = classify(program, X86).allowed
+        assert sc <= m370 <= x86, program.name
+
+
+def test_forbidden_outcomes_carry_witness_cycles():
+    m370 = classify(N6, M370)
+    for outcome in m370.forbidden:
+        witness = m370.witness(outcome)
+        assert witness is not None
+        assert witness.axiom in ("sc-per-location", "ghb")
+        assert len(witness.edges) >= 2
+        # The edges must actually chain into a cycle.
+        for first, second in zip(witness.edges,
+                                 witness.edges[1:] + witness.edges[:1]):
+            assert first.dst == second.src
+
+
+# ----------------------------------------------------------------------
+# Race analysis (non-MCA flagging)
+# ----------------------------------------------------------------------
+
+def test_forwarding_races_on_the_paper_cases():
+    for program in (N6, FIG5):
+        report = find_races(program)
+        assert not report.multi_copy_atomic
+        assert [race.shape for race in report.races] == ["forwarding"]
+        for race in report.races:
+            assert race.witness.has_kind("rfi")
+
+
+def test_mp_sb_iriw_have_no_x86_vs_370_race():
+    for program in (MP, SB, IRIW):
+        report = find_races(program)
+        assert report.multi_copy_atomic, program.name
+
+
+def test_iriw_shape_detected_structurally():
+    assert "iriw" in program_shapes(IRIW)
+    assert program_shapes(MP) == frozenset()
+    assert program_shapes(SB) == frozenset()
+
+
+def test_wrc_shape_detected_structurally():
+    wrc = make_program(
+        "wrc-shape",
+        [[St("x", 1)],
+         [Ld("x", "r0"), St("y", 1)],
+         [Ld("y", "r0"), Ld("x", "r1")]])
+    assert "wrc" in program_shapes(wrc)
+
+
+# ----------------------------------------------------------------------
+# Cycle finder
+# ----------------------------------------------------------------------
+
+def test_find_cycle_returns_none_on_acyclic_graph():
+    edges = [Edge((0, 0), (0, 1), "po"), Edge((0, 1), (1, 0), "rf")]
+    assert find_cycle(edges) is None
+
+
+def test_find_cycle_extracts_the_loop_not_the_tail():
+    edges = [
+        Edge((9, 9), (0, 0), "po"),            # tail into the cycle
+        Edge((0, 0), (0, 1), "po"),
+        Edge((0, 1), (1, 0), "fr"),
+        Edge((1, 0), (0, 0), "co"),
+    ]
+    cycle = find_cycle(edges)
+    assert cycle is not None
+    assert len(cycle) == 3
+    nodes = {edge.src for edge in cycle}
+    assert (9, 9) not in nodes
+    for first, second in zip(cycle, cycle[1:] + cycle[:1]):
+        assert first.dst == second.src
+
+
+# ----------------------------------------------------------------------
+# explain() integration
+# ----------------------------------------------------------------------
+
+N6_WITNESS = dict(r0_rx=1, r0_ry=0, mem_x=1, mem_y=2)
+
+
+def test_explain_chain_emits_rf_fr_edges_and_x86_note():
+    chain = explain_chain(N6, "370", **N6_WITNESS)
+    assert chain is not None
+    assert "--rfi-->" in chain
+    assert "--fr-->" in chain
+    assert "x86-TSO drops the forwarding edge" in chain
+    assert "ALLOWED there" in chain
+
+
+def test_explain_chain_none_when_outcome_allowed():
+    assert explain_chain(N6, "x86", **N6_WITNESS) is None
+
+
+def test_explain_appends_communication_chain():
+    text = explain(N6, "370", **N6_WITNESS)
+    assert "FORBIDDEN" in text
+    assert "communication chain" in text
+    assert "--rfi-->" in text
+
+
+def test_explain_x86_reports_allowed_without_chain():
+    text = explain(N6, "x86", **N6_WITNESS)
+    assert "ALLOWED" in text
+    assert "communication chain" not in text
+
+
+def test_rmw_programs_are_skipped_not_crashed():
+    from repro.litmus import SB_BOTH_RMW
+    with pytest.raises(NotImplementedError):
+        classify(SB_BOTH_RMW, M370)
+    assert explain_chain(SB_BOTH_RMW, "370", r0_rx=0) is None
