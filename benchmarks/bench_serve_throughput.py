@@ -1,0 +1,174 @@
+"""Service throughput benchmark: ``repro.serve`` over real HTTP.
+
+Boots the asyncio HTTP API in-process (loopback, ephemeral port), then
+measures three things a service operator cares about:
+
+* **cold throughput** — a mixed batch of bench cells and litmus
+  enumerations submitted over HTTP and executed by the sharded pool
+  (jobs/sec end to end, including queueing and the HTTP round trips);
+* **warm throughput** — the identical batch resubmitted, every job
+  answered from the persistent result store (the acceptance target is
+  a >= 5x wall-clock speedup);
+* **latency distribution** — the service's own ``job_latency_ms`` /
+  ``queue_wait_ms`` histograms, as a client would read them from
+  ``GET /v1/metrics``.
+
+Run standalone (CI smoke) to record ``BENCH_serve.json``:
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+
+or under pytest for the assertion-only version:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py
+"""
+
+import asyncio
+import json
+import pathlib
+import tempfile
+import threading
+import time
+
+from repro.core.policies import POLICY_ORDER
+from repro.serve.api import HttpApi, ServeService
+from repro.serve.client import ServeClient
+
+#: The measured batch: 4 profiles x 5 policies + 8 litmus enumerations.
+BENCH_NAMES = ("radix", "fft", "barnes", "cholesky")
+LITMUS_NAMES = ("mp", "sb", "lb", "iriw", "wrc", "rwc", "2+2w", "coRR")
+CORES = 2
+LENGTH = 800
+SHARDS = 2
+SHARD_WORKERS = 2
+
+RESULT_FILE = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_serve.json"
+
+
+def _requests():
+    jobs = [{"kind": "bench", "name": name, "policy": policy,
+             "cores": CORES, "length": LENGTH}
+            for name in BENCH_NAMES for policy in POLICY_ORDER]
+    jobs += [{"kind": "litmus", "name": name} for name in LITMUS_NAMES]
+    return jobs
+
+
+class _Server:
+    """The benchmark's in-process server (HTTP on a daemon thread)."""
+
+    def __init__(self, cache_dir):
+        self.cache_dir = cache_dir
+        self.service = None
+        self.api = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.service = ServeService(shards=SHARDS,
+                                    shard_workers=SHARD_WORKERS,
+                                    cache_dir=self.cache_dir)
+        self.api = HttpApi(self.service, port=0)
+        self._loop = asyncio.get_running_loop()
+        await self.api.start()
+        self._ready.set()
+        await self.api._shutdown.wait()
+        await self.api.stop(drain_timeout=60)
+
+    def __enter__(self):
+        self._thread.start()
+        self._ready.wait(timeout=15)
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self.api.request_shutdown)
+        self._thread.join(timeout=60)
+
+    def client(self):
+        return ServeClient(f"http://127.0.0.1:{self.api.port}",
+                           timeout=60)
+
+
+def _timed_batch(client, requests):
+    t0 = time.perf_counter()
+    batch = client.submit_batch(requests)
+    ids = [doc["id"] for doc in batch["jobs"]]
+    docs = client.wait_all(ids, deadline=300)
+    elapsed = time.perf_counter() - t0
+    states = [docs[i]["state"] for i in ids]
+    hits = sum(docs[i].get("cache_hit", False) for i in ids)
+    return elapsed, states, hits
+
+
+def measure():
+    """Cold + warm batch over HTTP; returns the comparison dict."""
+    requests = _requests()
+    with tempfile.TemporaryDirectory() as cache_dir, \
+            _Server(cache_dir) as server:
+        client = server.client()
+        cold_s, cold_states, cold_hits = _timed_batch(client, requests)
+        warm_s, warm_states, warm_hits = _timed_batch(client, requests)
+        metrics = client.metrics()
+    latency = metrics["histograms"].get("job_latency_ms", {})
+    queue_wait = metrics["histograms"].get("queue_wait_ms", {})
+    return {
+        "jobs": len(requests),
+        "shards": SHARDS,
+        "shard_workers": SHARD_WORKERS,
+        "all_done": (cold_states.count("done") == len(requests)
+                     and warm_states.count("done") == len(requests)),
+        "cold_seconds": round(cold_s, 4),
+        "cold_jobs_per_sec": round(len(requests) / cold_s, 2),
+        "cold_cache_hits": cold_hits,
+        "warm_seconds": round(warm_s, 4),
+        "warm_jobs_per_sec": round(len(requests) / warm_s, 2),
+        "warm_cache_hits": warm_hits,
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "job_latency_ms": {k: latency.get(k)
+                           for k in ("count", "mean", "p50", "p90",
+                                     "p99", "max")},
+        "queue_wait_ms": {k: queue_wait.get(k)
+                          for k in ("count", "mean", "p50", "p90",
+                                    "p99", "max")},
+        "jobs_executed": metrics["counters"].get("jobs_executed"),
+        "store_hit_rate": metrics["store"]["hit_rate"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+
+def test_serve_warm_speedup():
+    result = measure()
+    assert result["all_done"], result
+    assert result["warm_cache_hits"] == result["jobs"], result
+    # Acceptance target is 5x; the cold batch simulates, the warm one
+    # only reads the store.
+    assert result["warm_speedup"] >= 5.0, result
+
+
+# ----------------------------------------------------------------------
+# CI smoke: record jobs/sec for trajectory tracking
+# ----------------------------------------------------------------------
+
+def main():
+    result = measure()
+    RESULT_FILE.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if not result["all_done"]:
+        raise SystemExit("serve benchmark: not every job finished")
+    if result["warm_speedup"] < 5.0:
+        raise SystemExit(
+            f"serve benchmark: warm speedup {result['warm_speedup']}x "
+            f"is below the 5x acceptance target")
+    print(f"serve: cold {result['cold_jobs_per_sec']} jobs/s, warm "
+          f"{result['warm_jobs_per_sec']} jobs/s "
+          f"({result['warm_speedup']}x) over {result['jobs']} jobs")
+
+
+if __name__ == "__main__":
+    main()

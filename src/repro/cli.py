@@ -16,6 +16,20 @@ Commands:
                                   per-job timeouts and bounded retries
 ``chaos``                         litmus conformance under deterministic
                                   fault injection (the chaos gate)
+``serve``                         long-lived batch simulation service:
+                                  asyncio HTTP JSON API over a sharded
+                                  worker pool with admission control and
+                                  a persistent result store
+                                  (docs/SERVICE.md)
+``submit SPEC [SPEC ...]``        submit bench:NAME[:POLICY] /
+                                  litmus:NAME[:MODELS] jobs (or --file)
+                                  to a running service; --wait polls
+                                  them to completion
+``poll JOB_ID``                   job status/result from a running
+                                  service (also: ``poll healthz``,
+                                  ``poll metrics``)
+``cache``                         result-cache statistics and LRU
+                                  garbage collection (--stats / --gc)
 ``lint [PATH ...]``               static determinism/zero-overhead
                                   discipline analysis (AST rules, see
                                   docs/STATIC_ANALYSIS.md) and, with
@@ -44,10 +58,11 @@ from repro.litmus.program import Program
 
 
 def _litmus_registry() -> Dict[str, Program]:
-    programs = {}
-    for case in ALL_CASES + EXTRA_CASES:
-        programs[case.program.name] = case.program
-    return programs
+    # Memoized once per process (repro.litmus.registry): cmd_list,
+    # cmd_litmus, cmd_explain, ... all resolve names against the same
+    # build instead of reconstructing the battery on every call.
+    from repro.litmus.registry import litmus_registry
+    return litmus_registry()
 
 
 def _find_program(name: str) -> Program:
@@ -362,6 +377,164 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import HttpApi, ServeService
+
+    note = (lambda msg: print(msg, file=sys.stderr, flush=True)) \
+        if args.verbose else None
+    service = ServeService(
+        shards=args.shards, shard_workers=args.shard_workers,
+        queue_limit=args.queue_limit, timeout=args.timeout,
+        retries=args.retries, backoff=args.backoff,
+        stuck_after=args.stuck_after, cache=not args.no_cache,
+        cache_dir=args.cache_dir, cache_max_bytes=args.cache_max_bytes,
+        on_note=note)
+    api = HttpApi(service, host=args.host, port=args.port)
+
+    def ready(port: int) -> None:
+        # Machine-parseable: the SIGTERM tests and the CI smoke read
+        # the bound port from this line (--port 0 means "pick one").
+        print(f"repro-serve listening on http://{args.host}:{port}",
+              flush=True)
+
+    asyncio.run(api.run(ready=ready, drain_timeout=args.drain_timeout))
+    print("repro-serve drained and stopped", flush=True)
+    return 0
+
+
+def _parse_submit_token(token: str, args) -> Dict:
+    """``bench:NAME[:POLICY]`` / ``litmus:NAME[:MODEL+MODEL...]`` →
+    a job-request dict."""
+    parts = token.split(":")
+    if parts[0] == "litmus":
+        if len(parts) < 2 or len(parts) > 3 or not parts[1]:
+            raise SystemExit(f"bad litmus spec {token!r} "
+                             f"(litmus:NAME[:MODEL+MODEL...])")
+        job = {"kind": "litmus", "name": parts[1]}
+        if len(parts) == 3:
+            job["models"] = parts[2].split("+")
+        return job
+    if parts[0] == "bench":
+        if len(parts) < 2 or len(parts) > 3 or not parts[1]:
+            raise SystemExit(f"bad bench spec {token!r} "
+                             f"(bench:NAME[:POLICY])")
+        job = {"kind": "bench", "name": parts[1],
+               "policy": parts[2] if len(parts) == 3 else args.policy,
+               "cores": args.cores, "seed": args.seed}
+        if args.length is not None:
+            job["length"] = args.length
+        return job
+    raise SystemExit(f"job spec {token!r} must start with "
+                     f"'bench:' or 'litmus:'")
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    jobs: List[Dict] = []
+    if args.file:
+        with open(args.file) as fh:
+            loaded = json.load(fh)
+        if isinstance(loaded, dict):
+            loaded = loaded.get("jobs", [loaded])
+        if not isinstance(loaded, list):
+            raise SystemExit(f"{args.file}: expected a list of job "
+                             f"objects (or {{'jobs': [...]}})")
+        jobs.extend(loaded)
+    for token in args.specs:
+        jobs.append(_parse_submit_token(token, args))
+    if args.priority is not None:
+        for job in jobs:
+            job.setdefault("priority", args.priority)
+    if not jobs:
+        raise SystemExit("nothing to submit (give specs or --file)")
+
+    client = ServeClient(args.url, timeout=args.http_timeout)
+    try:
+        batch = client.submit_batch(jobs)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    docs = batch["jobs"]
+    print(f"submitted {len(docs)} job(s): {batch['accepted']} accepted, "
+          f"{batch['rejected']} rejected, {batch['invalid']} invalid")
+    for doc in docs:
+        if doc["state"] == "invalid":
+            print(f"  INVALID: {doc['error']['message']}")
+        elif doc["state"] == "rejected":
+            print(f"  {doc['id']} REJECTED: "
+                  f"{doc['rejection']['message']}")
+        else:
+            tag = " [cache]" if doc.get("cache_hit") else ""
+            print(f"  {doc['id']} {doc['state']}{tag}")
+
+    failures = batch["rejected"] + batch["invalid"]
+    if args.wait:
+        ids = [doc["id"] for doc in docs
+               if doc["state"] in ("queued", "running", "done")]
+        try:
+            finished = client.wait_all(ids, deadline=args.deadline)
+        except ServeError as exc:
+            raise SystemExit(str(exc))
+        docs = [finished.get(doc.get("id"), doc) for doc in docs]
+        for doc in docs:
+            if doc.get("state") == "failed":
+                failures += 1
+                print(f"  {doc['id']} FAILED: "
+                      f"{doc['error']['type']}: {doc['error']['message']}")
+        done = sum(doc.get("state") == "done" for doc in docs)
+        print(f"finished: {done} done, "
+              f"{sum(d.get('state') == 'failed' for d in docs)} failed")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"jobs": docs}, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
+
+
+def cmd_poll(args) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.http_timeout)
+    try:
+        if args.job_id == "healthz":
+            print(json.dumps(client.healthz(), indent=2, sort_keys=True))
+            return 0
+        if args.job_id == "metrics":
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return 0
+        status, doc = client.job(args.job_id, wait=args.wait)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    if status != 200:
+        return 1
+    return 0 if doc["state"] in ("done", "queued", "running") else 1
+
+
+def cmd_cache(args) -> int:
+    from repro.sweep.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir, max_bytes=args.max_bytes)
+    stats = cache.stats()
+    print(f"cache {stats['directory']}: {stats['entries']} entries, "
+          f"{stats['total_bytes']} bytes"
+          + (f" (bound: {stats['max_bytes']})"
+             if stats["max_bytes"] is not None else ""))
+    if args.gc:
+        if cache.max_bytes is None:
+            raise SystemExit("cache --gc needs --max-bytes (or "
+                             "REPRO_SWEEP_CACHE_MAX)")
+        removed, freed = cache.gc()
+        print(f"gc: removed {removed} entry(ies), freed {freed} bytes")
+    return 0
+
+
 def _changed_files(base: str) -> List[str]:
     """Python files differing from ``base`` (committed, staged or
     unstaged) plus untracked ones — the ``lint --changed`` file set."""
@@ -642,6 +815,103 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="per-cell progress on stderr")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived batch simulation service: HTTP JSON API over "
+             "a sharded worker pool with admission control and a "
+             "persistent result store (docs/SERVICE.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377,
+                   help="TCP port (0 = pick a free one; the bound port "
+                        "is printed on stdout)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker-pool shards (jobs are sharded by "
+                        "content key)")
+    p.add_argument("--shard-workers", type=int, default=1,
+                   help="processes per shard")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="per-shard queue depth before admission "
+                        "control rejects (429)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-job wall-clock budget (SIGALRM, as in "
+                        "'sweep')")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts for failed jobs")
+    p.add_argument("--backoff", type=float, default=0.5,
+                   help="base retry backoff in seconds (exponential)")
+    p.add_argument("--stuck-after", type=float, default=None,
+                   metavar="SEC",
+                   help="watchdog: recycle a shard whose in-flight job "
+                        "exceeds this many wall-clock seconds")
+    p.add_argument("--no-cache", action="store_true",
+                   help="in-memory results only (no persistent store)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result store directory (default: "
+                        "$REPRO_SWEEP_CACHE or .sweep-cache — shared "
+                        "with 'repro sweep')")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="bound the persistent store (LRU pruning)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   metavar="SEC",
+                   help="on SIGTERM, give up draining after this long "
+                        "(default: wait for the backlog)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="operational notes on stderr")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit jobs to a running 'repro serve' over HTTP")
+    p.add_argument("specs", nargs="*", metavar="SPEC",
+                   help="bench:NAME[:POLICY] or "
+                        "litmus:NAME[:MODEL+MODEL...]")
+    p.add_argument("--file", default=None, metavar="PATH",
+                   help="JSON file with a list of job objects "
+                        "(or {'jobs': [...]})")
+    p.add_argument("--url", default="http://127.0.0.1:8377")
+    p.add_argument("-p", "--policy", default="370-SLFSoS-key",
+                   choices=POLICY_ORDER,
+                   help="policy for bench specs without one")
+    p.add_argument("-c", "--cores", type=int, default=8)
+    p.add_argument("-l", "--length", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--priority", type=int, default=None,
+                   help="queue priority (lower runs earlier)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll every submitted job to completion")
+    p.add_argument("--deadline", type=float, default=600.0,
+                   help="--wait gives up after this many seconds")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the final job documents as JSON")
+    p.add_argument("--http-timeout", type=float, default=60.0)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "poll",
+        help="query one job (or 'healthz' / 'metrics') from a running "
+             "'repro serve'")
+    p.add_argument("job_id", metavar="JOB_ID")
+    p.add_argument("--url", default="http://127.0.0.1:8377")
+    p.add_argument("--wait", type=float, default=None, metavar="SEC",
+                   help="long-poll up to SEC seconds for completion")
+    p.add_argument("--http-timeout", type=float, default=90.0)
+    p.set_defaults(func=cmd_poll)
+
+    p = sub.add_parser(
+        "cache",
+        help="sweep/serve result-cache statistics and LRU garbage "
+             "collection")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_SWEEP_CACHE "
+                        "or .sweep-cache)")
+    p.add_argument("--gc", action="store_true",
+                   help="prune least-recently-used entries down to "
+                        "--max-bytes")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="size bound for --gc (default: "
+                        "$REPRO_SWEEP_CACHE_MAX)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "lint",

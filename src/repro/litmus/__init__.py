@@ -17,6 +17,7 @@ from repro.litmus.pipeline_runner import (check_conformance,
                                           observed_outcomes, run_once)
 from repro.litmus.operational import (M370, MODELS, PC, SC, X86, allows,
                                       enumerate_outcomes, matching_outcomes)
+from repro.litmus.registry import litmus_registry
 from repro.litmus.sampler import SampleReport, sample
 from repro.litmus.program import (Fence, Instruction, Ld, Outcome, Program,
                                   Rmw, St, make_program)
@@ -29,6 +30,7 @@ __all__ = ["Ld", "St", "Fence", "Rmw", "Instruction", "Program", "Outcome",
            "make_program", "enumerate_outcomes", "matching_outcomes",
            "allows", "enumerate_axiomatic", "SC", "M370", "X86", "PC",
            "MODELS", "sample", "SampleReport", "explain",
+           "litmus_registry",
            "run_once", "observed_outcomes", "check_conformance",
            "parse_litmus", "parse_litmus_file", "render_litmus",
            "ParsedLitmus", "LitmusParseError",

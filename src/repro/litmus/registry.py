@@ -1,0 +1,27 @@
+"""The program registry: every named litmus test, built once.
+
+The CLI and the ``repro.serve`` job model both resolve tests by name;
+building the full battery (``ALL_CASES + EXTRA_CASES``) is cheap but not
+free, and a long-lived service would otherwise rebuild it on every
+request.  The registry is memoized per process — treat the returned
+mapping as read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.litmus.battery import EXTRA_CASES
+from repro.litmus.program import Program
+from repro.litmus.tests import ALL_CASES
+
+_REGISTRY: Optional[Dict[str, Program]] = None
+
+
+def litmus_registry() -> Dict[str, Program]:
+    """Name → :class:`Program` for the whole battery (memoized)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = {case.program.name: case.program
+                     for case in ALL_CASES + EXTRA_CASES}
+    return _REGISTRY

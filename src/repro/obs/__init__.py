@@ -17,7 +17,10 @@ subscribers that turn probe firings into artefacts:
   export of instruction lifetimes, gate-closed intervals, and occupancy
   counters;
 * :mod:`~repro.obs.validate` — schema validation for the emitted trace
-  (also a CLI: ``python -m repro.obs.validate trace.json``).
+  (also a CLI: ``python -m repro.obs.validate trace.json``);
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters / gauges /
+  histograms for long-lived processes (the ``repro.serve``
+  ``/v1/metrics`` endpoint), snapshotting to one JSON-safe dict.
 
 See ``docs/OBSERVABILITY.md`` for the probe name registry and the
 disabled-probe no-op guarantee.
@@ -25,6 +28,7 @@ disabled-probe no-op guarantee.
 
 from repro.obs.bus import NULL_BUS, PROBE_SIGNATURES, ProbeBus
 from repro.obs.chrome_trace import build_chrome_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.samplers import LogHistogram, OccupancySampler
 from repro.obs.session import ObsReport, ObsSession, observe_run
 from repro.obs.validate import TraceValidationError, validate_chrome_trace
@@ -34,6 +38,7 @@ __all__ = [
     "PROBE_SIGNATURES",
     "ProbeBus",
     "LogHistogram",
+    "MetricsRegistry",
     "OccupancySampler",
     "ObsReport",
     "ObsSession",

@@ -1,0 +1,119 @@
+"""A small synchronous client for the serve API (stdlib ``urllib``).
+
+Used by ``repro submit`` / ``repro poll``, the CI smoke, the throughput
+benchmark, and the tests — anything that talks to the service from a
+plain blocking process.  Transport failures raise :class:`ServeError`;
+HTTP-level rejections (429/503/400) come back as normal
+``(status, payload)`` results so callers can inspect the structured
+body the service went to the trouble of writing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_URL = "http://127.0.0.1:8377"
+
+
+class ServeError(RuntimeError):
+    """The service could not be reached, or answered with garbage."""
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one service base URL."""
+
+    def __init__(self, url: str = DEFAULT_URL,
+                 timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[object] = None) -> Tuple[int, Dict]:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode())
+            except ValueError:
+                payload = {"error": "non-json-response",
+                           "status": exc.code}
+            return exc.code, payload
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ServeError(
+                f"{method} {self.url}{path} failed: {exc}") from exc
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/v1/healthz")[1]
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/v1/metrics")[1]
+
+    def submit(self, job: Dict) -> Tuple[int, Dict]:
+        """Submit one job; returns ``(status, job document)``."""
+        return self._request("POST", "/v1/jobs", job)
+
+    def submit_batch(self, jobs: List[Dict]) -> Dict:
+        """Submit a batch; returns the batch document."""
+        status, payload = self._request("POST", "/v1/jobs",
+                                        {"jobs": jobs})
+        if status != 200:
+            raise ServeError(f"batch submit failed ({status}): {payload}")
+        return payload
+
+    def job(self, job_id: str, wait: Optional[float] = None
+            ) -> Tuple[int, Dict]:
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    # -- conveniences --------------------------------------------------
+
+    def wait_ready(self, deadline: float = 10.0) -> Dict:
+        """Poll ``/v1/healthz`` until the service answers."""
+        t_end = time.monotonic() + deadline
+        while True:
+            try:
+                return self.healthz()
+            except ServeError:
+                if time.monotonic() >= t_end:
+                    raise
+                time.sleep(0.05)
+
+    def wait_all(self, job_ids: List[str], deadline: float = 300.0,
+                 poll_wait: float = 10.0) -> Dict[str, Dict]:
+        """Long-poll every job to a terminal state; id → document.
+
+        Raises :class:`ServeError` if the deadline passes with jobs
+        still queued or running.
+        """
+        docs: Dict[str, Dict] = {}
+        t_end = time.monotonic() + deadline
+        remaining = list(job_ids)
+        while remaining:
+            job_id = remaining[0]
+            left = t_end - time.monotonic()
+            if left <= 0:
+                raise ServeError(
+                    f"deadline passed with {len(remaining)} job(s) "
+                    f"unfinished (first: {job_id})")
+            status, doc = self.job(job_id,
+                                   wait=min(poll_wait, max(left, 0.1)))
+            if status != 200:
+                raise ServeError(f"poll {job_id} failed "
+                                 f"({status}): {doc}")
+            if doc["state"] in ("done", "failed", "rejected"):
+                docs[job_id] = doc
+                remaining.pop(0)
+        return docs

@@ -10,6 +10,12 @@ directory can be deleted wholesale at any time.
 Writes are atomic (``os.replace`` of a per-process temp file), so
 concurrent workers racing to store the same key are safe: last writer
 wins and both wrote identical bytes anyway.
+
+The cache can be bounded: with ``max_bytes`` set (or the
+``REPRO_SWEEP_CACHE_MAX`` environment variable), every ``put`` prunes
+least-recently-*used* entries — ``get`` refreshes an entry's mtime, so
+recency means reads, not just writes — until the directory fits.
+``stats()`` and ``gc()`` back the ``repro cache`` CLI subcommand.
 """
 
 from __future__ import annotations
@@ -67,12 +73,19 @@ class ResultCache:
 
     def __init__(self,
                  directory: Union[str, pathlib.Path, None] = None,
-                 on_warning: Optional[Callable[[str], None]] = None) -> None:
+                 on_warning: Optional[Callable[[str], None]] = None,
+                 max_bytes: Optional[int] = None) -> None:
         if directory is None:
             directory = os.environ.get("REPRO_SWEEP_CACHE",
                                        DEFAULT_CACHE_DIR)
+        if max_bytes is None:
+            env = os.environ.get("REPRO_SWEEP_CACHE_MAX")
+            max_bytes = int(env) if env else None
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         self.directory = pathlib.Path(directory)
         self.on_warning = on_warning
+        self.max_bytes = max_bytes
 
     def _warn(self, message: str) -> None:
         if self.on_warning is not None:
@@ -107,6 +120,13 @@ class ResultCache:
             self._warn(f"sweep cache: entry {path.name} is not a result "
                        f"payload; treating as a miss")
             return None
+        try:
+            # Refresh the entry's mtime so LRU pruning sees reads as
+            # uses, not only writes.  Best-effort: a read-only cache
+            # still serves hits.
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -125,3 +145,69 @@ class ResultCache:
                 tmp.unlink()
             except OSError:
                 pass
+            return
+        if self.max_bytes is not None:
+            self.gc(self.max_bytes, keep=key)
+
+    # -- bounding ------------------------------------------------------
+
+    def _entries(self) -> "list[tuple[float, int, pathlib.Path]]":
+        """(mtime, size, path) per entry, oldest first.  Entries that
+        vanish mid-scan (a concurrent gc) are simply skipped."""
+        entries = []
+        try:
+            paths = list(self.directory.glob("*.json"))
+        except OSError:
+            return []
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        return entries
+
+    def stats(self) -> dict:
+        """Entry count / byte total / bounds, for ``repro cache --stats``."""
+        entries = self._entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+            "oldest_mtime": entries[0][0] if entries else None,
+            "newest_mtime": entries[-1][0] if entries else None,
+        }
+
+    def gc(self, max_bytes: Optional[int] = None,
+           keep: Optional[str] = None) -> "tuple[int, int]":
+        """Prune least-recently-used entries until the directory holds
+        at most ``max_bytes`` (default: the cache's own bound).  The
+        entry named by ``keep`` is never pruned — the result just
+        stored must survive its own put.  Returns ``(removed entries,
+        freed bytes)``; unlink errors are warnings, not failures."""
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        if limit is None:
+            return (0, 0)
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        removed = freed = 0
+        for _, size, path in entries:
+            if total <= limit:
+                break
+            if keep is not None and path.name == f"{keep}.json":
+                continue
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                total -= size
+                continue
+            except OSError as exc:
+                self._warn(f"sweep cache: gc could not remove "
+                           f"{path.name} ({exc})")
+                continue
+            total -= size
+            removed += 1
+            freed += size
+        return (removed, freed)

@@ -71,6 +71,46 @@ class SweepJob:
     obs: bool = False
     obs_sample_interval: int = 64
 
+    def to_dict(self) -> Dict:
+        """JSON-safe description; exact under :meth:`from_dict`.
+
+        ``config`` must be None (the default simulated system): a job
+        that travels between processes as JSON — the ``repro.serve``
+        wire format — keys its result on this payload, and a partial
+        config encoding would silently fork the cache namespace.
+        """
+        if self.config is not None:
+            raise ValueError("SweepJob.to_dict: custom SystemConfig is "
+                             "not JSON-serializable; use config=None")
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "cores": self.cores,
+            "length": self.length,
+            "seed": self.seed,
+            "detect_violations": self.detect_violations,
+            "memdep_hints": self.memdep_hints,
+            "obs": self.obs,
+            "obs_sample_interval": self.obs_sample_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SweepJob":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so a
+        typo in a job request fails loudly instead of keying a cache
+        entry under a spec the simulation ignored."""
+        allowed = {"name", "policy", "cores", "length", "seed",
+                   "detect_violations", "memdep_hints", "obs",
+                   "obs_sample_interval"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"SweepJob.from_dict: unknown field(s) "
+                             f"{sorted(unknown)}")
+        if "name" not in data or "policy" not in data:
+            raise ValueError("SweepJob.from_dict: 'name' and 'policy' "
+                             "are required")
+        return cls(**data)
+
 
 @dataclass
 class SweepOutcome:
@@ -156,9 +196,10 @@ def execute_job(job: SweepJob) -> Dict:
     return stats.to_dict()
 
 
-def _execute_job_guarded(job: SweepJob, timeout: Optional[float]) -> Dict:
-    """Worker entry point: :func:`execute_job` under a wall-clock
-    deadline.  Module-level so it pickles for the process pool.
+def with_deadline(fn: Callable[[], Dict], timeout: Optional[float],
+                  label: str) -> Dict:
+    """Run ``fn()`` under a wall-clock deadline, raising
+    :class:`JobTimeout` (labelled with ``label``) when it blows.
 
     The deadline uses a SIGALRM interval timer.  On platforms without
     SIGALRM (Windows) the timeout degrades to "no timeout" rather than
@@ -167,23 +208,30 @@ def _execute_job_guarded(job: SweepJob, timeout: Optional[float]) -> Dict:
     its remaining time on exit, so nesting is safe.
     """
     if not timeout or not hasattr(signal, "SIGALRM"):
-        return execute_job(job)
+        return fn()
 
     def _on_alarm(signum, frame):
         raise JobTimeout(
-            f"job {job.name}/{job.policy} exceeded its {timeout:g}s timeout")
+            f"job {label} exceeded its {timeout:g}s timeout")
 
     previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
     outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, timeout)
     started = time.monotonic()
     try:
-        return execute_job(job)
+        return fn()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous_handler)
         if outer_remaining > 0:
             left = outer_remaining - (time.monotonic() - started)
             signal.setitimer(signal.ITIMER_REAL, max(left, 1e-6))
+
+
+def _execute_job_guarded(job: SweepJob, timeout: Optional[float]) -> Dict:
+    """Worker entry point: :func:`execute_job` under a wall-clock
+    deadline.  Module-level so it pickles for the process pool."""
+    return with_deadline(lambda: execute_job(job), timeout,
+                         f"{job.name}/{job.policy}")
 
 
 def _error_payload(job: SweepJob, exc: BaseException,

@@ -1,0 +1,131 @@
+"""Unit tests for the bounded ResultCache (satellite: max_bytes + LRU
+pruning + the ``repro cache`` CLI)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.sweep.cache import ResultCache
+
+
+def _fill(cache, names, size=100, start_mtime=1_000_000):
+    """Store entries with explicit, increasing mtimes (oldest first)."""
+    for i, name in enumerate(names):
+        cache.put(name, {"pad": "x" * size})
+        os.utime(cache.path_for(name),
+                 (start_mtime + i, start_mtime + i))
+
+
+def _entry_bytes(cache, name):
+    return cache.path_for(name).stat().st_size
+
+
+class TestBounding:
+    def test_unbounded_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX", raising=False)
+        cache = ResultCache(tmp_path)
+        assert cache.max_bytes is None
+        _fill(cache, [f"k{i}" for i in range(10)])
+        assert cache.stats()["entries"] == 10
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX", "12345")
+        assert ResultCache(tmp_path).max_bytes == 12345
+
+    def test_negative_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=-1)
+
+    def test_put_prunes_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10**9)
+        _fill(cache, ["old", "mid", "new"])
+        per_entry = _entry_bytes(cache, "old")
+        cache.max_bytes = per_entry * 2
+        cache.put("latest", {"pad": "x" * 100})
+        names = {p.stem for p in cache.directory.glob("*.json")}
+        assert "latest" in names          # keep= survives its own put
+        assert "old" not in names         # oldest went first
+        assert cache.stats()["total_bytes"] <= cache.max_bytes
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10**9)
+        _fill(cache, ["a", "b", "c"])
+        assert cache.get("a") is not None  # 'a' is now most recent
+        per_entry = _entry_bytes(cache, "a")
+        cache.max_bytes = per_entry * 2
+        cache.put("d", {"pad": "x" * 100})
+        names = {p.stem for p in cache.directory.glob("*.json")}
+        assert "a" in names and "d" in names
+        assert "b" not in names           # oldest untouched entry
+
+    def test_gc_keep_is_never_pruned(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b", "c"])
+        removed, freed = cache.gc(0, keep="a")
+        assert removed == 2 and freed > 0
+        assert cache.path_for("a").exists()
+
+    def test_gc_without_bound_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b"])
+        assert cache.gc() == (0, 0)
+        assert cache.stats()["entries"] == 2
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=999)
+        stats = cache.stats()
+        assert stats == {"directory": str(tmp_path), "entries": 0,
+                         "total_bytes": 0, "max_bytes": 999,
+                         "oldest_mtime": None, "newest_mtime": None}
+        _fill(cache, ["a", "b"])
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+
+
+class TestCacheCli:
+    def test_stats_output(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b", "c"])
+        assert cli_main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "3" in out
+
+    def test_gc_respects_bound(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b", "c", "d"])
+        per_entry = _entry_bytes(cache, "a")
+        assert cli_main(["cache", "--cache-dir", str(tmp_path),
+                         "--max-bytes", str(per_entry * 2),
+                         "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        left = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert left == ["c", "d"]
+
+    def test_gc_without_bound_fails(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX", raising=False)
+        with pytest.raises(SystemExit) as err:
+            cli_main(["cache", "--cache-dir", str(tmp_path), "--gc"])
+        assert "max-bytes" in str(err.value)
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    notes = []
+    cache = ResultCache(tmp_path, on_warning=notes.append)
+    cache.put("good", {"v": 1})
+    cache.path_for("bad").write_text("{truncated")
+    assert cache.get("bad") is None
+    assert cache.get("good") == {"v": 1}
+    assert any("corrupt" in note for note in notes)
+
+
+def test_round_trip_preserves_payload(tmp_path):
+    cache = ResultCache(tmp_path)
+    payload = {"ipc": 1.25, "nested": {"a": [1, 2, 3]}}
+    cache.put("k", payload)
+    assert json.dumps(cache.get("k"), sort_keys=True) == \
+        json.dumps(payload, sort_keys=True)

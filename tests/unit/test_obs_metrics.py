@@ -1,0 +1,61 @@
+"""Unit tests for the obs MetricsRegistry."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counters_start_at_zero_and_accumulate():
+    reg = MetricsRegistry()
+    assert reg.counter("jobs") == 0
+    assert reg.inc("jobs") == 1
+    assert reg.inc("jobs", 4) == 5
+    assert reg.counter("jobs") == 5
+
+
+def test_gauges_sample_at_snapshot_time():
+    reg = MetricsRegistry()
+    depth = {"value": 0}
+    reg.gauge("queue_depth", lambda: depth["value"])
+    depth["value"] = 7
+    assert reg.snapshot()["gauges"]["queue_depth"] == 7
+    depth["value"] = 2
+    assert reg.snapshot()["gauges"]["queue_depth"] == 2
+
+
+def test_failing_gauge_exports_an_error_string():
+    reg = MetricsRegistry()
+
+    def boom():
+        raise RuntimeError("sensor offline")
+
+    reg.gauge("ok", lambda: 1)
+    reg.gauge("bad", boom)
+    gauges = reg.snapshot()["gauges"]
+    assert gauges["ok"] == 1
+    assert gauges["bad"].startswith("error: RuntimeError")
+
+
+def test_histograms_summarize_with_buckets():
+    reg = MetricsRegistry()
+    for value in (1, 5, 100):
+        reg.observe("latency_ms", value)
+    hist = reg.snapshot()["histograms"]["latency_ms"]
+    assert hist["count"] == 3
+    assert hist["max"] == 100
+    assert hist["p50"] <= hist["p99"] <= hist["max"]
+    assert sum(b["count"] for b in hist["buckets"]) == 3
+    for bucket in hist["buckets"]:
+        assert bucket["lo"] <= bucket["hi"]
+
+
+def test_snapshot_is_json_safe_and_sorted():
+    reg = MetricsRegistry()
+    reg.inc("zeta")
+    reg.inc("alpha")
+    reg.gauge("g", lambda: 1.5)
+    reg.observe("h", 3)
+    snap = reg.snapshot()
+    json.dumps(snap)  # must not raise
+    assert list(snap["counters"]) == ["alpha", "zeta"]
+    assert set(snap) == {"counters", "gauges", "histograms"}
