@@ -292,7 +292,8 @@ def cmd_sweep(args) -> int:
 
     obs = args.obs or bool(args.obs_out)
     jobs = [SweepJob(name=name, policy=policy, cores=args.cores,
-                     length=args.length, seed=args.seed, obs=obs)
+                     length=args.length, seed=args.seed, obs=obs,
+                     checkpoint_every=args.checkpoint_every)
             for name in args.names for policy in POLICY_ORDER]
     outcome = run_sweep(jobs, workers=args.jobs, cache=not args.no_cache,
                         cache_dir=args.cache_dir,
@@ -341,13 +342,15 @@ def cmd_sweep(args) -> int:
             "interrupted": outcome.interrupted,
             "simulated": outcome.simulated,
             "cached": outcome.cached,
+            "mode": outcome.mode,
+            "workers": outcome.workers,
         }
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.out}")
     if args.verbose:
         print(f"({outcome.simulated} simulated, {outcome.cached} cached, "
-              f"{outcome.failed} failed, "
+              f"{outcome.failed} failed, {outcome.mode} with "
               f"{outcome.workers} worker(s), {outcome.elapsed:.1f}s)",
               file=sys.stderr)
     return 1 if (outcome.failed or outcome.interrupted) else 0
@@ -760,8 +763,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-l", "--length", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-j", "--jobs", type=int, default=None,
-                   help="worker processes (default: $REPRO_WORKERS "
-                        "or the CPU count)")
+                   help="worker processes (default: adaptive — a timed "
+                        "probe of the first cell decides serial vs a "
+                        "pool of up to $REPRO_WORKERS/CPU-count "
+                        "workers)")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="checkpoint each cell every ~N cycles; failed "
+                        "or killed cells resume from the last snapshot "
+                        "on retry instead of restarting")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and do not write the result cache")
     p.add_argument("--cache-dir", default=None,

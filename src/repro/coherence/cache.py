@@ -56,10 +56,18 @@ class CacheArray:
         return self._sets[(line // self.line_bytes) % self.num_sets]
 
     # ------------------------------------------------------------------
+    # The four per-access methods below inline :meth:`_set_of` — every
+    # simulated memory access and every warm-up step lands here, and the
+    # set-selection call costs as much as the dict operation it guards.
+    # Results are identical to the method form (kept above as the
+    # readable reference).
 
     def lookup(self, line: int, touch: bool = True) -> bool:
         """True if ``line`` is present; optionally update LRU order."""
-        bucket = self._set_of(line)
+        if self._pow2:
+            bucket = self._sets[(line >> self._line_shift) & self._set_mask]
+        else:
+            bucket = self._sets[(line // self.line_bytes) % self.num_sets]
         if line in bucket:
             if touch:
                 bucket.move_to_end(line)
@@ -70,11 +78,17 @@ class CacheArray:
 
     def contains(self, line: int) -> bool:
         """Presence check with no LRU update and no stat side effects."""
-        return line in self._set_of(line)
+        if self._pow2:
+            return line in self._sets[(line >> self._line_shift)
+                                      & self._set_mask]
+        return line in self._sets[(line // self.line_bytes) % self.num_sets]
 
     def insert(self, line: int) -> Optional[int]:
         """Insert ``line``; returns the evicted line address, if any."""
-        bucket = self._set_of(line)
+        if self._pow2:
+            bucket = self._sets[(line >> self._line_shift) & self._set_mask]
+        else:
+            bucket = self._sets[(line // self.line_bytes) % self.num_sets]
         if line in bucket:
             bucket.move_to_end(line)
             return None
@@ -87,7 +101,10 @@ class CacheArray:
 
     def remove(self, line: int) -> bool:
         """Remove ``line`` (e.g. on invalidation); True if it was present."""
-        bucket = self._set_of(line)
+        if self._pow2:
+            bucket = self._sets[(line >> self._line_shift) & self._set_mask]
+        else:
+            bucket = self._sets[(line // self.line_bytes) % self.num_sets]
         if line in bucket:
             del bucket[line]
             return True

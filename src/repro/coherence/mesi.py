@@ -230,13 +230,21 @@ class PrivateController:
     __slots__ = ("system", "core_id", "hierarchy", "state", "txns",
                  "txn_queue", "wb_buffer", "removal_listener", "mshrs",
                  "fault_store_delay", "_fault_store_horizon",
-                 "_p_inval", "_p_evict")
+                 "_p_inval", "_p_evict", "line_bytes", "_line_pow2",
+                 "_line_mask")
 
     def __init__(self, system: "CoherentMemorySystem", core_id: int) -> None:
         self.system = system
         self.core_id = core_id
         mem = system.config
         self.hierarchy = PrivateHierarchy(mem.l1, mem.l2)
+        # Line-align fast path: every core-facing access first maps a
+        # byte address to its line, so the alignment is computed here in
+        # one step instead of hopping controller -> hierarchy -> L1.
+        lb = self.hierarchy.line_bytes
+        self.line_bytes = lb
+        self._line_pow2 = lb & (lb - 1) == 0
+        self._line_mask = ~(lb - 1)
         self.state: Dict[int, str] = {}
         self.txns: Dict[int, _Txn] = {}
         self.txn_queue: Deque[tuple] = deque()  # overflow beyond MSHRs
@@ -264,13 +272,16 @@ class PrivateController:
     # ------------------------------------------------------------------
 
     def line_of(self, addr: int) -> int:
-        return self.hierarchy.line_of(addr)
+        if self._line_pow2:
+            return addr & self._line_mask
+        return addr - (addr % self.line_bytes)
 
     def load(self, addr: int, done: Callable[[], None]) -> bool:
         """Access for a load.  Returns True on a private-hierarchy hit and
         schedules ``done`` after the hit latency; on a miss, ``done`` runs
         once the line is filled."""
-        line = self.line_of(addr)
+        line = (addr & self._line_mask) if self._line_pow2 \
+            else addr - (addr % self.line_bytes)
         if line in self.state:
             latency = self.hierarchy.access_latency(line)
             assert latency is not None, "state map out of sync with tags"
@@ -282,7 +293,8 @@ class PrivateController:
     def store(self, addr: int, done: Callable[[], None]) -> bool:
         """Access for a store leaving the store buffer.  ``done`` runs when
         the write is *globally performed* (all invalidations acked)."""
-        line = self.line_of(addr)
+        line = (addr & self._line_mask) if self._line_pow2 \
+            else addr - (addr % self.line_bytes)
         if self.state.get(line) in (M, E):
             self.state[line] = M
             latency = self.hierarchy.access_latency(line)
@@ -321,7 +333,8 @@ class PrivateController:
         """Ownership (RFO) prefetch for a store in the window or the SB:
         get the line in M early so the SB drain write is an L1 hit.
         Returns False if dropped for lack of an MSHR (caller may retry)."""
-        line = self.line_of(addr)
+        line = (addr & self._line_mask) if self._line_pow2 \
+            else addr - (addr % self.line_bytes)
         if self.state.get(line) in (M, E) or line in self.txns:
             return True
         if len(self.txns) >= self.mshrs:
@@ -330,7 +343,9 @@ class PrivateController:
         return True
 
     def peek_state(self, addr: int) -> Optional[str]:
-        return self.state.get(self.line_of(addr))
+        line = (addr & self._line_mask) if self._line_pow2 \
+            else addr - (addr % self.line_bytes)
+        return self.state.get(line)
 
     # ------------------------------------------------------------------
     # Miss handling

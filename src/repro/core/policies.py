@@ -166,7 +166,7 @@ class _SoSBase(ConsistencyPolicy):
     store_atomic = True
 
     __slots__ = ("gate", "active_forwardings", "_p_gate_close",
-                 "_p_gate_open")
+                 "_p_gate_open", "_engine")
 
     def __init__(self) -> None:
         super().__init__()
@@ -175,6 +175,7 @@ class _SoSBase(ConsistencyPolicy):
         self.active_forwardings: Dict[int, int] = {}
         self._p_gate_close = None
         self._p_gate_open = None
+        self._engine = None
 
     def attach(self, core: "Core") -> None:
         super().attach(core)
@@ -183,9 +184,10 @@ class _SoSBase(ConsistencyPolicy):
         bus = getattr(core, "probe_bus", NULL_BUS)
         self._p_gate_close = bus.resolve("gate.close")
         self._p_gate_open = bus.resolve("gate.open")
+        self._engine = getattr(core, "engine", None)
 
     def _now(self) -> int:
-        engine = getattr(self.core, "engine", None)
+        engine = self._engine
         return engine.now if engine is not None else 0
 
     def _fire_open(self, key: int, reason: str) -> None:
@@ -193,17 +195,34 @@ class _SoSBase(ConsistencyPolicy):
             self._p_gate_open(self.core.core_id, self._now(), key, reason)
 
     def on_forward(self, load: LoadEntry, store: StoreEntry) -> None:
-        super().on_forward(load, store)
-        previous = self.active_forwardings.get(store.key)
+        # Base on_forward inlined (SLF state), then the forwarding is
+        # recorded as active — one call per forwarded load.
+        load.slf = True
+        key = store.key
+        load.key = key
+        load.store_seq = store.seq
+        previous = self.active_forwardings.get(key)
         if previous is None or load.seq < previous:
-            self.active_forwardings[store.key] = load.seq
+            self.active_forwardings[key] = load.seq
 
     def load_retire_block(self, load: LoadEntry) -> Optional[str]:
-        return GATE if self.gate.closed else None
+        # Direct slot read (not the ``closed`` property): this runs for
+        # every performed load reaching the ROB head under SoS policies.
+        return GATE if self.gate._closed else None
 
     def on_load_retire(self, load: LoadEntry) -> None:
-        if load.slf and load.key is not None \
-                and self.core.sb.holds_key(load.key):
+        if load.slf and load.key is not None:
+            # A (slot, sorting-bit) key recycles once the slot has been
+            # deallocated twice, so the live entry under this key may be
+            # a *younger* aliased store rather than the forwarding
+            # store.  Closing the gate on the alias deadlocks: the
+            # aliased store sits un-retirable behind the gate-blocked
+            # load, and no SB drain is pending to reopen the gate.
+            # Confirm the identity by sequence number before closing.
+            store = self.core.sb.entry_for_key(load.key)
+            if store is None or store.seq != load.store_seq \
+                    or store.written:
+                return
             now = self._now()
             self.gate.close(load.key, now)
             self.core.stats.gate_closes += 1
@@ -233,8 +252,12 @@ class SLFSoSPolicy(_SoSBase):
     __slots__ = ()
 
     def on_sb_drained(self) -> None:
-        key = self.gate.key
-        if self.gate.open_unconditionally(self._now()):
+        # Fast-path the open-gate case: drain events are frequent and
+        # the clock only needs reading when the gate actually reopens.
+        gate = self.gate
+        if gate._closed:
+            key = gate._key
+            gate.open_unconditionally(self._now())
             self._fire_open(key, "drain")
         self.active_forwardings.clear()
 
@@ -247,9 +270,15 @@ class SLFSoSKeyPolicy(_SoSBase):
     __slots__ = ()
 
     def on_store_written(self, store: StoreEntry) -> None:
-        if self.gate.open_with_key(store.key, self._now()):
-            self._fire_open(store.key, "key")
-        self.active_forwardings.pop(store.key, None)
+        # Fast-path the no-match case (gate open, or locked with another
+        # key) so the common store write costs two slot reads and a pop;
+        # open_with_key re-checks under the same condition.
+        key = store.key
+        gate = self.gate
+        if gate._closed and gate._key == key:
+            gate.open_with_key(key, self._now())
+            self._fire_open(key, "key")
+        self.active_forwardings.pop(key, None)
 
     def on_sb_drained(self) -> None:
         # Belt and braces: every store write already lifted its own

@@ -32,7 +32,7 @@ class TagePredictor:
 
     __slots__ = ("base_size", "tagged_size", "tag_mask", "base", "tables",
                  "history", "useful_reset_interval", "_updates",
-                 "predictions", "mispredictions")
+                 "predictions", "mispredictions", "_folds")
 
     def __init__(self, base_bits: int = 12, tagged_bits: int = 9,
                  tag_bits: int = 8, useful_reset_interval: int = 18_000):
@@ -48,6 +48,10 @@ class TagePredictor:
         self._updates = 0
         self.predictions = 0
         self.mispredictions = 0
+        # History folds are a pure function of ``history``; they are
+        # recomputed once per update (the only place history changes)
+        # instead of twice per table per lookup.
+        self._folds = self._refold()
 
     # ------------------------------------------------------------------
 
@@ -60,13 +64,16 @@ class TagePredictor:
             h >>= 16
         return folded
 
+    def _refold(self) -> Tuple[int, ...]:
+        return tuple(self._fold(bits) for bits in self.HISTORY_LENGTHS)
+
     def _index(self, pc: int, table: int) -> int:
-        fold = self._fold(self.HISTORY_LENGTHS[table])
+        fold = self._folds[table]
         return (pc ^ (pc >> 7) ^ fold ^ (fold << (table + 1))) \
             % self.tagged_size
 
     def _tag(self, pc: int, table: int) -> int:
-        fold = self._fold(self.HISTORY_LENGTHS[table])
+        fold = self._folds[table]
         return ((pc >> 3) ^ (fold * 3) ^ table) & self.tag_mask
 
     def _base_index(self, pc: int) -> int:
@@ -75,12 +82,27 @@ class TagePredictor:
     # ------------------------------------------------------------------
 
     def _lookup(self, pc: int) -> Tuple[Optional[int], bool]:
-        """(provider table index or None for bimodal, prediction)."""
-        for table in reversed(range(len(self.tables))):
-            entry = self.tables[table][self._index(pc, table)]
-            if entry.tag == self._tag(pc, table):
+        """(provider table index or None for bimodal, prediction).
+
+        The index/tag hash math of :meth:`_index` / :meth:`_tag` is
+        inlined here with the pc-derived terms hoisted — this runs once
+        per predicted branch and twice per resolved one, making it the
+        predictor's hot path.  Results are identical to the method
+        forms.
+        """
+        folds = self._folds
+        tables = self.tables
+        size = self.tagged_size
+        tag_mask = self.tag_mask
+        px = pc ^ (pc >> 7)
+        pt = pc >> 3
+        for table in range(len(tables) - 1, -1, -1):
+            fold = folds[table]
+            entry = tables[table][
+                (px ^ fold ^ (fold << (table + 1))) % size]
+            if entry.tag == ((pt ^ (fold * 3) ^ table) & tag_mask):
                 return table, entry.counter >= 0
-        return None, self.base[self._base_index(pc)] >= 2
+        return None, self.base[(pc ^ (pc >> 5)) % self.base_size] >= 2
 
     def predict(self, pc: int) -> bool:
         self.predictions += 1
@@ -118,6 +140,7 @@ class TagePredictor:
 
         self.history = ((self.history << 1) | int(taken)) \
             & ((1 << 64) - 1)
+        self._folds = self._refold()
         self._updates += 1
         if self._updates >= self.useful_reset_interval:
             self._updates = 0

@@ -50,6 +50,15 @@ _STALL_ROB = 1
 _STALL_LQ = 2
 _STALL_SQ = 3
 
+# Hot-loop bindings of the op-kind discriminators: the fused tick tests
+# these once or twice per in-flight instruction, and a module global is
+# cheaper than an attribute load on ``isa`` each time.
+_LOAD = isa.LOAD
+_STORE = isa.STORE
+_FENCE = isa.FENCE
+_RMW = isa.RMW
+_BRANCH = isa.BRANCH
+
 
 class Core:
     """One out-of-order core executing a micro-op trace."""
@@ -65,6 +74,7 @@ class Core:
         "deferred_on_fence", "barrier_seq", "_sb_inflight",
         "_sb_miss_inflight", "_rfo_pending", "finished", "_sleeping",
         "_sleep_since", "_sleep_stall", "_tick_scheduled",
+        "dispatch_paused",
     )
 
     def __init__(self, engine: Engine, core_id: int, config: SystemConfig,
@@ -157,6 +167,9 @@ class Core:
         self._sleep_since = 0
         self._sleep_stall = _STALL_NONE
         self._tick_scheduled = False
+        # Checkpoint support (repro.snapshot): while True, dispatch
+        # fetches nothing, so the pipeline drains to a quiescent point.
+        self.dispatch_paused = False
 
     # ------------------------------------------------------------------
     # Scheduling / sleep management
@@ -192,31 +205,229 @@ class Core:
     # ------------------------------------------------------------------
 
     def _tick(self) -> None:
+        """One pipeline cycle: retire, drain the SB, issue, dispatch.
+
+        This is the simulator's single hottest function, so the four
+        stages are *fused* here — their bodies inlined with locals
+        hoisted out of the per-instruction loops and the ROB accessed
+        through its deque directly.  The standalone stage methods below
+        (:meth:`_retire`, :meth:`_drain_sb`, :meth:`_issue`,
+        :meth:`_dispatch`, :meth:`_dispatch_one`) are the readable
+        reference implementations of exactly this logic, kept callable
+        for tests and for the kernel-speed benchmark's legacy swap; any
+        semantic change must be made in both places.
+        """
         self._tick_scheduled = False
         if self.finished:
             return
+        engine = self.engine
+        schedule = engine.schedule
+        now = engine.now
+        # Next-cycle events dominate this method's scheduling; when the
+        # engine is the stock one (not a test double), append to its
+        # delay-1 bucket directly instead of calling schedule() — the
+        # bodies below mirror Engine.schedule exactly for delay == 1.
+        fast = engine.__class__ is Engine
+        bucket_next = engine._bucket_next if fast else None
+        tracer = self.tracer
+        stats = self.stats
+        sb = self.sb
+        rob_entries = self.rob._entries
         work = False
-        work |= self._retire()
-        work |= self._drain_sb()
-        work |= self._issue()
-        dispatched, stall = self._dispatch()
-        work |= dispatched
+
+        # ---- retire stage (reference: _retire) ----
+        retired = 0
+        retire_width = self._retire_width
+        while retired < retire_width:
+            head = rob_entries[0] if rob_entries else None
+            if head is None or not head.completed:
+                if (head is not None and head.op.kind == _RMW
+                        and not head.issued and head.deps_left == 0
+                        and not sb._count):
+                    head.issued = True
+                    if tracer is not None:
+                        tracer.on_issue(head.seq, now)
+                    self._start_rmw(head)
+                break
+            op = head.op
+            kind = op.kind
+            if kind == _LOAD:
+                if not self._try_retire_load(head):
+                    break
+            elif kind == _FENCE or kind == _RMW:
+                if sb.has_unwritten_older(head.seq):
+                    break
+                rob_entries.popleft()
+                self._release_fence(head.seq)
+            elif kind == _STORE:
+                rob_entries.popleft()
+                entry = self.store_of.pop(head.seq)
+                entry.retired = True
+                if self._p_sb_write is not None:
+                    entry.retired_at = now
+                stats.retired_stores += 1
+            else:
+                rob_entries.popleft()
+            if tracer is not None and kind != _LOAD:
+                tracer.on_retire(head.seq, now)
+            stats.retired_instructions += 1
+            retired += 1
+        work = retired > 0
+
+        # ---- store-buffer drain (reference: _drain_sb) ----
+        controller = self.controller
+        if self._rfo_pending:
+            scanned = 0
+            rfo_ahead = self.RFO_AHEAD
+            for entry in sb:
+                if scanned >= rfo_ahead:
+                    break
+                if entry.resolved and not entry.rfo_sent:
+                    if controller.prefetch_exclusive(entry.addr):
+                        entry.rfo_sent = True
+                        self._rfo_pending -= 1
+                scanned += 1
+        inflight = self._sb_inflight
+        candidate = (sb._slots[(sb._head + inflight) % sb.capacity]
+                     if inflight < sb._count else None)
+        if candidate is not None and candidate.retired:
+            owned = controller.peek_state(candidate.addr) in ("M", "E")
+            if inflight == 0 or (owned and not self._sb_miss_inflight):
+                candidate.issued = True
+                self._sb_inflight = inflight + 1
+                hit = controller.store(
+                    candidate.addr,
+                    lambda: self._store_written(candidate))
+                if not hit:
+                    self._sb_miss_inflight = True
+                work = True
+
+        # ---- issue stage (reference: _issue) ----
+        issued = 0
+        issue_width = self._issue_width
+        ready = self.ready
+        heappop = heapq.heappop
+        while issued < issue_width and ready:
+            seq, epoch, entry = heappop(ready)
+            if entry.issue_epoch != epoch or entry.issued:
+                continue  # squashed incarnation or duplicate
+            entry.issued = True
+            if tracer is not None:
+                tracer.on_issue(entry.seq, now)
+            op = entry.op
+            kind = op.kind
+            if kind == _LOAD:
+                self._issue_load(entry)
+            elif kind == _STORE:
+                if fast:
+                    engine._seq = s = engine._seq + 1
+                    bucket_next.append((now + 1, s, self._complete_store,
+                                        (entry, entry.issue_epoch)))
+                else:
+                    schedule(1, self._complete_store, entry,
+                             entry.issue_epoch)
+            elif kind == _FENCE:
+                schedule(1, self._complete, entry, entry.issue_epoch)
+            else:  # ALU / BRANCH
+                latency = op.latency
+                if latency > 1:
+                    schedule(latency, self._complete, entry,
+                             entry.issue_epoch)
+                elif fast:
+                    engine._seq = s = engine._seq + 1
+                    bucket_next.append((now + 1, s, self._complete,
+                                        (entry, entry.issue_epoch)))
+                else:
+                    schedule(1, self._complete, entry, entry.issue_epoch)
+            issued += 1
+        work |= issued > 0
+
+        # ---- dispatch stage (reference: _dispatch / _dispatch_one) ----
+        dispatched = 0
+        stall = _STALL_NONE
+        ops = self._trace_ops
+        trace_len = self._trace_len
+        rob_capacity = self.rob.capacity
+        fetch_idx = self.fetch_idx
+        done = self.done
+        consumers = self.consumers
+        heappush = heapq.heappush
+        while dispatched < issue_width:
+            if fetch_idx >= trace_len:
+                break
+            if self.barrier_seq is not None or self.dispatch_paused:
+                break
+            op = ops[fetch_idx]
+            kind = op.kind
+            if len(rob_entries) >= rob_capacity:
+                stall = _STALL_ROB
+                break
+            if kind == _LOAD:
+                lq = self.lq
+                if len(lq._entries) >= lq.capacity:
+                    stall = _STALL_LQ
+                    break
+            elif kind == _STORE:
+                if sb._count == sb.capacity:
+                    stall = _STALL_SQ
+                    break
+            seq = fetch_idx
+            fetch_idx += 1
+            entry = RobEntry(seq, op)
+            rob_entries.append(entry)
+            if tracer is not None:
+                tracer.on_dispatch(seq, kind, now)
+            if kind == _LOAD:
+                lentry = self.lq.allocate(seq, op.pc)
+                lentry.memdep_wait = self.storeset.predicted_store(op.pc)
+                self.load_of[seq] = lentry
+            elif kind == _STORE:
+                store = sb.allocate(seq, op.pc, op.value)
+                self.store_of[seq] = store
+                self.storeset.store_dispatched(op.pc, seq)
+            elif kind == _FENCE or kind == _RMW:
+                self.pending_fences.append(seq)
+            elif kind == _BRANCH:
+                mispredicted = op.mispredict
+                if not mispredicted and self.branch_predictor is not None:
+                    mispredicted = (self.branch_predictor.predict(op.pc)
+                                    != op.taken)
+                if mispredicted:
+                    self.barrier_seq = seq
+            deps_left = 0
+            epoch = entry.issue_epoch
+            for dep in op.deps:
+                if not done[dep]:
+                    consumers.setdefault(dep, []).append((entry, epoch))
+                    deps_left += 1
+            entry.deps_left = deps_left
+            if deps_left == 0 and kind != _RMW:
+                heappush(ready, (seq, epoch, entry))
+            dispatched += 1
+        self.fetch_idx = fetch_idx
+        work |= dispatched > 0
         if stall != _STALL_NONE:
             self._account_stall(stall, 1)
 
-        if (self.fetch_idx >= self._trace_len and self.rob.empty
-                and self.sb.empty):
+        # ---- next-cycle scheduling ----
+        if fetch_idx >= trace_len and not rob_entries and not sb._count:
             self._finish()
             return
         if work:
-            self._schedule_tick(1)
+            if not self._tick_scheduled and not self.finished:
+                self._tick_scheduled = True
+                if fast:
+                    engine._seq = s = engine._seq + 1
+                    bucket_next.append((now + 1, s, self._tick, ()))
+                else:
+                    schedule(1, self._tick)
         else:
             # Fully stalled: every possible state change is event-driven
             # (memory response, execution completion, barrier release),
             # and each of those calls _wake().  This cycle's stall was
             # already counted above, so bulk accounting starts at now+1.
             self._sleeping = True
-            self._sleep_since = self.engine.now + 1
+            self._sleep_since = now + 1
             self._sleep_stall = stall
 
     def _finish(self) -> None:
@@ -298,7 +509,9 @@ class Core:
                 self._p_gate_stall(self.core_id, self.engine.now,
                                    lentry.seq, blocked,
                                    lentry.blocked_reason)
-        self.rob.retire_head()
+        # ``head`` is the completed ROB head (checked by the caller), so
+        # the retire_head() guards are redundant here — pop directly.
+        self.rob._entries.popleft()
         self.lq.retire_head(head.seq)
         del self.load_of[head.seq]
         self.retired_load_values[head.seq] = lentry.value
@@ -347,14 +560,11 @@ class Core:
                         self._rfo_pending -= 1
                 scanned += 1
 
-        candidate: Optional[StoreEntry] = None
-        for entry in self.sb:
-            if not entry.retired:
-                break
-            if not entry.issued:
-                candidate = entry
-                break
-        if candidate is None:
+        # Issued live entries are exactly the first ``_sb_inflight``
+        # (stores issue strictly in order from the head and completions
+        # pop the head), so the drain candidate sits right behind them.
+        candidate = self.sb.entry_at(self._sb_inflight)
+        if candidate is None or not candidate.retired:
             return False
         owned = self.controller.peek_state(candidate.addr) in ("M", "E")
         if self._sb_inflight > 0 and (not owned or self._sb_miss_inflight):
@@ -390,7 +600,22 @@ class Core:
         head = self.sb.head()
         if head is None or not head.retired:
             self.policy.on_sb_drained()
-        self._wake()
+        # Inlined _wake() (see _complete).
+        if not self.finished:
+            if self._sleeping:
+                slept = self.engine.now - self._sleep_since
+                if slept > 0:
+                    self._account_stall(self._sleep_stall, slept)
+                self._sleeping = False
+            if not self._tick_scheduled:
+                self._tick_scheduled = True
+                engine = self.engine
+                if engine.__class__ is Engine:
+                    engine._seq = s = engine._seq + 1
+                    engine._bucket_now.append((engine.now, s, self._tick,
+                                               ()))
+                else:
+                    engine.schedule(0, self._tick)
 
     # ------------------------------------------------------------------
     # Issue / execute
@@ -429,13 +654,15 @@ class Core:
 
     def _issue_load(self, entry: RobEntry) -> None:
         op = entry.op
-        lentry = self.load_of[entry.seq]
-        lentry.addr = op.addr
-        lentry.line = self.controller.line_of(op.addr)
+        seq = entry.seq
+        addr = op.addr
+        lentry = self.load_of[seq]
+        lentry.addr = addr
+        lentry.line = self.controller.line_of(addr)
 
         # mfence: a load may not execute past an unretired older fence.
         for fence_seq in self.pending_fences:
-            if fence_seq < entry.seq:
+            if fence_seq < seq:
                 entry.issued = False
                 self.deferred_on_fence.setdefault(fence_seq, []).append(
                     (entry, entry.issue_epoch))
@@ -443,25 +670,37 @@ class Core:
 
         # Memory-dependence prediction past older unresolved stores (the
         # prediction was captured at dispatch, as in real rename stages).
-        unresolved = self.sb.unresolved_older(entry.seq)
-        if unresolved:
-            predicted = lentry.memdep_wait
-            if predicted is not None \
-                    and any(s.seq == predicted for s in unresolved):
+        # ``store_of`` holds exactly the non-retired stores and a retired
+        # store is always resolved, so the predicted store is unresolved
+        # iff it is in ``store_of`` with ``resolved`` still False — no
+        # buffer scan needed.
+        predicted = lentry.memdep_wait
+        if predicted is not None and predicted < seq:
+            pstore = self.store_of.get(predicted)
+            if pstore is not None and not pstore.resolved:
                 entry.issued = False
                 lentry.deferred = True
                 self.deferred_on_store.setdefault(predicted, []).append(
                     (entry, entry.issue_epoch))
                 return
 
-        match = self.sb.forwarding_match(op.addr, entry.seq)
+        match = self.sb.forwarding_match(addr, seq)
         if match is not None:
             if self.policy.allows_forwarding:
                 self._forward(entry, lentry, match)
             else:
                 self._wait_for_store_write(entry, lentry, match)
             return
-        self._access_cache(entry, lentry)
+        # Inlined _access_cache() — the common (no-forward) case.
+        lentry.state = ISSUED
+        self.stats.loads_issued += 1
+        if self.prefetcher is not None:
+            self.prefetcher.observe(op.pc, addr)
+        epoch = entry.issue_epoch
+        hit = self.controller.load(
+            addr, lambda: self._perform_load(entry, epoch))
+        if hit:
+            self.stats.l1_load_hits += 1
 
     def _forward(self, entry: RobEntry, lentry: LoadEntry,
                  store: StoreEntry) -> None:
@@ -534,20 +773,40 @@ class Core:
             lentry = self.load_of.get(entry.seq)
             self.tracer.on_complete(entry.seq, self.engine.now,
                                     slf=bool(lentry and lentry.slf))
-        for consumer, cepoch in self.consumers.pop(entry.seq, ()):
-            if consumer.issue_epoch != cepoch or consumer.issued:
-                continue
-            consumer.deps_left -= 1
-            if consumer.deps_left == 0 and consumer.op.kind != isa.RMW:
-                self._push_ready(consumer)
+        waiters = self.consumers.pop(entry.seq, None)
+        if waiters:
+            ready = self.ready
+            heappush = heapq.heappush
+            for consumer, cepoch in waiters:
+                if consumer.issue_epoch != cepoch or consumer.issued:
+                    continue
+                deps_left = consumer.deps_left - 1
+                consumer.deps_left = deps_left
+                if deps_left == 0 and consumer.op.kind != _RMW:
+                    heappush(ready, (consumer.seq, cepoch, consumer))
         op = entry.op
-        if op.kind == isa.BRANCH:
+        if op.kind == _BRANCH:
             if self.branch_predictor is not None:
                 self.branch_predictor.update(op.pc, op.taken)
             if self.barrier_seq == entry.seq:
                 self.engine.schedule(self.config.mispredict_penalty,
                                      self._release_barrier, entry.seq)
-        self._wake()
+        # Inlined _wake() — completion is the most frequent wake source.
+        if not self.finished:
+            if self._sleeping:
+                slept = self.engine.now - self._sleep_since
+                if slept > 0:
+                    self._account_stall(self._sleep_stall, slept)
+                self._sleeping = False
+            if not self._tick_scheduled:
+                self._tick_scheduled = True
+                engine = self.engine
+                if engine.__class__ is Engine:
+                    engine._seq = s = engine._seq + 1
+                    engine._bucket_now.append((engine.now, s, self._tick,
+                                               ()))
+                else:
+                    engine.schedule(0, self._tick)
 
     def _start_rmw(self, entry: RobEntry) -> None:
         """Execute an atomic exchange: acquire ownership, then read and
@@ -573,8 +832,7 @@ class Core:
         store = self.store_of.get(entry.seq)
         if store is None:  # pragma: no cover - defensive
             return
-        store.addr = entry.op.addr
-        store.resolved = True
+        self.sb.resolve_store(store, entry.op.addr)
         self.storeset.store_resolved(entry.op.pc, entry.seq)
 
         # Ownership prefetch: overlap the write's coherence latency with
@@ -625,7 +883,7 @@ class Core:
         while dispatched < self._issue_width:
             if self.fetch_idx >= trace_len:
                 break
-            if self.barrier_seq is not None:
+            if self.barrier_seq is not None or self.dispatch_paused:
                 break
             op = ops[self.fetch_idx]
             if rob.full:

@@ -15,7 +15,7 @@ a draining store performs against the retire gate.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 class StoreEntry:
@@ -64,7 +64,8 @@ class StoreBuffer:
         every deallocation, including squashes).
     """
 
-    __slots__ = ("capacity", "_slots", "_bits", "_head", "_tail", "_count")
+    __slots__ = ("capacity", "_slots", "_bits", "_head", "_tail", "_count",
+                 "_by_addr")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -75,6 +76,11 @@ class StoreBuffer:
         self._head = 0     # oldest entry
         self._tail = 0     # next free slot
         self._count = 0
+        # Resolved live entries per address, seq-ascending: the
+        # forwarding search is an O(1) dict probe plus a scan over the
+        # (tiny) per-address list instead of a walk of the whole buffer.
+        # Maintained by resolve_store() / pop_head() / squash_from().
+        self._by_addr: Dict[int, List[StoreEntry]] = {}
 
     # ------------------------------------------------------------------
 
@@ -119,6 +125,42 @@ class StoreBuffer:
     def head(self) -> Optional[StoreEntry]:
         return self._slots[self._head] if self._count else None
 
+    def entry_at(self, index: int) -> Optional[StoreEntry]:
+        """The ``index``-th oldest live entry (0 = head), or None past
+        the tail — O(1) positional access into the circular buffer."""
+        if index >= self._count or index < 0:
+            return None
+        return self._slots[(self._head + index) % self.capacity]
+
+    def resolve_store(self, entry: StoreEntry, addr: int) -> None:
+        """Address generation finished: record the store's address and
+        index it for forwarding searches.  All resolutions must go
+        through here so ``forwarding_match`` stays coherent."""
+        entry.addr = addr
+        entry.resolved = True
+        lst = self._by_addr.get(addr)
+        if lst is None:
+            self._by_addr[addr] = [entry]
+            return
+        # Stores resolve out of order; keep the list seq-ascending.
+        # The common case appends (an older store usually resolved
+        # earlier), so scan from the tail.
+        i = len(lst)
+        while i > 0 and lst[i - 1].seq > entry.seq:
+            i -= 1
+        lst.insert(i, entry)
+
+    def _unindex(self, entry: StoreEntry) -> None:
+        lst = self._by_addr.get(entry.addr)
+        if lst is None:
+            return
+        try:
+            lst.remove(entry)
+        except ValueError:
+            return
+        if not lst:
+            del self._by_addr[entry.addr]
+
     def pop_head(self) -> StoreEntry:
         """Deallocate the head entry (after its L1 write completed)."""
         entry = self._slots[self._head]
@@ -130,6 +172,8 @@ class StoreBuffer:
         self._bits[self._head] ^= 1
         self._head = (self._head + 1) % self.capacity
         self._count -= 1
+        if entry.resolved:
+            self._unindex(entry)
         return entry
 
     def squash_from(self, seq: int) -> List[StoreEntry]:
@@ -150,6 +194,8 @@ class StoreBuffer:
             self._bits[tail_idx] ^= 1
             self._tail = tail_idx
             self._count -= 1
+            if entry.resolved:
+                self._unindex(entry)
             removed.append(entry)
         return removed
 
@@ -160,14 +206,19 @@ class StoreBuffer:
     def forwarding_match(self, addr: int, load_seq: int) \
             -> Optional[StoreEntry]:
         """The *youngest* store older than ``load_seq`` with a resolved
-        matching address — the store-to-load forwarding source."""
-        best: Optional[StoreEntry] = None
-        for entry in self:
-            if entry.seq >= load_seq:
-                break
-            if entry.resolved and entry.addr == addr:
-                best = entry
-        return best
+        matching address — the store-to-load forwarding source.
+
+        Answered from the per-address index (kept seq-ascending by
+        :meth:`resolve`): youngest-first scan for the first entry older
+        than the load."""
+        lst = self._by_addr.get(addr)
+        if not lst:
+            return None
+        for i in range(len(lst) - 1, -1, -1):
+            entry = lst[i]
+            if entry.seq < load_seq:
+                return entry
+        return None
 
     def unresolved_older(self, load_seq: int) -> List[StoreEntry]:
         """Stores older than the load whose address is not yet known."""

@@ -57,25 +57,41 @@ class StoreSetPredictor:
 
     # ------------------------------------------------------------------
 
+    # The three per-instruction entry points below inline
+    # :meth:`_maybe_clear` and :meth:`_index` — they run for every
+    # dynamic load and store, and the method-call overhead dominates the
+    # table lookups themselves.  Results are identical to the method
+    # forms (which remain above as the readable reference).
+
     def store_dispatched(self, pc: int, seq: int) -> None:
         """A store enters the window: becomes its set's last fetched store."""
-        self._maybe_clear()
-        ssid = self._ssit.get(self._index(pc))
+        accesses = self._accesses + 1
+        if accesses >= self.clear_interval:
+            self._ssit.clear()
+            self._lfst.clear()
+            accesses = 0
+        self._accesses = accesses
+        ssid = self._ssit.get(pc % self.ssit_size)
         if ssid is not None:
             self._lfst[ssid] = seq
 
     def store_resolved(self, pc: int, seq: int) -> None:
         """A store's address resolved: clear it from the LFST if it is
         still the set's last fetched store."""
-        ssid = self._ssit.get(self._index(pc))
+        ssid = self._ssit.get(pc % self.ssit_size)
         if ssid is not None and self._lfst.get(ssid) == seq:
             del self._lfst[ssid]
 
     def predicted_store(self, load_pc: int) -> Optional[int]:
         """The seq of the in-flight store this load should wait for, or
         None if the load is free to issue speculatively."""
-        self._maybe_clear()
-        ssid = self._ssit.get(self._index(load_pc))
+        accesses = self._accesses + 1
+        if accesses >= self.clear_interval:
+            self._ssit.clear()
+            self._lfst.clear()
+            accesses = 0
+        self._accesses = accesses
+        ssid = self._ssit.get(load_pc % self.ssit_size)
         if ssid is None:
             return None
         return self._lfst.get(ssid)

@@ -211,15 +211,18 @@ def execute_litmus(spec: LitmusSpec) -> Dict:
     }
 
 
-def execute_request(spec: JobSpec, timeout: Optional[float] = None) -> Dict:
+def execute_request(spec: JobSpec, timeout: Optional[float] = None,
+                    cache_dir: Optional[str] = None) -> Dict:
     """Run one job spec to completion under the deadline guard.
 
     Module-level (pickles for the process pool).  Returns the result
     payload the store persists: for sweep cells this is exactly
     ``SystemStats.to_dict()`` — the same bytes ``run_sweep`` caches.
+    ``cache_dir`` lets checkpointed sweep cells persist their resume
+    blob and progress document where the service's store can see them.
     """
     if isinstance(spec, SweepJob):
-        return with_deadline(lambda: execute_job(spec), timeout,
+        return with_deadline(lambda: execute_job(spec, cache_dir), timeout,
                              f"{spec.name}/{spec.policy}")
     return with_deadline(lambda: execute_litmus(spec), timeout,
                          f"litmus:{spec.name}")

@@ -255,7 +255,7 @@ class ShardedWorkerPool:
             try:
                 payload = await loop.run_in_executor(
                     shard.executor(), execute_request, job.spec,
-                    self.timeout)
+                    self.timeout, self.store.cache_dir())
                 error = None
                 break
             except asyncio.CancelledError:

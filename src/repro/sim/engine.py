@@ -107,6 +107,55 @@ class Engine:
                 + len(self._bucket_next))
 
     # ------------------------------------------------------------------
+    # Snapshot support (repro.snapshot)
+    # ------------------------------------------------------------------
+
+    def pending_events(self) -> List[_Event]:
+        """Every undispatched ``(time, seq, fn, args)`` in global
+        ``(time, seq)`` order — the queue residue a snapshot captures at
+        a quiescent point."""
+        events = (list(self._bucket_now) + list(self._bucket_next)
+                  + list(self._queue))
+        events.sort(key=lambda e: (e[0], e[1]))
+        return events
+
+    def restore_queue(self, now: int, seq: int,
+                      events: List[_Event]) -> None:
+        """Reinstall a captured clock, seq counter, and queue residue.
+
+        Events are re-routed by distance (``now`` → bucket_now,
+        ``now + 1`` → bucket_next, further out → heap) in seq order.
+        That re-establishes the ordering invariant the run loop relies
+        on: FIFO order inside each bucket is seq order, and every heap
+        event is at least two cycles out, so any event the heap later
+        surfaces on the current or next cycle carries a smaller seq than
+        anything scheduled there since the restore.
+        """
+        for event in events:
+            if event[0] < now:
+                raise ValueError(
+                    f"cannot restore an event at cycle {event[0]}: the "
+                    f"restored clock is {now}")
+            if event[1] > seq:
+                raise ValueError(
+                    f"restored event seq {event[1]} is ahead of the "
+                    f"restored seq counter {seq}")
+        self.now = now
+        self._seq = seq
+        self._stopped = False
+        self._bucket_now = deque()
+        self._bucket_next = deque()
+        self._queue = []
+        for event in sorted(events, key=lambda e: (e[0], e[1])):
+            if event[0] == now:
+                self._bucket_now.append(event)
+            elif event[0] == now + 1:
+                self._bucket_next.append(event)
+            else:
+                self._queue.append(event)
+        heapq.heapify(self._queue)
+
+    # ------------------------------------------------------------------
 
     def _advance(self, time: int) -> None:
         """Move the clock to ``time`` (> now), rolling the next-cycle
@@ -197,23 +246,62 @@ class Engine:
                     else:
                         from_heap = False
                         next_time = now + 1
+                    if deadline is not None and next_time > deadline:
+                        if deadline > now:
+                            self.now = now = deadline
+                        break
+                    event = heappop(queue) if from_heap \
+                        else bucket_next.popleft()
+                    if next_time > now:
+                        self._advance(next_time)
+                        now = next_time
+                    dispatched += 1
+                    event[2](*event[3])
+                    if hook is not None:
+                        hook()
                 elif queue:
-                    from_heap = True
+                    # Fused quiescent stretch: both buckets are empty, so
+                    # every core is asleep and only far-out events remain
+                    # (periodic ticks, long memory latencies).  Dispatch
+                    # straight off the heap in a tight loop — one fused
+                    # superevent per stretch, batch-advancing the clock —
+                    # until an event schedules something near (a bucket
+                    # fills) or a stop condition fires.  Check order per
+                    # event matches the outer loop exactly, so dispatch
+                    # order and counts are byte-identical.
+                    bucket_now = self._bucket_now
                     next_time = queue[0][0]
+                    if deadline is not None and next_time > deadline:
+                        if deadline > now:
+                            self.now = now = deadline
+                        break
+                    halted = False
+                    while True:
+                        event = heappop(queue)
+                        if next_time > now:
+                            # No bucket rollover needed: both buckets
+                            # were empty when this stretch began.
+                            self.now = now = next_time
+                        dispatched += 1
+                        event[2](*event[3])
+                        if hook is not None:
+                            hook()
+                        if self._stopped or (until is not None
+                                             and until()):
+                            halted = True
+                            break
+                        if bucket_now or bucket_next or not queue:
+                            break
+                        next_time = queue[0][0]
+                        if deadline is not None and next_time > deadline:
+                            if deadline > now:
+                                self.now = now = deadline
+                            halted = True
+                            break
+                    if halted:
+                        break
                 else:
                     break  # drained
-                if deadline is not None and next_time > deadline:
-                    if deadline > now:
-                        self.now = now = deadline
-                    break
-                event = heappop(queue) if from_heap else bucket_next.popleft()
-                if next_time > now:
-                    self._advance(next_time)
-                    now = next_time
-                dispatched += 1
-                event[2](*event[3])
-                if hook is not None:
-                    hook()
         finally:
             self.events_dispatched += dispatched
         return self.now

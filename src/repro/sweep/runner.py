@@ -70,6 +70,23 @@ class SweepJob:
     # than a plain run, so the two cannot share cache entries.
     obs: bool = False
     obs_sample_interval: int = 64
+    # Drain to quiescence and checkpoint every ~N cycles; on a retry the
+    # job resumes from the last checkpoint blob instead of cycle 0 (see
+    # ``_execute_checkpointed``).  Checkpointed runs are their own
+    # deterministic mode — the drains alter event timing — so the value
+    # is part of the cache key when set.
+    checkpoint_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if self.obs or self.detect_violations:
+                # A snapshot cannot carry observer state (probes,
+                # detectors) — see repro.snapshot.capture.
+                raise ValueError(
+                    "checkpoint_every cannot be combined with obs or "
+                    "detect_violations (snapshots exclude observers)")
 
     def to_dict(self) -> Dict:
         """JSON-safe description; exact under :meth:`from_dict`.
@@ -82,7 +99,7 @@ class SweepJob:
         if self.config is not None:
             raise ValueError("SweepJob.to_dict: custom SystemConfig is "
                              "not JSON-serializable; use config=None")
-        return {
+        out = {
             "name": self.name,
             "policy": self.policy,
             "cores": self.cores,
@@ -93,6 +110,11 @@ class SweepJob:
             "obs": self.obs,
             "obs_sample_interval": self.obs_sample_interval,
         }
+        # Only when set, so pre-checkpoint wire payloads round-trip
+        # byte-identically.
+        if self.checkpoint_every is not None:
+            out["checkpoint_every"] = self.checkpoint_every
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SweepJob":
@@ -101,7 +123,7 @@ class SweepJob:
         entry under a spec the simulation ignored."""
         allowed = {"name", "policy", "cores", "length", "seed",
                    "detect_violations", "memdep_hints", "obs",
-                   "obs_sample_interval"}
+                   "obs_sample_interval", "checkpoint_every"}
         unknown = set(data) - allowed
         if unknown:
             raise ValueError(f"SweepJob.from_dict: unknown field(s) "
@@ -123,6 +145,11 @@ class SweepOutcome:
     cached: int = 0                    # jobs answered from the cache
     elapsed: float = 0.0               # wall-clock seconds
     workers: int = 1                   # pool size used (1 = in-process)
+    # How the simulated cells were executed: "serial"/"parallel" when
+    # the caller fixed the worker count, "adaptive-serial"/
+    # "adaptive-parallel" when the runner sized itself from a probe of
+    # the first cell (see run_sweep).
+    mode: str = "serial"
     keys: List[str] = field(default_factory=list)  # cache key per job
     # Per-job observability summary dicts (None for non-obs jobs), in
     # input order — the ``repro.obs.session.ObsReport.to_dict()`` form.
@@ -162,15 +189,25 @@ def job_key(job: SweepJob) -> str:
         "obs_sample_interval": job.obs_sample_interval if job.obs else None,
         "code": code_version(),
     }
+    # Checkpointed runs drain to quiescence periodically, which changes
+    # event timing — a distinct deterministic mode, so a distinct key.
+    # Added conditionally so every pre-existing key is preserved.
+    if job.checkpoint_every is not None:
+        payload["checkpoint_every"] = job.checkpoint_every
     return content_key(payload)
 
 
-def execute_job(job: SweepJob) -> Dict:
+def execute_job(job: SweepJob,
+                cache_dir: Union[str, os.PathLike, None] = None) -> Dict:
     """Run one job to completion; returns the stats as a JSON-safe dict.
 
     Module-level so it pickles for the process pool.  Traces are
     regenerated here — generation is seeded and deterministic, so every
     worker sees byte-identical workloads.
+
+    ``cache_dir`` only matters for checkpointed jobs
+    (``job.checkpoint_every``): it is where the resume blob and the
+    progress document live between checkpoints.
     """
     profile = get_profile(job.name)
     n = resolved_length(job.name, job.length)
@@ -179,6 +216,8 @@ def execute_job(job: SweepJob) -> Dict:
     if not job.memdep_hints:
         for trace in traces:
             trace.memdep_hints = []
+    if job.checkpoint_every is not None:
+        return _execute_checkpointed(job, traces, warm, cache_dir)
     if job.obs:
         from repro.obs.session import observe_run
         stats, report, _system = observe_run(
@@ -193,6 +232,61 @@ def execute_job(job: SweepJob) -> Dict:
     stats = simulate(traces, job.policy, config=job.config,
                      warm_caches=warm,
                      detect_violations=job.detect_violations)
+    return stats.to_dict()
+
+
+def _execute_checkpointed(job: SweepJob, traces, warm,
+                          cache_dir: Union[str, os.PathLike, None]) -> Dict:
+    """Run a job in checkpointed mode, resuming from a stored snapshot.
+
+    Every ~``checkpoint_every`` cycles the system drains to quiescence
+    and the snapshot blob + a small progress document are written to the
+    sweep cache under the job's key.  A crashed or timed-out attempt
+    therefore resumes from the last checkpoint on its retry round
+    instead of repeating the whole run; the side files are cleared on
+    success.  Both paths are deterministic: resuming from any checkpoint
+    yields the same stats as the uninterrupted checkpointed run.
+    """
+    from repro.snapshot import Snapshot, SnapshotError, restore
+    from repro.sim.system import System
+
+    store = ResultCache(cache_dir) if cache_dir is not None else None
+    key = job_key(job) if store is not None else None
+
+    system = None
+    if store is not None:
+        blob = store.get_blob(key)
+        if blob is not None:
+            try:
+                system = restore(Snapshot.from_bytes(blob), traces,
+                                 config=job.config)
+            except SnapshotError:
+                # Stale or corrupt blob (e.g. written by other code):
+                # restart from cycle 0 rather than failing the cell.
+                store.clear_blob(key)
+                system = None
+    if system is None:
+        system = System(traces, job.policy, config=job.config,
+                        warm_caches=warm)
+
+    def on_checkpoint(snapshot) -> None:
+        if store is None:
+            return
+        data = snapshot.data
+        store.put_blob(key, snapshot.to_bytes())
+        store.put_progress(key, {
+            "name": job.name,
+            "policy": job.policy,
+            "cycle": data["engine"]["now"],
+            "fetched": [core["fetch_idx"] for core in data["cores"]],
+            "trace_lens": data["trace_lens"],
+        })
+
+    stats = system.run(checkpoint_every=job.checkpoint_every,
+                       on_checkpoint=on_checkpoint)
+    if store is not None:
+        store.clear_blob(key)
+        store.clear_progress(key)
     return stats.to_dict()
 
 
@@ -227,27 +321,64 @@ def with_deadline(fn: Callable[[], Dict], timeout: Optional[float],
             signal.setitimer(signal.ITIMER_REAL, max(left, 1e-6))
 
 
-def _execute_job_guarded(job: SweepJob, timeout: Optional[float]) -> Dict:
+def _execute_job_guarded(job: SweepJob, timeout: Optional[float],
+                         cache_dir: Union[str, os.PathLike, None] = None
+                         ) -> Dict:
     """Worker entry point: :func:`execute_job` under a wall-clock
     deadline.  Module-level so it pickles for the process pool."""
-    return with_deadline(lambda: execute_job(job), timeout,
+    return with_deadline(lambda: execute_job(job, cache_dir), timeout,
                          f"{job.name}/{job.policy}")
+
+
+def _execute_chunk(jobs: List[SweepJob], timeout: Optional[float],
+                   cache_dir: Union[str, os.PathLike, None] = None
+                   ) -> List:
+    """Run several jobs in one worker call; one pool task per *chunk*.
+
+    Amortizes task dispatch and result IPC over multiple cells.  Each
+    entry of the returned list is ``("ok", payload)`` or ``("err",
+    info)`` in input order — failures are data, not exceptions, so one
+    bad cell never poisons its chunk-mates."""
+    out = []
+    for job in jobs:
+        try:
+            out.append(("ok", _execute_job_guarded(job, timeout,
+                                                   cache_dir)))
+        except Exception as exc:
+            out.append(("err", _exc_info(exc)))
+    return out
+
+
+def _exc_info(exc: BaseException) -> Dict:
+    """JSON-safe description of an exception (pickles across the pool
+    where the exception object itself might not)."""
+    cause = getattr(exc, "__cause__", None)
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "timeout": isinstance(exc, JobTimeout),
+        "cause": None if cause is None else str(cause),
+    }
 
 
 def _error_payload(job: SweepJob, exc: BaseException,
                    attempts: int) -> Dict:
     """The structured record of a failed cell (JSON-safe)."""
-    cause = getattr(exc, "__cause__", None)
+    return _error_payload_from_info(job, _exc_info(exc), attempts)
+
+
+def _error_payload_from_info(job: SweepJob, info: Dict,
+                             attempts: int) -> Dict:
     return {
         "name": job.name,
         "policy": job.policy,
         "cores": job.cores,
         "seed": job.seed,
-        "type": type(exc).__name__,
-        "message": str(exc),
-        "timeout": isinstance(exc, JobTimeout),
+        "type": info["type"],
+        "message": info["message"],
+        "timeout": info["timeout"],
         "attempts": attempts,
-        "cause": None if cause is None else str(cause),
+        "cause": info.get("cause"),
     }
 
 
@@ -272,6 +403,21 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+#: Estimated seconds to stand up a process pool and re-import the
+#: simulator in each worker — the fixed overhead a parallel round must
+#: amortize before it can beat running the same cells in-process.
+POOL_SPAWN_COST = 1.0
+
+
+def pool_spawn_cost() -> float:
+    """The amortization threshold; ``REPRO_POOL_SPAWN_COST`` overrides
+    (useful for tests and for hosts with unusually slow fork/spawn)."""
+    env = os.environ.get("REPRO_POOL_SPAWN_COST")
+    if env:
+        return max(0.0, float(env))
+    return POOL_SPAWN_COST
+
+
 def run_sweep(jobs: Sequence[SweepJob],
               workers: Optional[int] = None,
               cache: bool = True,
@@ -280,10 +426,17 @@ def run_sweep(jobs: Sequence[SweepJob],
               timeout: Optional[float] = None,
               retries: int = 0,
               backoff: float = 0.5) -> SweepOutcome:
-    """Execute a batch of sweep jobs, in parallel where possible.
+    """Execute a batch of sweep jobs, in parallel where it pays.
 
-    ``workers=None`` resolves via :func:`default_workers`; ``workers=1``
-    (or a single uncached job) runs in-process with no pool.  With
+    ``workers=None`` sizes adaptively: the pool is capped at
+    :func:`default_workers`, but the serial-vs-parallel choice is made
+    from a timed in-process probe of the first cell — a pool is spawned
+    only when the estimated parallel saving on the remaining cells
+    exceeds :func:`pool_spawn_cost`, so a sweep of short jobs (or any
+    sweep on a 1-CPU host) is never slower than running serially.  The
+    decision is recorded in ``SweepOutcome.mode``.  An explicit
+    ``workers`` count skips the probe; ``workers=1`` (or a single
+    uncached job) runs in-process with no pool.  With
     ``cache`` enabled (the default), finished results are read from and
     written to ``cache_dir`` (default: ``$REPRO_SWEEP_CACHE`` or
     ``.sweep-cache``).  ``progress`` receives human-readable status
@@ -343,12 +496,30 @@ def run_sweep(jobs: Sequence[SweepJob],
             seen.add(key)
             todo.append(idx)
 
-    nworkers = workers if workers is not None else default_workers()
-    nworkers = max(1, min(nworkers, len(todo) or 1))
+    # Where workers persist checkpoint blobs/progress for checkpointed
+    # jobs (same directory as the result cache, same key namespace).
+    chk_dir = str(store.directory) if store is not None else None
+
+    if workers is not None:
+        nworkers = max(1, min(workers, len(todo) or 1))
+        mode: Optional[str] = "serial" if nworkers <= 1 else "parallel"
+    else:
+        # Adaptive sizing: cap by the host, but defer the serial-vs-
+        # parallel decision until the first cell has been timed (the
+        # probe in the execution loop below) — a pool only pays off
+        # once the remaining serial work exceeds its spawn cost, which
+        # a bare CPU count cannot know.
+        nworkers = max(1, min(default_workers(), len(todo) or 1))
+        if nworkers <= 1 or len(todo) <= 1:
+            nworkers, mode = 1, "adaptive-serial"
+        else:
+            mode = None  # decided by the probe
 
     if todo:
+        sizing = (f"{nworkers} worker(s)" if mode is not None
+                  else f"adaptive, <= {nworkers} workers")
         note(f"sweep: {len(todo)} of {len(jobs)} jobs to simulate "
-             f"({cached} cached), {nworkers} worker(s)")
+             f"({cached} cached), {sizing}")
     elif jobs:
         note(f"sweep: all {len(jobs)} jobs cached, nothing to simulate")
     done = 0
@@ -373,11 +544,15 @@ def run_sweep(jobs: Sequence[SweepJob],
         note(f"sweep: [{done}/{len(todo)}] {job.name}/{job.policy} "
              f"done, ETA {eta:.0f}s")
 
-    def failed(idx: int, exc: BaseException, attempts: int) -> None:
+    def failed_info(idx: int, info: Dict, attempts: int) -> None:
         job = jobs[idx]
-        errors_by_key[keys[idx]] = _error_payload(job, exc, attempts)
+        errors_by_key[keys[idx]] = _error_payload_from_info(
+            job, info, attempts)
         note(f"sweep: [fail] {job.name}/{job.policy}: "
-             f"{type(exc).__name__}: {exc}")
+             f"{info['type']}: {info['message']}")
+
+    def failed(idx: int, exc: BaseException, attempts: int) -> None:
+        failed_info(idx, _exc_info(exc), attempts)
 
     def run_serial(indices: List[int], attempts: int
                    ) -> "tuple[List[int], bool]":
@@ -385,7 +560,8 @@ def run_sweep(jobs: Sequence[SweepJob],
         retryable: List[int] = []
         for pos, idx in enumerate(indices):
             try:
-                finished(idx, _execute_job_guarded(jobs[idx], timeout))
+                finished(idx, _execute_job_guarded(jobs[idx], timeout,
+                                                   chk_dir))
             except KeyboardInterrupt:
                 note("sweep: interrupted — keeping completed cells")
                 for cancelled in indices[pos:]:
@@ -405,39 +581,73 @@ def run_sweep(jobs: Sequence[SweepJob],
         the pool, failing every in-flight future with BrokenProcessPool;
         those cells are simply retryable like any other failure, and the
         next round starts with working processes.
+
+        Cells are dispatched in contiguous *chunks* (several per
+        worker), so task pickling and result IPC are amortized while an
+        unlucky slow chunk still cannot serialize the whole round.  One
+        failing cell inside a chunk is data, not an exception — its
+        chunk-mates' results survive (see :func:`_execute_chunk`).
         """
         retryable: List[int] = []
         interrupted = False
-        pool = ProcessPoolExecutor(max_workers=min(nworkers, len(indices)))
-        futures = {pool.submit(_execute_job_guarded, jobs[idx], timeout): idx
-                   for idx in indices}
+        pool_size = min(nworkers, len(indices))
+        chunksize = max(1, len(indices) // (pool_size * 4))
+        chunked = [indices[i:i + chunksize]
+                   for i in range(0, len(indices), chunksize)]
+        pool = ProcessPoolExecutor(max_workers=pool_size)
+        futures = {pool.submit(_execute_chunk, [jobs[i] for i in chunk],
+                               timeout, chk_dir): chunk
+                   for chunk in chunked}
         try:
             for future in as_completed(futures):
-                idx = futures[future]
+                chunk = futures[future]
                 try:
-                    finished(idx, future.result())
+                    outcomes = future.result()
                 except Exception as exc:
-                    failed(idx, exc, attempts)
-                    retryable.append(idx)
+                    # The worker running this chunk died; every cell in
+                    # it is retryable.
+                    for idx in chunk:
+                        failed(idx, exc, attempts)
+                        retryable.append(idx)
+                    continue
+                for idx, (status, payload) in zip(chunk, outcomes):
+                    if status == "ok":
+                        finished(idx, payload)
+                    else:
+                        failed_info(idx, payload, attempts)
+                        retryable.append(idx)
         except KeyboardInterrupt:
             interrupted = True
             note("sweep: interrupted — cancelling outstanding jobs, "
                  "keeping completed cells")
             for future in futures:
                 future.cancel()
-            # Salvage cells that finished but were not yet collected.
-            for future, idx in futures.items():
-                key = keys[idx]
-                if key in stats_by_key or key in errors_by_key:
-                    continue
+            # Salvage chunks that finished but were not yet collected.
+            for future, chunk in futures.items():
                 if future.done() and not future.cancelled():
                     try:
-                        finished(idx, future.result(), quiet=True)
+                        outcomes = future.result()
                     except BaseException as exc:
-                        errors_by_key[key] = _error_payload(
-                            jobs[idx], exc, attempts)
+                        for idx in chunk:
+                            errors_by_key.setdefault(
+                                keys[idx],
+                                _error_payload(jobs[idx], exc, attempts))
+                        continue
+                    for idx, (status, payload) in zip(chunk, outcomes):
+                        key = keys[idx]
+                        if key in stats_by_key or key in errors_by_key:
+                            continue
+                        if status == "ok":
+                            finished(idx, payload, quiet=True)
+                        else:
+                            errors_by_key[key] = _error_payload_from_info(
+                                jobs[idx], payload, attempts)
                 else:
-                    errors_by_key[key] = _cancel_payload(jobs[idx])
+                    for idx in chunk:
+                        key = keys[idx]
+                        if key not in stats_by_key \
+                                and key not in errors_by_key:
+                            errors_by_key[key] = _cancel_payload(jobs[idx])
             retryable = []
         finally:
             pool.shutdown(wait=not interrupted,
@@ -455,10 +665,40 @@ def run_sweep(jobs: Sequence[SweepJob],
                  f"(attempt {attempt}, backoff {delay:.1f}s)")
             if delay > 0:
                 time.sleep(delay)
-        if nworkers <= 1 or len(pending) <= 1:
-            pending, interrupted = run_serial(pending, attempt)
-        else:
-            pending, interrupted = run_pool(pending, attempt)
+        probe_retry: List[int] = []
+        if mode is None:
+            # Adaptive probe: run the first cell in-process and time
+            # it.  The probe's result counts — nothing is wasted.
+            t_probe = time.perf_counter()
+            probe_retry, interrupted = run_serial(pending[:1], attempt)
+            probe_cost = time.perf_counter() - t_probe
+            pending = pending[1:]
+            # A pool saves about cost * (1 - 1/workers) of the
+            # remaining serial time; spawn it only when that beats its
+            # own startup cost, otherwise parallel is *slower* than
+            # serial (the regression this sizing exists to prevent).
+            saving = probe_cost * len(pending) * (1.0 - 1.0 / nworkers)
+            threshold = pool_spawn_cost()
+            if saving > threshold:
+                mode = "adaptive-parallel"
+                note(f"sweep: adaptive — parallel with {nworkers} "
+                     f"worker(s) (probe {probe_cost:.2f}s/cell, "
+                     f"~{saving:.1f}s to recover)")
+            else:
+                mode, nworkers = "adaptive-serial", 1
+                note(f"sweep: adaptive — staying serial (probe "
+                     f"{probe_cost:.2f}s/cell does not amortize a "
+                     f"{threshold:.1f}s pool spawn)")
+            if interrupted:
+                continue
+        if pending:
+            if nworkers <= 1 or len(pending) <= 1:
+                pending, interrupted = run_serial(pending, attempt)
+            else:
+                pending, interrupted = run_pool(pending, attempt)
+        # A failed probe cell retries with the *next* round, like any
+        # other failure (never twice within one attempt round).
+        pending = sorted(pending + probe_retry)
         if attempt > retries:
             break
 
@@ -481,7 +721,8 @@ def run_sweep(jobs: Sequence[SweepJob],
     return SweepOutcome(results=results, simulated=done,
                         cached=cached,
                         elapsed=time.perf_counter() - t0,
-                        workers=nworkers, keys=keys,
+                        workers=nworkers,
+                        mode=mode or "adaptive-serial", keys=keys,
                         obs=[obs_by_key.get(key) for key in keys],
                         errors=errors, failed=failed_cells,
                         interrupted=interrupted)

@@ -122,6 +122,42 @@ def run_policy_sweep(name: str, policies: Sequence[str] = POLICY_ORDER,
     return results
 
 
+def run_policy_sweep_forked(name: str,
+                            policies: Sequence[str] = POLICY_ORDER,
+                            cores: int = DEFAULT_CORES,
+                            length: Optional[int] = None, seed: int = 0,
+                            config: Optional[SystemConfig] = None
+                            ) -> Dict[str, BenchmarkResult]:
+    """The Fig. 9/10 five-policy sweep with a single shared warm-up.
+
+    :func:`run_policy_sweep` regenerates nothing but re-*warms*
+    everything: each policy cell walks the warm-up workload through the
+    cache hierarchy again, although cache warm-up is policy-independent
+    (it runs functionally, before any core exists).  Here the system is
+    built and warmed **once**, captured as a pristine cycle-0 snapshot
+    (:func:`repro.snapshot.capture`), and forked into every policy cell
+    (:func:`repro.snapshot.fork`) — per-cell stats are byte-identical
+    to the re-warmed path (``BENCH_kernel.json`` enforces this via its
+    ``identical_stats`` field).
+    """
+    from repro.sim.system import System
+    from repro.snapshot import capture, fork
+
+    profile = get_profile(name)
+    n = _length_for(profile, length)
+    traces = generate_workload(profile, cores, n, seed)
+    warm = generate_warmup(profile, cores, n, seed)
+    base = System(traces, policies[0], config=config, warm_caches=warm)
+    snap = capture(base)
+    results: Dict[str, BenchmarkResult] = {}
+    for policy in policies:
+        system = fork(snap, traces, policy, config=config)
+        stats = system.run()
+        results[policy] = BenchmarkResult(name, profile.suite, policy,
+                                          stats)
+    return results
+
+
 def normalized_times(results: Dict[str, BenchmarkResult],
                      baseline: str = "x86") -> Dict[str, float]:
     """Execution time of each policy normalized to the baseline."""

@@ -1,0 +1,17 @@
+"""A snapshot-covered class grows a slot the schema does not know:
+``restore()`` would silently rebuild it at its constructor default."""
+
+
+class StoreBuffer:
+    __slots__ = ("capacity", "_slots", "_bits", "_head", "_tail",
+                 "_count", "_by_addr", "_sneaky_new_state")
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._slots = [None] * capacity
+        self._bits = [0] * capacity
+        self._head = 0
+        self._tail = 0
+        self._count = 0
+        self._by_addr = {}
+        self._sneaky_new_state = 0

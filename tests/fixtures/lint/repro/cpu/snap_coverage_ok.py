@@ -1,0 +1,27 @@
+"""Negative fixture for snap-coverage: every slot of a covered class
+is accounted for by the snapshot schema, and a class that merely shares
+a schema name outside its home package is never checked."""
+
+
+class StoreBuffer:
+    # Exactly the slots repro/snapshot/schema.py partitions.
+    __slots__ = ("capacity", "_slots", "_bits", "_head", "_tail",
+                 "_count", "_by_addr")
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._slots = [None] * capacity
+        self._bits = [0] * capacity
+        self._head = 0
+        self._tail = 0
+        self._count = 0
+        self._by_addr = {}
+
+
+class System:
+    # Shares a schema class name, but its home package is repro/sim —
+    # in repro/cpu it is an unrelated class and must not be flagged.
+    __slots__ = ("anything_goes_here",)
+
+    def __init__(self):
+        self.anything_goes_here = 1

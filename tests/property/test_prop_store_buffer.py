@@ -22,8 +22,7 @@ class StoreBufferMachine(RuleBasedStateMachine):
     @precondition(lambda self: not self.sb.full)
     def allocate(self):
         entry = self.sb.allocate(self.next_seq)
-        entry.addr = 8 * (self.next_seq % 5)
-        entry.resolved = True
+        self.sb.resolve_store(entry, 8 * (self.next_seq % 5))
         self.model.append(entry)
         self.next_seq += 3
 

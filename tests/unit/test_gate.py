@@ -103,7 +103,7 @@ def test_figure8_narrative():
 
     sb = StoreBuffer(4)
     st_x = sb.allocate(0)
-    st_x.addr, st_x.resolved = 0x100, True
+    sb.resolve_store(st_x, 0x100)
 
     # (a) store-to-load forwarding: the load copies the key.
     match = sb.forwarding_match(0x100, load_seq=1)

@@ -8,8 +8,7 @@ from repro.cpu.store_buffer import StoreBuffer
 def _alloc(sb, seq, addr=None, retired=False):
     entry = sb.allocate(seq)
     if addr is not None:
-        entry.addr = addr
-        entry.resolved = True
+        sb.resolve_store(entry, addr)
     entry.retired = retired
     return entry
 
@@ -139,8 +138,7 @@ class TestQueries:
         sb = StoreBuffer(4)
         entry = sb.allocate(0)  # address unknown
         assert sb.forwarding_match(0x100, 3) is None
-        entry.addr = 0x100
-        entry.resolved = True
+        sb.resolve_store(entry, 0x100)
         assert sb.forwarding_match(0x100, 3) is entry
 
     def test_unresolved_older(self):
