@@ -1,0 +1,164 @@
+"""Cross-policy Spectre leakage comparison (the leakage instrument's
+acceptance bench).
+
+Runs every gadget in :data:`repro.leakage.GADGETS` under all five
+policies with taint tracking attached and records per-policy leakage:
+confirmed transient leaks, leaked-line counts, exposure, and the merged
+leak/spec/SLF window histograms.  Three contracts are asserted before
+anything is reported:
+
+* **tracking off is free**: a run without the leakage bus produces
+  byte-identical ``SystemStats`` to one with it (minus the ``leakage``
+  key) — attaching the instrument must not perturb timing;
+* **the paper's ordering**: 370-SLFSoS-key leaks strictly fewer lines
+  than x86 across the battery (the SLF gadget's window only exists on
+  x86), while the bounds-check-bypass gadget leaks under *every* policy
+  (store atomicity does not close pure load-load speculation);
+* **serve agreement**: executing the same battery as ``leak`` jobs
+  through the service worker path (:func:`repro.serve.jobs
+  .execute_request`) yields the identical per-policy reports.
+
+Results land in ``BENCH_leakage.json``.  Run standalone (CI smoke):
+
+    PYTHONPATH=src python benchmarks/bench_leakage.py
+
+or under pytest for the assertion-only version:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_leakage.py
+"""
+
+import json
+import pathlib
+
+from repro.core.policies import POLICY_ORDER
+from repro.leakage import GADGET_CONFIG, GADGETS, leak_run
+from repro.obs.samplers import LogHistogram
+from repro.serve.jobs import LeakSpec, execute_request
+from repro.sim.system import System
+
+RESULT_FILE = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_leakage.json"
+
+_HIST_NAMES = ("leak_window", "spec_window", "slf_window")
+
+
+def _bare_run(gadget, policy):
+    system = System(list(gadget.traces), policy, GADGET_CONFIG,
+                    warm_caches=list(gadget.warm),
+                    initial_memory=dict(gadget.initial_memory))
+    return system.run(5_000_000)
+
+
+def measure():
+    """The full battery: gadgets × policies, with the identity checks."""
+    per_gadget = {}
+    per_policy = {policy: {"leaks": 0, "leaked_lines": 0, "exposed": 0,
+                           "speculative_performs": 0, "tainted_fills": 0}
+                  for policy in POLICY_ORDER}
+    merged = {policy: {name: LogHistogram() for name in _HIST_NAMES}
+              for policy in POLICY_ORDER}
+    tracking_off_identical = True
+
+    for name, gadget in GADGETS.items():
+        rows = {}
+        for policy in POLICY_ORDER:
+            stats, report, _system = leak_run(gadget, policy)
+            baseline = _bare_run(gadget, policy).to_json()
+            observed = stats.to_dict()
+            observed.pop("leakage")
+            if json.dumps(observed, sort_keys=True) != baseline \
+                    or baseline != _bare_run(gadget, policy).to_json():
+                tracking_off_identical = False
+            rows[policy] = stats.leakage
+            agg = per_policy[policy]
+            agg["leaks"] += len(report.confirmed)
+            agg["leaked_lines"] += len(report.leaked_lines)
+            agg["exposed"] += len(report.exposed)
+            agg["speculative_performs"] += report.speculative_performs
+            agg["tainted_fills"] += report.tainted_fills
+            for hist_name in _HIST_NAMES:
+                merged[policy][hist_name].merge(
+                    report.histograms[hist_name])
+        per_gadget[name] = rows
+
+    for policy in POLICY_ORDER:
+        per_policy[policy]["histograms"] = {
+            name: hist.to_dict() for name, hist in merged[policy].items()}
+
+    return {
+        "gadgets": per_gadget,
+        "policies": per_policy,
+        "tracking_off_identical": tracking_off_identical,
+        "leaked_lines_by_policy": {
+            policy: per_policy[policy]["leaked_lines"]
+            for policy in POLICY_ORDER},
+        "sos_key_lt_x86": (per_policy["370-SLFSoS-key"]["leaked_lines"]
+                           < per_policy["x86"]["leaked_lines"]),
+        "all_policies_leak": all(per_policy[p]["leaks"] >= 1
+                                 for p in POLICY_ORDER),
+    }
+
+
+def measure_serve(report):
+    """The same battery through the service's worker entry point; the
+    per-policy reports must agree with the direct runs exactly."""
+    identical = True
+    for name in GADGETS:
+        payload = execute_request(LeakSpec(name, tuple(POLICY_ORDER)),
+                                  timeout=300)
+        if payload["policies"] != report["gadgets"][name]:
+            identical = False
+    return {"jobs": len(GADGETS), "identical_reports": identical}
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+def test_leakage_battery():
+    report = measure()
+    assert report["tracking_off_identical"], \
+        "leakage tracking perturbed simulation stats"
+    assert report["sos_key_lt_x86"], report["leaked_lines_by_policy"]
+    assert report["all_policies_leak"], report["leaked_lines_by_policy"]
+    for policy in POLICY_ORDER:
+        hists = report["policies"][policy]["histograms"]
+        assert hists["spec_window"]["count"] >= 1, policy
+
+
+def test_leakage_serve_agreement():
+    report = measure()
+    serve = measure_serve(report)
+    assert serve["identical_reports"], \
+        "serve leak jobs disagree with direct leak_run"
+
+
+# ----------------------------------------------------------------------
+# CI smoke: record the battery into BENCH_leakage.json
+# ----------------------------------------------------------------------
+
+def main():
+    report = measure()
+    report["serve"] = measure_serve(report)
+    RESULT_FILE.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    print(json.dumps(report["leaked_lines_by_policy"], indent=2))
+    if not report["tracking_off_identical"]:
+        raise SystemExit("leakage tracking perturbed simulation stats")
+    if not report["sos_key_lt_x86"]:
+        raise SystemExit("370-SLFSoS-key did not leak strictly fewer "
+                         "lines than x86")
+    if not report["all_policies_leak"]:
+        raise SystemExit("a policy showed zero leaks — the bcb gadget "
+                         "should leak everywhere")
+    if not report["serve"]["identical_reports"]:
+        raise SystemExit("serve leak jobs disagree with direct runs")
+    print(f"wrote {RESULT_FILE.name}: "
+          f"x86 leaks {report['leaked_lines_by_policy']['x86']} line(s), "
+          f"370-SLFSoS-key "
+          f"{report['leaked_lines_by_policy']['370-SLFSoS-key']}; "
+          f"serve agreement over {report['serve']['jobs']} job(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -233,6 +233,70 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_leak(args) -> int:
+    import json
+
+    from repro.leakage import GADGETS, leak_observe_run, leak_run
+
+    names = args.gadgets or sorted(GADGETS)
+    for name in names:
+        if name not in GADGETS:
+            raise SystemExit(f"unknown gadget {name!r} "
+                             f"(have: {', '.join(sorted(GADGETS))})")
+    policies = POLICY_ORDER if args.policy == "all" else [args.policy]
+
+    results = []
+    for name in names:
+        gadget = GADGETS[name]
+        for policy in policies:
+            if args.trace_dir:
+                import os
+                stats, obs_report, report, system = leak_observe_run(
+                    gadget, policy)
+                from repro.obs.chrome_trace import write_chrome_trace
+                os.makedirs(args.trace_dir, exist_ok=True)
+                out = os.path.join(args.trace_dir,
+                                   f"{name}-{policy}.trace.json")
+                write_chrome_trace(out, system, obs_report, stats,
+                                   report)
+                print(f"wrote {out}")
+            else:
+                stats, report, _system = leak_run(gadget, policy)
+            results.append((name, policy, stats, report))
+
+    if args.json:
+        doc = {"gadgets": [
+            {"gadget": name, "policy": policy, **stats.leakage}
+            for name, policy, stats, _ in results]}
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    print(f"{'gadget':<14}{'policy':<18}{'leaks':>6}{'exposed':>9}"
+          f"{'spec':>6}  leaked lines")
+    # Leaked-line counts sum per gadget (each gadget is its own
+    # experiment; two gadgets sharing a probe line are two leaks).
+    totals: Dict[str, int] = {}
+    for name, policy, stats, report in results:
+        lines = ",".join(str(l) for l in report.leaked_lines) or "-"
+        print(f"{name:<14}{policy:<18}{len(report.confirmed):>6}"
+              f"{len(report.exposed):>9}"
+              f"{report.speculative_performs:>6}  {lines}")
+        totals[policy] = totals.get(policy, 0) + len(report.leaked_lines)
+    if len(policies) > 1:
+        print()
+        for policy in policies:
+            print(f"{policy:<18} {totals.get(policy, 0)} leaked line(s)")
+        if "x86" in totals and "370-SLFSoS-key" in totals:
+            x86 = totals["x86"]
+            key = totals["370-SLFSoS-key"]
+            verdict = "OK" if key < x86 else "VIOLATION"
+            print(f"370-SLFSoS-key < x86: {key} < {x86} — {verdict}")
+            if key >= x86:
+                return 1
+    return 0
+
+
 def cmd_record(args) -> int:
     from repro.workloads import (generate_warmup, generate_workload,
                                  get_profile)
@@ -408,9 +472,17 @@ def cmd_serve(args) -> int:
 
 
 def _parse_submit_token(token: str, args) -> Dict:
-    """``bench:NAME[:POLICY]`` / ``litmus:NAME[:MODEL+MODEL...]`` →
-    a job-request dict."""
+    """``bench:NAME[:POLICY]`` / ``litmus:NAME[:MODEL+MODEL...]`` /
+    ``leak:GADGET[:POLICY+POLICY...]`` → a job-request dict."""
     parts = token.split(":")
+    if parts[0] == "leak":
+        if len(parts) < 2 or len(parts) > 3 or not parts[1]:
+            raise SystemExit(f"bad leak spec {token!r} "
+                             f"(leak:GADGET[:POLICY+POLICY...])")
+        job = {"kind": "leak", "gadget": parts[1]}
+        if len(parts) == 3:
+            job["policies"] = parts[2].split("+")
+        return job
     if parts[0] == "litmus":
         if len(parts) < 2 or len(parts) > 3 or not parts[1]:
             raise SystemExit(f"bad litmus spec {token!r} "
@@ -430,7 +502,7 @@ def _parse_submit_token(token: str, args) -> Dict:
             job["length"] = args.length
         return job
     raise SystemExit(f"job spec {token!r} must start with "
-                     f"'bench:' or 'litmus:'")
+                     f"'bench:', 'litmus:' or 'leak:'")
 
 
 def cmd_submit(args) -> int:
@@ -731,6 +803,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=5,
                    help="gate intervals shown in the top-stalls summary")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "leak",
+        help="run the Spectre gadget battery with taint-based leakage "
+             "tracking and report transient leaks per policy")
+    p.add_argument("gadgets", nargs="*", metavar="gadget",
+                   help="gadget names (default: all)")
+    p.add_argument("-p", "--policy", default="all",
+                   choices=("all",) + tuple(POLICY_ORDER))
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the per-run leakage reports as JSON")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="also emit a Perfetto trace with the leakage "
+                        "track per gadget×policy run")
+    p.set_defaults(func=cmd_leak)
 
     p = sub.add_parser("record", help="save a workload to a trace file")
     p.add_argument("name")

@@ -230,8 +230,8 @@ class PrivateController:
     __slots__ = ("system", "core_id", "hierarchy", "state", "txns",
                  "txn_queue", "wb_buffer", "removal_listener", "mshrs",
                  "fault_store_delay", "_fault_store_horizon",
-                 "_p_inval", "_p_evict", "line_bytes", "_line_pow2",
-                 "_line_mask")
+                 "_p_inval", "_p_evict", "_p_fill", "_p_prefetch",
+                 "line_bytes", "_line_pow2", "_line_mask")
 
     def __init__(self, system: "CoherentMemorySystem", core_id: int) -> None:
         self.system = system
@@ -257,6 +257,8 @@ class PrivateController:
         self._fault_store_horizon = 0
         self._p_inval = system.probe_bus.resolve("mesi.inval")
         self._p_evict = system.probe_bus.resolve("mesi.evict")
+        self._p_fill = system.probe_bus.resolve("cache.fill")
+        self._p_prefetch = system.probe_bus.resolve("prefetch.issue")
         if system.system_config.core.l1_evict_squash:
             self.hierarchy.l1_evict_listener = self._on_l1_evict
 
@@ -327,6 +329,8 @@ class PrivateController:
             return
         if len(self.txns) >= self.mshrs:
             return  # prefetches never queue
+        if self._p_prefetch is not None:
+            self._p_prefetch(self.core_id, self.system.engine.now, line)
         self._start_txn(GETS, line, lambda: None)
 
     def prefetch_exclusive(self, addr: int) -> bool:
@@ -436,6 +440,8 @@ class PrivateController:
         line = txn.line
         del self.txns[line]
         self.state[line] = txn.granted_state
+        if self._p_fill is not None:
+            self._p_fill(self.core_id, self.system.engine.now, line)
         victim = self.hierarchy.fill(line)
         if victim is not None:
             self._evict(victim)
@@ -525,13 +531,14 @@ class CoherentMemorySystem:
         self.engine = engine
         self.system_config = config
         self.config: MemoryConfig = config.memory
-        self.network = network or Network(engine, config.network)
         self.core_mshrs = config.core.mshrs
         self.stats_invalidations = 0
         self.stats_evictions = 0
-        # Resolved by each PrivateController at construction; must be set
-        # before the controllers are built.
+        # Resolved by each PrivateController at construction and by the
+        # Network; must be set before either is built.
         self.probe_bus = probes if probes is not None else NULL_BUS
+        self.network = network or Network(engine, config.network,
+                                          probes=self.probe_bus)
         self.banks = [DirectoryBank(self, i)
                       for i in range(self.config.l3_banks)]
         self.controllers = [PrivateController(self, i)

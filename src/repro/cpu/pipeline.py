@@ -36,7 +36,7 @@ from repro.cpu.rob import ReorderBuffer, RobEntry
 from repro.cpu.store_buffer import StoreBuffer, StoreEntry
 from repro.cpu.storeset import StoreSetPredictor
 from repro.memory.prefetch import StridePrefetcher
-from repro.obs.bus import NULL_BUS
+from repro.obs.bus import NULL_BUS, resolve_squash_probes
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.stats import CoreStats
@@ -67,7 +67,8 @@ class Core:
         "engine", "core_id", "config", "trace", "_trace_ops", "_trace_len",
         "_issue_width", "_retire_width", "controller", "policy", "on_finish",
         "probe_bus", "_p_slf_forward", "_p_sb_write", "_p_gate_stall",
-        "_p_squash", "stats", "rob", "lq", "sb", "storeset", "detector",
+        "_p_squash", "_p_load_perform", "stats", "rob", "lq", "sb",
+        "storeset", "detector",
         "prefetcher", "branch_predictor", "tracer", "memory_data",
         "retired_load_values", "fetch_idx", "done", "load_of", "store_of",
         "consumers", "ready", "deferred_on_store", "pending_fences",
@@ -107,10 +108,8 @@ class Core:
         self._p_slf_forward = self.probe_bus.resolve("slf.forward")
         self._p_sb_write = self.probe_bus.resolve("sb.write_l1")
         self._p_gate_stall = self.probe_bus.resolve("gate.stall")
-        self._p_squash = {
-            reason: self.probe_bus.resolve(f"squash.{reason}")
-            for reason in ("inval", "evict", "memdep", "fault")
-        }
+        self._p_squash = resolve_squash_probes(self.probe_bus)
+        self._p_load_perform = self.probe_bus.resolve("load.perform")
         policy.attach(self)
         controller.removal_listener = self._on_line_removed
 
@@ -762,6 +761,26 @@ class Core:
             lentry.value = self.memory_data.get(entry.op.addr, 0)
         lentry.state = PERFORMED
         lentry.performed_at = self.engine.now
+        if self._p_load_perform is not None:
+            # Speculation status at perform time, mirroring the squash
+            # criteria of _on_line_removed: bit 1 = performed past an
+            # older unperformed load (M-speculation), bit 2 = past the
+            # policy's SA-speculation floor.  Computed only under an
+            # attached observer — the unobserved run never scans.
+            spec = 0
+            for older in self.lq:
+                if older.seq >= entry.seq:
+                    break
+                if older.state != PERFORMED:
+                    spec |= 1
+                    break
+            p_floor, inclusive = self.policy.speculative_floor()
+            if p_floor is not None and (entry.seq >= p_floor if inclusive
+                                        else entry.seq > p_floor):
+                spec |= 2
+            self._p_load_perform(self.core_id, self.engine.now, entry.seq,
+                                 lentry.addr, lentry.line, lentry.slf,
+                                 spec)
         self._complete(entry, epoch)
 
     def _complete(self, entry: RobEntry, epoch: int) -> None:

@@ -1,0 +1,171 @@
+"""Spectre-style gadget workloads for the leakage instrument.
+
+Two transient-execution gadgets, hand-built as pipeline traces so the
+dependence graph carries taint (compiled litmus programs flatten their
+register dataflow into ``deps=()``; the litmus battery carries matching
+*architectural* programs under the same names — see docs/LEAKAGE.md):
+
+``spectre-bcb``
+    Bounds-check bypass.  A slow "bounds" load keeps retirement parked
+    while a fast secret load and a secret-indexed probe load perform
+    M-speculatively behind it; the victim thread then overwrites the
+    secret, invalidating the secret line and squashing both — but the
+    probe line the transient load touched stays resident.  Pure
+    load-load speculation: every one of the five policies is
+    vulnerable, which makes this the baseline gadget.
+
+``spectre-slf``
+    Store-to-load-forwarding variant (the paper's SA-speculation
+    window).  A store to the secret address opens a long SLF window (the
+    line is cold, so the SB drain crawls); the forwarded secret value
+    feeds a probe load that performs deep in the window.  Under ``x86``
+    nothing blocks the window's younger loads and the probe access is
+    squash-confirmed leakage; the 370 variants close the window — the
+    retire gate (SoS), SLF retire-blocking (SLFSpec) or forwarding
+    refusal (NoSpec) keeps the probe load from performing transiently
+    at all, so the leaked-line count drops to zero.
+
+Addresses use distinct cache lines with distinct set indices in both
+private levels of :data:`GADGET_CONFIG`, so no gadget line aliases
+another (conflict evictions would blur the windows being measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.cpu import isa
+from repro.cpu.isa import Trace
+from repro.sim.config import (CacheConfig, CoreConfig, MemoryConfig,
+                              SystemConfig)
+
+#: Two small cores; LQ deliberately shallow (8) so a closed retire gate
+#: back-pressures dispatch before the probe load enters the window.
+GADGET_CONFIG = SystemConfig(
+    cores=2,
+    core=CoreConfig(rob_entries=32, lq_entries=8, sq_sb_entries=8,
+                    mshrs=4),
+    memory=MemoryConfig(
+        l1=CacheConfig(4 * 1024, 2, 4),
+        l2=CacheConfig(16 * 1024, 4, 12),
+        l3_bank=CacheConfig(64 * 1024, 8, 35),
+        l3_banks=2,
+        prefetcher=False,
+    ),
+)
+
+_LINE = 64
+#: Gadget address map: line indices 1..16, all distinct modulo both
+#: private cache set counts (32 and 64 sets).
+SECRET_ADDR = 1 * _LINE          # S: the secret word
+BOUNDS_ADDR = 2 * _LINE          # A: the slow "bounds" load (never warm)
+_PAD_BASE = 3 * _LINE            # D1..D10: retire-pressure pad loads
+_PAD_COUNT = 10
+PROBE_BASE = 13 * _LINE          # P0..P3: the probe array
+_PROBE_WAYS = 4
+
+#: The architectural secret value; the probe access pattern encodes it.
+SECRET_VALUE = 1
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """One leakage workload: traces + warm-up + the SECRET set."""
+
+    name: str
+    description: str
+    traces: Tuple[Trace, ...]
+    warm: Tuple[Trace, ...]
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    secret: Tuple[int, ...] = (SECRET_ADDR,)
+
+    @property
+    def probe_line(self) -> int:
+        return PROBE_BASE + SECRET_VALUE * _LINE
+
+
+def _delay_chain(trace: Trace, length: int = 5, latency: int = 8) -> int:
+    """A serial ALU chain: delays the attacker's stores so the victim's
+    transient accesses perform first.  Returns the last op's index."""
+    prev = trace.append(isa.alu(latency=latency, pc=0x900))
+    for _ in range(length - 1):
+        prev = trace.append(isa.alu(deps=(prev,), latency=latency,
+                                    pc=0x900))
+    return prev
+
+
+def spectre_bcb() -> Gadget:
+    """Bounds-check bypass: M-speculation past a slow bounds load."""
+    victim = Trace()
+    bounds = victim.append(isa.load(BOUNDS_ADDR, pc=0x100))
+    secret = victim.append(isa.load(SECRET_ADDR, pc=0x104))
+    victim.append(isa.load(PROBE_BASE + SECRET_VALUE * _LINE,
+                           deps=(secret,), pc=0x108))
+    del bounds  # seq 0: unperformed for ~200 cycles, parks retirement
+    victim.validate()
+
+    attacker = Trace()
+    last = _delay_chain(attacker)
+    attacker.append(isa.store(SECRET_ADDR, deps=(last,), pc=0x910,
+                              value=0))
+    attacker.validate()
+
+    warm_victim = Trace([isa.load(SECRET_ADDR)]
+                        + [isa.load(PROBE_BASE + i * _LINE)
+                           for i in range(_PROBE_WAYS)])
+    return Gadget(
+        name="spectre-bcb",
+        description="bounds-check bypass: secret + probe loads perform "
+                    "M-speculatively behind a slow bounds load; the "
+                    "victim's secret line is invalidated, squashing "
+                    "them after the probe line is resident",
+        traces=(victim, attacker),
+        warm=(warm_victim, Trace()),
+        initial_memory={SECRET_ADDR: SECRET_VALUE},
+    )
+
+
+def spectre_slf() -> Gadget:
+    """SLF forwarding: SA-speculation in a long store-buffer window."""
+    victim = Trace()
+    st = victim.append(isa.store(SECRET_ADDR, pc=0x200,
+                                 value=SECRET_VALUE))
+    # deps=(st,): issue only once the store's address has resolved, so
+    # the load forwards instead of racing it to the (cold) cache.
+    secret = victim.append(isa.load(SECRET_ADDR, deps=(st,), pc=0x204))
+    for i in range(_PAD_COUNT):
+        victim.append(isa.load(_PAD_BASE + i * _LINE, pc=0x210 + 4 * i))
+    victim.append(isa.load(BOUNDS_ADDR, pc=0x240))
+    victim.append(isa.load(PROBE_BASE + SECRET_VALUE * _LINE,
+                           deps=(secret,), pc=0x244))
+    victim.validate()
+
+    attacker = Trace()
+    last = _delay_chain(attacker)
+    for i in range(_PROBE_WAYS):
+        attacker.append(isa.store(PROBE_BASE + i * _LINE, deps=(last,),
+                                  pc=0x920 + 4 * i, value=7))
+    attacker.validate()
+
+    warm_victim = Trace([isa.load(_PAD_BASE + i * _LINE)
+                         for i in range(_PAD_COUNT)]
+                        + [isa.load(PROBE_BASE + i * _LINE)
+                           for i in range(_PROBE_WAYS)])
+    return Gadget(
+        name="spectre-slf",
+        description="SLF window: a cold-line store forwards the secret; "
+                    "the probe load performs inside the SA-speculation "
+                    "window and the attacker's probe-array stores "
+                    "invalidate it into a squash — x86 alone confirms "
+                    "the leak; the 370 variants close the window first",
+        traces=(victim, attacker),
+        warm=(warm_victim, Trace()),
+        initial_memory={},
+    )
+
+
+#: Registry, in report order.
+GADGETS: Dict[str, Gadget] = {
+    gadget.name: gadget for gadget in (spectre_bcb(), spectre_slf())
+}

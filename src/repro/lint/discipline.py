@@ -12,6 +12,12 @@ Two families, mirroring the repo's two standing guarantees:
   ``docs/OBSERVABILITY.md`` so a disabled probe costs one attribute
   load and an ``is not None`` test, and hot-loop classes declare
   ``__slots__`` so attribute access skips the instance ``__dict__``.
+  The ``obs-*`` rules are ``obs``-scoped: they also cover the
+  observer-side packages (``obs``, ``leakage``) where watchers resolve
+  and subscribe, and ``obs-probe-registered`` checks every literal
+  probe name against the :data:`~repro.obs.bus.PROBE_SIGNATURES`
+  registry so a typo'd subscription fails lint, not silently observes
+  nothing.
 
 ``mut-default`` is repo-wide hygiene: a mutable default argument is
 shared across calls and is a classic source of cross-run state leaks.
@@ -164,7 +170,13 @@ class _ResolveScanner(LintVisitor):
                 and node.func.attr == "resolve"):
             return
         for fn in self.function_stack:
-            if getattr(fn, "name", None) in self._SETUP_FUNCS:
+            name = getattr(fn, "name", None)
+            if name in self._SETUP_FUNCS:
+                return
+            # A helper whose own name starts with ``resolve`` (e.g.
+            # ``resolve_squash_probes``) is attach-time machinery its
+            # callers invoke from their constructors.
+            if name is not None and name.startswith("resolve"):
                 return
         self.hits.append(node)
 
@@ -178,8 +190,10 @@ class ResolveOnceRule(Rule):
         "resolves each probe name once at construction (or in attach()) "
         "and caches the callback (or None) on self.  A resolve() inside "
         "a per-event method pays a dict lookup on every event even when "
-        "observability is off, defeating the no-op guarantee.")
-    scope = "hot"
+        "observability is off, defeating the no-op guarantee.  Helpers "
+        "named resolve_* (attach-time machinery like "
+        "resolve_squash_probes) are exempt.")
+    scope = "obs"
 
     def check(self, source: SourceFile) -> Iterator[Violation]:
         scanner = _ResolveScanner()
@@ -246,7 +260,7 @@ class GuardedFireRule(Rule):
         "attribute load and a pointer compare — no call, no argument "
         "tuple.  An unguarded fire crashes on NULL_BUS or, worse, pays "
         "call overhead on every event.")
-    scope = "hot"
+    scope = "obs"
 
     def check(self, source: SourceFile) -> Iterator[Violation]:
         scanner = _FireScanner()
@@ -257,6 +271,62 @@ class GuardedFireRule(Rule):
                 source, call,
                 f"unguarded probe fire {name}(...); wrap in "
                 f"`if {name} is not None:`")
+
+
+class _ProbeNameScanner(LintVisitor):
+    """Collects literal probe-name arguments to resolve()/subscribe()."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits: List[ast.Constant] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("resolve", "subscribe")
+                and node.args):
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            self.hits.append(first)
+
+
+@register
+class ProbeRegisteredRule(Rule):
+    id = "obs-probe-registered"
+    summary = "literal probe names must exist in PROBE_SIGNATURES"
+    rationale = (
+        "The bus raises on an unknown probe name at wiring time, but "
+        "only on the code path actually taken — a watcher wired behind "
+        "a flag (like the leakage instrument) can carry a typo'd "
+        "subscription for months and silently observe nothing when "
+        "finally enabled.  This rule checks every string-literal first "
+        "argument to a resolve()/subscribe() call against the "
+        "repro.obs.bus.PROBE_SIGNATURES registry, including 'prefix.*' "
+        "wildcards (which must match at least one probe).  Dynamic "
+        "names (f-strings, variables) are left to the runtime check.")
+    scope = "obs"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        from repro.obs.bus import PROBE_SIGNATURES
+        scanner = _ProbeNameScanner()
+        scanner.walk(source.tree)
+        for const in scanner.hits:
+            name = const.value
+            if name == "*" or name in PROBE_SIGNATURES:
+                continue
+            if name.endswith(".*"):
+                prefix = name[:-1]  # keep the dot, as ProbeBus._match does
+                if any(p.startswith(prefix) for p in PROBE_SIGNATURES):
+                    continue
+                yield self.violation(
+                    source, const,
+                    f"probe wildcard {name!r} matches nothing in "
+                    f"PROBE_SIGNATURES")
+                continue
+            yield self.violation(
+                source, const,
+                f"unknown probe name {name!r}; register it in "
+                f"repro.obs.bus.PROBE_SIGNATURES or fix the typo")
 
 
 def _is_dataclass_slots(decorator: ast.AST) -> bool:

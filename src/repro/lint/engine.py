@@ -8,6 +8,11 @@ declare a *scope*:
 ``hot``
     only files in the determinism-critical packages
     (:data:`HOT_PACKAGES` under ``repro/``) are checked;
+``obs``
+    the hot packages plus the observer-side packages
+    (:data:`OBS_PACKAGES`): the probe-discipline rules hold wherever
+    probes are resolved, fired, *or consumed* — including the leakage
+    watcher, which subscribes from outside the hot loop;
 ``all``
     every file under the linted tree is checked.
 
@@ -42,6 +47,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 #: simulation hot loop; the determinism and zero-overhead rules apply
 #: here (everything else only gets the repo-wide hygiene rules).
 HOT_PACKAGES = ("sim", "cpu", "core", "coherence", "noc", "memory")
+
+#: The hot packages plus the packages that *consume* probes (the obs
+#: stack and the leakage instrument).  The ``obs-*`` probe-discipline
+#: rules apply here: a watcher that resolves per-event or subscribes to
+#: a misspelled probe breaks the observability contract just as surely
+#: as a bad fire site in the pipeline.
+OBS_PACKAGES = HOT_PACKAGES + ("obs", "leakage")
 
 _SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*(file-)?ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
@@ -133,6 +145,10 @@ class SourceFile:
     def is_hot(self) -> bool:
         return self.package in HOT_PACKAGES
 
+    @property
+    def is_obs(self) -> bool:
+        return self.package in OBS_PACKAGES
+
 
 def package_of(path: str) -> Optional[str]:
     """The ``repro`` sub-package a file belongs to (``"cpu"`` for
@@ -189,7 +205,7 @@ class Rule:
     Subclasses set :attr:`id` (kebab-case, stable — it is the
     suppression key), :attr:`summary`, :attr:`rationale` (one paragraph,
     rendered by ``repro lint --rules`` and the docs), and :attr:`scope`
-    (``"hot"`` or ``"all"``), and implement :meth:`check`.
+    (``"hot"``, ``"obs"`` or ``"all"``), and implement :meth:`check`.
     """
 
     id: str = ""
@@ -200,6 +216,8 @@ class Rule:
     def applies_to(self, source: SourceFile) -> bool:
         if self.scope == "all":
             return True
+        if self.scope == "obs":
+            return source.is_obs
         return source.is_hot
 
     def check(self, source: SourceFile) -> Iterator[Violation]:
@@ -223,7 +241,7 @@ def register(cls: type) -> type:
         raise ValueError(f"{cls.__name__} has no rule id")
     if rule.id in _REGISTRY:
         raise ValueError(f"duplicate rule id {rule.id!r}")
-    if rule.scope not in ("hot", "all"):
+    if rule.scope not in ("hot", "obs", "all"):
         raise ValueError(f"{rule.id}: unknown scope {rule.scope!r}")
     _REGISTRY[rule.id] = rule
     return cls

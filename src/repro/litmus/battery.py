@@ -174,6 +174,59 @@ SB_BOTH_RMW_CASE = LitmusCase(
                 "locked operations restore st->ld order (the classic "
                 "Dekker fix).")
 
+# ----------------------------------------------------------------------
+# Spectre gadget programs (architectural views of repro.leakage.GADGETS).
+#
+# These are the *architectural* faces of the transient-execution gadgets
+# the leakage instrument measures: same access pattern, ``secret``
+# annotation carried on the Program.  Their witnesses are deliberately
+# SC-allowed under every model — architecturally the gadgets are boring,
+# which is exactly the point: the leak exists only microarchitecturally,
+# in the lines a squashed load leaves resident.  Run ``repro litmus
+# spectre-bcb`` for the architectural outcomes and ``repro leak
+# spectre-bcb`` for what the pipeline actually exposed.  (Compiled
+# litmus programs flatten register dataflow into independent micro-ops,
+# so the measurement vehicle is the hand-built Trace in
+# :mod:`repro.leakage.gadgets`, not a compilation of these.)
+# ----------------------------------------------------------------------
+
+SPECTRE_BCB = make_program(
+    "spectre-bcb",
+    [
+        [Ld("a", "ra"), Ld("s", "rs"), Ld("p", "rp")],   # victim
+        [St("s", 0)],                                    # attacker
+    ],
+    initial={"s": 1},
+    secret=("s",))
+
+SPECTRE_BCB_CASE = LitmusCase(
+    program=SPECTRE_BCB,
+    witness=(("r0_rs", 1),),
+    expected=(("SC", True), ("370", True), ("x86", True), ("PC", True)),
+    description="spectre-bcb (architectural): the victim reading the "
+                "secret before the attacker clears it is a plain "
+                "SC-allowed interleaving — every model permits it.  The "
+                "vulnerability is microarchitectural (repro leak).")
+
+SPECTRE_SLF = make_program(
+    "spectre-slf",
+    [
+        [St("s", 1), Ld("s", "rs"), Ld("a", "ra"), Ld("p", "rp")],
+        [St("p", 7)],                                    # attacker
+    ],
+    secret=("s",))
+
+SPECTRE_SLF_CASE = LitmusCase(
+    program=SPECTRE_SLF,
+    witness=(("r0_rs", 1),),
+    expected=(("SC", True), ("370", True), ("x86", True), ("PC", True)),
+    description="spectre-slf (architectural): the victim always sees "
+                "its own store (self-read), in every model.  Whether "
+                "the forwarded value transiently reaches the cache "
+                "through the probe load is the policy-dependent part "
+                "(repro leak: x86 leaks, the 370 variants do not).")
+
 #: The extended battery (PC verdicts included where RMW-free).
 EXTRA_CASES = (LB_CASE, W22_CASE, WRC_CASE, RWC_CASE, N5_CASE, CORR_CASE,
-               SB_ONE_RMW_CASE, SB_BOTH_RMW_CASE)
+               SB_ONE_RMW_CASE, SB_BOTH_RMW_CASE, SPECTRE_BCB_CASE,
+               SPECTRE_SLF_CASE)

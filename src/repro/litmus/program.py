@@ -89,11 +89,18 @@ class Outcome:
 
 @dataclass(frozen=True)
 class Program:
-    """A litmus test: named threads plus initial memory (defaults to 0)."""
+    """A litmus test: named threads plus initial memory (defaults to 0).
+
+    ``secret`` marks addresses holding SECRET data for the leakage
+    instrument (:mod:`repro.leakage`): architectural engines ignore it,
+    but gadget programs carry it so the taint analysis knows which
+    locations a transient access must not encode.
+    """
 
     name: str
     threads: Tuple[Tuple[Instruction, ...], ...]
     initial: Tuple[Tuple[str, int], ...] = ()
+    secret: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.threads:
@@ -139,9 +146,11 @@ class Program:
 
 
 def make_program(name: str, threads: Sequence[Sequence[Instruction]],
-                 initial: Dict[str, int] = None) -> Program:
+                 initial: Dict[str, int] = None,
+                 secret: Sequence[str] = ()) -> Program:
     """Convenience constructor from lists/dicts."""
     return Program(
         name=name,
         threads=tuple(tuple(thread) for thread in threads),
-        initial=tuple(sorted((initial or {}).items())))
+        initial=tuple(sorted((initial or {}).items())),
+        secret=tuple(secret))

@@ -41,9 +41,10 @@ class TrafficStats:
 class Network:
     """Delivers callbacks after the configured message latency."""
 
-    __slots__ = ("engine", "config", "stats", "fault_delay")
+    __slots__ = ("engine", "config", "stats", "fault_delay", "_p_msg")
 
-    def __init__(self, engine: Engine, config: NetworkConfig) -> None:
+    def __init__(self, engine: Engine, config: NetworkConfig,
+                 probes=None) -> None:
         self.engine = engine
         self.config = config
         self.stats = TrafficStats()
@@ -51,6 +52,8 @@ class Network:
         # to add to one message's latency.  None when no plan installed;
         # the cost is then one attribute load per send.
         self.fault_delay: Optional[Callable[[str], int]] = None
+        self._p_msg = probes.resolve("noc.msg") \
+            if probes is not None else None
 
     def latency(self, msg_class: str) -> int:
         if msg_class == DATA:
@@ -63,6 +66,8 @@ class Network:
              *args: Any) -> None:
         """Send a message: ``deliver(*args)`` runs after the link latency."""
         self.stats.count(msg_class)
+        if self._p_msg is not None:
+            self._p_msg(self.engine.now, msg_class)
         delay = self.latency(msg_class)
         if self.fault_delay is not None:
             delay += self.fault_delay(msg_class)

@@ -48,7 +48,29 @@ PROBE_SIGNATURES: Dict[str, str] = {
     "squash.fault": "(core_id, cycle, from_seq, flushed)",
     "mesi.inval": "(core_id, cycle, line, requestor, present)",
     "mesi.evict": "(core_id, cycle, line)",
+    # spec: bit 1 = M-speculative (performed past an older unperformed
+    # load), bit 2 = SA-speculative under the active policy's floor.
+    "load.perform": "(core_id, cycle, seq, addr, line, slf, spec)",
+    "cache.fill": "(core_id, cycle, line)",
+    "prefetch.issue": "(core_id, cycle, line)",
+    "noc.msg": "(cycle, msg_class)",
 }
+
+#: Every squash reason the pipeline can fire, in probe-name order.
+#: ``pipeline._squash``, the obs SquashWatcher and the leakage watcher
+#: all iterate this tuple so a new reason cannot be half-wired.
+SQUASH_REASONS = ("inval", "evict", "memdep", "fault")
+
+
+def resolve_squash_probes(bus: "ProbeBus") -> Dict[str, Optional[ProbeFn]]:
+    """Resolve the per-reason ``squash.*`` probes once, at attach time.
+
+    Shared by the pipeline (fire side) and the watchers (shape side) so
+    every squash lane carries the same ``(core_id, cycle, from_seq,
+    flushed)`` payload.
+    """
+    return {reason: bus.resolve(f"squash.{reason}")
+            for reason in SQUASH_REASONS}
 
 
 def _check_name(name: str) -> None:

@@ -12,7 +12,13 @@ format accepted by ``chrome://tracing`` and https://ui.perfetto.dev):
   gate-closed interval, named by the locking store-buffer key;
 * **occupancy counters** ("C" events): ROB / LQ / SB depth and the
   gate bit from the periodic sampler;
-* **squash instants** ("i" events) on the gate track.
+* **squash instants** ("i" events) on the gate track;
+* **leakage track** (``tid = 999``, thread name "leakage"), present
+  only when a :class:`~repro.leakage.watcher.LeakReport` is supplied:
+  one slice per confirmed transient leak spanning its speculation
+  window (perform → squash), args carrying the taint provenance
+  (originating secret-load seq, spec bits, squash reason), plus
+  instant markers for exposed (never-squashed) candidates.
 
 Cycles are emitted as microseconds (1 cycle = 1 us) — Perfetto needs a
 time unit and the absolute scale is meaningless for a simulator, so the
@@ -25,6 +31,7 @@ import json
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.leakage.watcher import LeakReport
     from repro.obs.session import ObsReport
     from repro.sim.pipetrace import PipeTracer
     from repro.sim.system import System
@@ -32,6 +39,8 @@ if TYPE_CHECKING:  # pragma: no cover
 #: tid of the per-core gate/squash track; instruction lanes start above.
 GATE_TID = 0
 _INSN_TID_BASE = 1
+#: tid of the per-core leakage track — far above any instruction lane.
+LEAK_TID = 999
 
 _KIND_COLORS = {
     "load": "thread_state_running",
@@ -161,29 +170,64 @@ def _core_counter_events(core_id: int,
     return events
 
 
+def _instant(name: str, cat: str, pid: int, tid: int, ts: int,
+             args: Dict) -> Dict:
+    """The one shape every thread-scoped instant marker uses (squash
+    and leakage tracks both emit these)."""
+    return {"name": name, "cat": cat, "ph": "i", "s": "t",
+            "pid": pid, "tid": tid, "ts": ts, "args": args}
+
+
 def _squash_instants(report: "ObsReport") -> List[Dict]:
+    return [
+        _instant(f"squash:{reason}", "squash", core_id, GATE_TID, cycle,
+                 {"from_seq": from_seq, "flushed": flushed})
+        for core_id, cycle, from_seq, reason, flushed
+        in report.squash_events
+    ]
+
+
+def _leak_events(leak_report: "LeakReport") -> List[Dict]:
+    """The leakage track: confirmed leaks as window-wide slices,
+    exposed candidates as instants, named thread per leaking core."""
     events: List[Dict] = []
-    for core_id, cycle, from_seq, reason, flushed in report.squash_events:
+    cores = {c.core_id
+             for c in leak_report.confirmed + leak_report.exposed}
+    for core_id in sorted(cores):
         events.append({
-            "name": f"squash:{reason}",
-            "cat": "squash",
-            "ph": "i",
-            "s": "t",                       # thread-scoped instant
-            "pid": core_id,
-            "tid": GATE_TID,
-            "ts": cycle,
-            "args": {"from_seq": from_seq, "flushed": flushed},
+            "name": "thread_name", "ph": "M", "pid": core_id,
+            "tid": LEAK_TID, "args": {"name": "leakage"},
         })
+    for leak in leak_report.confirmed:
+        events.append({
+            "name": f"leak line {leak.line} (secret #{leak.source})",
+            "cat": "leak",
+            "ph": "X",
+            "pid": leak.core_id,
+            "tid": LEAK_TID,
+            "ts": leak.cycle,
+            "dur": max(leak.window, 1),
+            "cname": "terrible",
+            "args": leak.to_dict(),
+        })
+        events.append(_instant(f"squashed:{leak.squash_reason}", "leak",
+                               leak.core_id, LEAK_TID, leak.squash_cycle,
+                               {"seq": leak.seq, "line": leak.line}))
+    for leak in leak_report.exposed:
+        events.append(_instant(f"exposed line {leak.line}", "leak",
+                               leak.core_id, LEAK_TID, leak.cycle,
+                               leak.to_dict()))
     return events
 
 
 def build_chrome_trace(system: "System", report: "ObsReport",
-                       stats=None) -> Dict:
+                       stats=None, leak_report=None) -> Dict:
     """Assemble the Trace Event Format dict for one finished run.
 
     ``system`` supplies the per-core :class:`PipeTracer` objects (cores
     without a tracer simply contribute no instruction slices);
-    ``report`` supplies gate intervals, samples, and squash events.
+    ``report`` supplies gate intervals, samples, and squash events;
+    ``leak_report`` (optional) adds the per-core leakage track.
     """
     events: List[Dict] = []
     for core in system.cores:
@@ -202,6 +246,8 @@ def build_chrome_trace(system: "System", report: "ObsReport",
                 core_id, core.tracer, report.end_cycle))
         events.extend(_core_counter_events(core_id, report))
     events.extend(_squash_instants(report))
+    if leak_report is not None:
+        events.extend(_leak_events(leak_report))
 
     metadata = {
         "policy": report.policy,
@@ -213,6 +259,9 @@ def build_chrome_trace(system: "System", report: "ObsReport",
         total = stats.total
         metadata["retired"] = total.retired_instructions
         metadata["gate_closes"] = total.gate_closes
+    if leak_report is not None:
+        metadata["leaks"] = len(leak_report.confirmed)
+        metadata["leaked_lines"] = leak_report.leaked_lines
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -221,9 +270,9 @@ def build_chrome_trace(system: "System", report: "ObsReport",
 
 
 def write_chrome_trace(path, system: "System", report: "ObsReport",
-                       stats=None) -> Dict:
+                       stats=None, leak_report=None) -> Dict:
     """Build and write the trace JSON; returns the built dict."""
-    trace = build_chrome_trace(system, report, stats)
+    trace = build_chrome_trace(system, report, stats, leak_report)
     with open(path, "w") as fh:
         json.dump(trace, fh)
     return trace

@@ -25,7 +25,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
-from repro.obs.bus import ProbeBus
+from repro.obs.bus import SQUASH_REASONS, ProbeBus
 from repro.obs.samplers import LogHistogram, OccupancySampler, Sample
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -154,7 +154,7 @@ class SquashWatcher:
         self.flushed: Dict[str, int] = {}
         self.events: List[tuple] = []     # (core, cycle, seq, reason, n)
         self.limit = limit
-        for reason in ("inval", "evict", "memdep"):
+        for reason in SQUASH_REASONS:
             bus.subscribe(f"squash.{reason}",
                           self._handler_for(reason))
 

@@ -11,7 +11,10 @@ loads it into Perfetto:
 * counter events carry numeric values only;
 * gate-closed slice count (cat == "gate") equals
   ``otherData.gate_closes`` when present — the acceptance criterion
-  that the trace agrees with ``CoreStats.gate_closes`` exactly.
+  that the trace agrees with ``CoreStats.gate_closes`` exactly;
+* leak slice count (cat == "leak" complete events) equals
+  ``otherData.leaks`` when present — same contract for the leakage
+  track against the :class:`~repro.leakage.watcher.LeakReport`.
 
 Also a CLI (used by the CI smoke step)::
 
@@ -51,6 +54,7 @@ def validate_chrome_trace(trace: Dict) -> Dict[str, int]:
 
     counts: Dict[str, int] = {ph: 0 for ph in _PHASES}
     gate_slices = 0
+    leak_slices = 0
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -76,6 +80,8 @@ def validate_chrome_trace(trace: Dict) -> Dict[str, int]:
                 _fail(f"{where}: bad dur {dur!r} (slices need dur >= 1)")
             if event.get("cat") == "gate":
                 gate_slices += 1
+            elif event.get("cat") == "leak":
+                leak_slices += 1
         if ph == "C":
             args = event.get("args")
             if not isinstance(args, dict) or not args:
@@ -89,7 +95,12 @@ def validate_chrome_trace(trace: Dict) -> Dict[str, int]:
     if expected is not None and gate_slices != expected:
         _fail(f"gate-closed slice count {gate_slices} != "
               f"otherData.gate_closes {expected}")
+    expected_leaks = other.get("leaks")
+    if expected_leaks is not None and leak_slices != expected_leaks:
+        _fail(f"leak slice count {leak_slices} != "
+              f"otherData.leaks {expected_leaks}")
     counts["gate_slices"] = gate_slices
+    counts["leak_slices"] = leak_slices
     return counts
 
 

@@ -26,8 +26,8 @@ same cell.  See ``docs/SERVICE.md``.
 from repro.serve.api import HttpApi, ServeService
 from repro.serve.client import DEFAULT_URL, ServeClient, ServeError
 from repro.serve.jobs import (JOB_KINDS, Job, JobValidationError,
-                              LitmusSpec, execute_request, parse_request,
-                              request_key)
+                              LeakSpec, LitmusSpec, execute_request,
+                              parse_request, request_key)
 from repro.serve.store import ResultStore
 from repro.serve.workers import ShardedWorkerPool, StuckShardError
 
@@ -37,6 +37,7 @@ __all__ = [
     "JOB_KINDS",
     "Job",
     "JobValidationError",
+    "LeakSpec",
     "LitmusSpec",
     "ResultStore",
     "ServeClient",

@@ -11,6 +11,9 @@ exist:
   cell — and the two share one cache namespace.
 * ``litmus`` — enumerate a named litmus test under one or more memory
   models; the result is the sorted outcome strings per model.
+* ``leak`` — run one Spectre gadget from :mod:`repro.leakage` under one
+  or more policies with taint-based leakage tracking; the result is the
+  per-policy leakage report (``SystemStats.leakage``).
 
 Every request derives an **idempotency key**: the same content hash the
 sweep cache uses (:func:`~repro.sweep.runner.job_key` /
@@ -40,7 +43,7 @@ from repro.sweep.runner import (SweepJob, execute_job, job_key,
                                 with_deadline)
 
 #: Request kinds accepted by ``POST /v1/jobs``.
-JOB_KINDS = ("bench", "sweep", "litmus")
+JOB_KINDS = ("bench", "sweep", "litmus", "leak")
 
 #: Default priority; lower runs earlier within a shard.
 DEFAULT_PRIORITY = 100
@@ -67,8 +70,17 @@ class LitmusSpec:
     models: Tuple[str, ...] = MODELS
 
 
-#: What a job executes: a sweep cell or a litmus enumeration.
-JobSpec = Union[SweepJob, LitmusSpec]
+@dataclass(frozen=True)
+class LeakSpec:
+    """One leakage-gadget request: a named Spectre gadget under a tuple
+    of policies, run with taint tracking attached."""
+
+    gadget: str
+    policies: Tuple[str, ...] = tuple(POLICY_ORDER)
+
+
+#: What a job executes: a sweep cell, litmus enumeration, or leak run.
+JobSpec = Union[SweepJob, LitmusSpec, LeakSpec]
 
 
 # ----------------------------------------------------------------------
@@ -133,6 +145,33 @@ def parse_request(data: object) -> "Tuple[str, JobSpec, int]":
                 f"unknown model(s) {bad}", {"models": list(MODELS)})
         return kind, LitmusSpec(name, tuple(models)), priority
 
+    if kind == "leak":
+        allowed = {"kind", "priority", "gadget", "policies"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise JobValidationError(
+                f"unknown field(s) for a leak job: {unknown}")
+        gadget = data.get("gadget")
+        if not isinstance(gadget, str):
+            raise JobValidationError("leak jobs need a 'gadget' string")
+        from repro.leakage import GADGETS
+        if gadget not in GADGETS:
+            raise JobValidationError(
+                f"unknown gadget {gadget!r}", {"known": sorted(GADGETS)})
+        policies = data.get("policies")
+        if policies is None:
+            policies = list(POLICY_ORDER)
+        if (not isinstance(policies, list) or not policies
+                or not all(isinstance(p, str) for p in policies)):
+            raise JobValidationError(
+                "'policies' must be a non-empty list of policy names")
+        bad = sorted(set(policies) - set(POLICY_ORDER))
+        if bad:
+            raise JobValidationError(
+                f"unknown policy(ies) {bad}",
+                {"policies": list(POLICY_ORDER)})
+        return kind, LeakSpec(gadget, tuple(policies)), priority
+
     # bench / sweep: a SweepJob in wire form.
     spec_fields = {k: v for k, v in data.items()
                    if k not in ("kind", "priority")}
@@ -167,6 +206,9 @@ def spec_to_dict(kind: str, spec: JobSpec) -> Dict:
     if isinstance(spec, LitmusSpec):
         return {"kind": "litmus", "name": spec.name,
                 "models": list(spec.models)}
+    if isinstance(spec, LeakSpec):
+        return {"kind": "leak", "gadget": spec.gadget,
+                "policies": list(spec.policies)}
     out = {"kind": kind}
     out.update(spec.to_dict())
     return out
@@ -183,6 +225,14 @@ def request_key(spec: JobSpec) -> str:
     """
     if isinstance(spec, SweepJob):
         return job_key(spec)
+    if isinstance(spec, LeakSpec):
+        return content_key({
+            "schema": 1,
+            "kind": "leak",
+            "gadget": spec.gadget,
+            "policies": list(spec.policies),
+            "code": code_version(),
+        })
     return content_key({
         "schema": 1,
         "kind": "litmus",
@@ -211,6 +261,24 @@ def execute_litmus(spec: LitmusSpec) -> Dict:
     }
 
 
+def execute_leak(spec: LeakSpec) -> Dict:
+    """Run one gadget under each requested policy with tracking on."""
+    from repro.leakage import GADGETS, leak_run
+
+    gadget = GADGETS[spec.gadget]
+    policies: Dict[str, Dict] = {}
+    for policy in spec.policies:
+        stats, _report, _system = leak_run(gadget, policy)
+        policies[policy] = stats.leakage
+    return {
+        "kind": "leak",
+        "gadget": spec.gadget,
+        "policies": policies,
+        "leaked_lines": {policy: len(report["leaked_lines"])
+                         for policy, report in policies.items()},
+    }
+
+
 def execute_request(spec: JobSpec, timeout: Optional[float] = None,
                     cache_dir: Optional[str] = None) -> Dict:
     """Run one job spec to completion under the deadline guard.
@@ -224,6 +292,9 @@ def execute_request(spec: JobSpec, timeout: Optional[float] = None,
     if isinstance(spec, SweepJob):
         return with_deadline(lambda: execute_job(spec, cache_dir), timeout,
                              f"{spec.name}/{spec.policy}")
+    if isinstance(spec, LeakSpec):
+        return with_deadline(lambda: execute_leak(spec), timeout,
+                             f"leak:{spec.gadget}")
     return with_deadline(lambda: execute_litmus(spec), timeout,
                          f"litmus:{spec.name}")
 

@@ -284,6 +284,10 @@ class ShardedWorkerPool:
             self.store.put(job.key, payload)
             shard.executed += 1
             self.metrics.inc("jobs_executed")
+            if payload.get("kind") == "leak":
+                self.metrics.inc("leak_jobs_executed")
+                self.metrics.inc("leak_lines_found",
+                                 sum(payload["leaked_lines"].values()))
         else:
             shard.failed += 1
             self.metrics.inc("jobs_failed")

@@ -134,6 +134,10 @@ class SystemStats:
     # Interconnect traffic (message counts by class) — used to check the
     # paper's Section VI claim that the proposal adds no extra snoops.
     network_messages: Dict[str, int] = field(default_factory=dict)
+    # Leakage report attached by repro.leakage.leak_run (empty — and
+    # absent from to_dict() — on every unobserved run, so existing
+    # serialized stats stay byte-identical).
+    leakage: Dict = field(default_factory=dict)
 
     @property
     def network_total(self) -> int:
@@ -151,7 +155,7 @@ class SystemStats:
     def to_dict(self) -> Dict:
         """JSON-serializable form; exact under round-trip (all counters
         are ints).  Core ids become string keys, as JSON requires."""
-        return {
+        out = {
             "per_core": {str(cid): stats.to_dict()
                          for cid, stats in self.per_core.items()},
             "execution_cycles": self.execution_cycles,
@@ -159,6 +163,9 @@ class SystemStats:
             "evictions": self.evictions,
             "network_messages": dict(self.network_messages),
         }
+        if self.leakage:
+            out["leakage"] = dict(self.leakage)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SystemStats":
@@ -169,6 +176,7 @@ class SystemStats:
             invalidations_sent=data["invalidations_sent"],
             evictions=data["evictions"],
             network_messages=dict(data["network_messages"]),
+            leakage=dict(data.get("leakage", {})),
         )
 
     def to_json(self, indent: int = None) -> str:
@@ -188,11 +196,19 @@ class SystemStats:
         * the head cannot have been gate-blocked for longer than the
           gate was actually held closed (in-order retirement means the
           blocked head retires the same cycle the gate opens);
-        * the per-key lock breakdown sums to the lock total.
+        * the per-key lock breakdown sums to the lock total;
+        * squash episodes sum across the per-reason counters (inval,
+          evict, memdep, fault) — every squash has exactly one cause.
 
         Raises ``AssertionError`` with the offending core on violation.
         """
         for cid, stats in self.per_core.items():
+            by_reason = (stats.squashes_inval + stats.squashes_evict
+                         + stats.squashes_memdep + stats.squashes_fault)
+            if by_reason != stats.squashes:
+                raise AssertionError(
+                    f"core {cid}: per-reason squashes {by_reason} != "
+                    f"squashes={stats.squashes}")
             if stats.gate_closes != stats.gate_opens:
                 raise AssertionError(
                     f"core {cid}: gate_closes={stats.gate_closes} != "

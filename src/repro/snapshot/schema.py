@@ -62,7 +62,7 @@ SNAPSHOT_SCHEMA: Dict[str, Dict[str, FrozenSet[str]]] = {
                    "_trace_len", "_issue_width", "_retire_width",
                    "controller", "policy", "on_finish", "probe_bus",
                    "_p_slf_forward", "_p_sb_write", "_p_gate_stall",
-                   "_p_squash"),
+                   "_p_squash", "_p_load_perform"),
     ),
     "StoreBuffer": _entry(
         covered=("_bits", "_head", "_tail"),
@@ -109,6 +109,7 @@ SNAPSHOT_SCHEMA: Dict[str, Dict[str, FrozenSet[str]]] = {
         empty=("txns", "txn_queue", "wb_buffer"),
         transient=("system", "core_id", "removal_listener", "mshrs",
                    "fault_store_delay", "_p_inval", "_p_evict",
+                   "_p_fill", "_p_prefetch",
                    "line_bytes", "_line_pow2", "_line_mask"),
     ),
     "DirectoryBank": _entry(
@@ -124,7 +125,7 @@ SNAPSHOT_SCHEMA: Dict[str, Dict[str, FrozenSet[str]]] = {
     ),
     "Network": _entry(
         covered=("stats",),
-        transient=("engine", "config", "fault_delay"),
+        transient=("engine", "config", "fault_delay", "_p_msg"),
     ),
     "TrafficStats": _entry(covered=("messages",)),
 }

@@ -1,0 +1,14 @@
+"""Positive fixture: the obs discipline reaches the leakage package.
+
+An observer-side component that re-fires a cached probe without the
+``is not None`` guard crashes on NULL_BUS exactly like a bad pipeline
+fire site — the ``obs`` scope makes that a lint failure here too.
+"""
+
+
+class LeakForwarder:
+    def __init__(self, bus):
+        self._p_fill = bus.resolve("cache.fill")
+
+    def on_event(self, core_id, cycle, line):
+        self._p_fill(core_id, cycle, line)

@@ -1,0 +1,23 @@
+"""Negative fixture: a leakage-style watcher that follows the contract.
+
+Subscribes in ``__init__`` (before the System is built), names every
+probe by its registered name, and guards the one probe it re-fires.
+"""
+
+
+class CleanLeakWatcher:
+    def __init__(self, bus):
+        self._p_fill = bus.resolve("cache.fill")
+        bus.subscribe("load.perform", self._on_perform)
+        bus.subscribe("squash.*", self._on_squash)
+        bus.subscribe("noc.msg", self._on_noc)
+
+    def _on_perform(self, core_id, cycle, seq, addr, line, slf, spec):
+        if self._p_fill is not None:
+            self._p_fill(core_id, cycle, line)
+
+    def _on_squash(self, core_id, cycle, from_seq, flushed):
+        pass
+
+    def _on_noc(self, cycle, msg_class):
+        pass

@@ -1,0 +1,16 @@
+"""Positive fixture: probe names the registry has never heard of."""
+
+
+class TypoWatcher:
+    """Wired behind a flag, so the runtime check never sees the typos."""
+
+    def __init__(self, bus):
+        self._p_fill = bus.resolve("cache.fil")
+        bus.subscribe("laod.perform", self._on_perform)
+        bus.subscribe("nosuch.*", self._on_anything)
+
+    def _on_perform(self, *args):
+        pass
+
+    def _on_anything(self, *args):
+        pass

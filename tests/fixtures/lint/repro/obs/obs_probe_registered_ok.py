@@ -1,0 +1,22 @@
+"""Negative fixture: registered names, live wildcards, dynamic names."""
+
+
+class WiredWatcher:
+    def __init__(self, bus, reason, topic):
+        self._p_fill = bus.resolve("cache.fill")
+        bus.subscribe("squash.*", self._on_squash)
+        bus.subscribe("*", self._on_any)
+        # Dynamic names are the bus's problem, not the linter's.
+        bus.subscribe(f"squash.{reason}", self._on_squash)
+        bus.subscribe(topic, self._on_any)
+
+    def _on_squash(self, *args):
+        pass
+
+    def _on_any(self, *args):
+        pass
+
+
+def unrelated_resolve(path):
+    # resolve() without a string literal (pathlib-style) is not a probe.
+    return path.resolve()

@@ -6,7 +6,7 @@ class Component:
     __slots__ = ("_p_tick",)
 
     def __init__(self, bus):
-        self._p_tick = bus.resolve("component.tick")
+        self._p_tick = bus.resolve("cache.fill")
 
     def tick(self, now):
         self._p_tick(now)

@@ -5,8 +5,8 @@ class Component:
     __slots__ = ("_p_tick", "_p_done")
 
     def __init__(self, bus):
-        self._p_tick = bus.resolve("component.tick")
-        self._p_done = bus.resolve("component.done")
+        self._p_tick = bus.resolve("cache.fill")
+        self._p_done = bus.resolve("prefetch.issue")
 
     def tick(self, now):
         if self._p_tick is not None:

@@ -8,6 +8,6 @@ class Component:
         self.bus = bus
 
     def tick(self, now):
-        probe = self.bus.resolve("component.tick")
+        probe = self.bus.resolve("cache.fill")
         if probe is not None:
             probe(now)

@@ -5,7 +5,7 @@ class Component:
     __slots__ = ("_p_tick",)
 
     def __init__(self, bus):
-        self._p_tick = bus.resolve("component.tick")
+        self._p_tick = bus.resolve("cache.fill")
 
     def tick(self, now):
         if self._p_tick is not None:
@@ -16,7 +16,7 @@ class Attachable:
     __slots__ = ("_p_event",)
 
     def attach(self, bus):
-        self._p_event = bus.resolve("attachable.event")
+        self._p_event = bus.resolve("noc.msg")
 
     def fire(self, now):
         if self._p_event is not None:

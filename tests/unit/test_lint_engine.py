@@ -135,6 +135,38 @@ def test_hot_rules_do_not_apply_outside_hot_packages():
     assert report.violations == []
 
 
+def test_obs_rules_reach_the_leakage_package():
+    # leakage/ is not a hot package (hot-slots etc. stay off), but the
+    # probe-discipline rules are obs-scoped and apply there.
+    tripped = _rules_tripped(
+        _fixture("leakage", "obs_guarded_fire_bad_watcher.py"))
+    assert tripped == {"obs-guarded-fire"}
+
+
+def test_probe_registered_names_bad_probe_in_message():
+    report = run_lint([_fixture("obs", "obs_probe_registered_bad.py")])
+    assert {v.rule for v in report.violations} == {"obs-probe-registered"}
+    messages = "\n".join(v.message for v in report.violations)
+    assert "'cache.fil'" in messages
+    assert "'laod.perform'" in messages
+    assert "matches nothing" in messages       # the dead wildcard
+
+
+def test_resolve_helper_functions_are_exempt(tmp_path):
+    # resolve_* helpers (attach-time machinery, e.g.
+    # resolve_squash_probes) may call bus.resolve outside __init__.
+    hot = tmp_path / "repro" / "obs"
+    hot.mkdir(parents=True)
+    target = hot / "helpers.py"
+    target.write_text(textwrap.dedent("""\
+        def resolve_squash_probes(bus):
+            return {r: bus.resolve("squash." + r)
+                    for r in ("inval", "evict")}
+    """))
+    report = run_lint([str(target)], rules=["obs-resolve-once"])
+    assert report.violations == []
+
+
 def test_package_of_keys_on_last_repro_component():
     assert package_of("src/repro/cpu/pipeline.py") == "cpu"
     assert package_of(_fixture("sim", "hot_slots_bad.py")) == "sim"
@@ -206,4 +238,4 @@ def test_rule_listing_has_docs_for_every_rule():
     for rule_id, rule in registered_rules().items():
         assert rule.summary, rule_id
         assert rule.rationale, rule_id
-        assert rule.scope in ("hot", "all")
+        assert rule.scope in ("hot", "obs", "all")

@@ -85,8 +85,16 @@ class TestNullBus:
         assert not NULL_BUS.active
 
 
+#: Fabric-wide probes with no owning core; everything else leads with
+#: ``(core_id, cycle, ...)``.
+SYSTEM_SCOPED = {"noc.msg"}
+
+
 def test_every_signature_documents_core_and_cycle():
     """All probes lead with (core_id, cycle, ...) so watchers can be
-    written uniformly."""
+    written uniformly; system-scoped ones still lead with the cycle."""
     for name, signature in PROBE_SIGNATURES.items():
-        assert signature.startswith("(core_id, cycle"), name
+        if name in SYSTEM_SCOPED:
+            assert signature.startswith("(cycle"), name
+        else:
+            assert signature.startswith("(core_id, cycle"), name

@@ -1,0 +1,122 @@
+"""Satellite coverage: every squash reason fires its ``squash.<reason>``
+probe, under every policy, with the probe count exactly matching the
+per-reason stats counter — including the injected ``fault`` reason under
+a seeded FaultPlan.
+
+Each reason gets a dedicated workload known to trigger it:
+
+* ``memdep`` — a load issued past an unresolved same-address store;
+* ``inval``  — a remote store invalidating a speculatively-read line
+  (cold caches, two contending cores);
+* ``evict``  — same-set conflict loads under ``l1_evict_squash=True``;
+* ``fault``  — spurious squashes from a seeded
+  :class:`~repro.resilience.faults.FaultPlan`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import POLICY_ORDER
+from repro.cpu.isa import Trace, alu, load, store
+from repro.obs.bus import SQUASH_REASONS, ProbeBus, resolve_squash_probes
+from repro.resilience import FaultPlan, FaultSpec
+from repro.sim.config import TINY
+from repro.sim.system import System
+
+
+def _memdep_workload():
+    trace = Trace()
+    for _ in range(10):
+        slow = trace.append(alu(latency=3))
+        trace.append(store(0x3000, deps=(slow,), pc=0x30))
+        trace.append(load(0x3000, pc=0x40))
+        trace.append(alu())
+    return [trace], TINY, None
+
+
+def _inval_workload():
+    reader = Trace()
+    for i in range(40):
+        reader.append(load(0x80000 + 64 * i))   # cold miss: slow head
+        reader.append(load(0x7000))             # shared hot line
+    writer = Trace()
+    prev = None
+    for _ in range(40):
+        writer.append(store(0x7000))
+        for _ in range(3):
+            prev = writer.append(
+                alu(deps=(prev,) if prev is not None else (), latency=3))
+    return [reader, writer], TINY, None
+
+
+def _evict_workload():
+    config = dataclasses.replace(
+        TINY, core=dataclasses.replace(TINY.core, l1_evict_squash=True))
+    trace = Trace()
+    for i in range(20):
+        trace.append(load(0x80000 + 4096 * i))  # cold slow head
+        trace.append(load(0x7000))              # speculative hot line
+        for k in range(1, 4):                   # same-set conflicts
+            trace.append(load(0x7000 + 0x800 * k))
+    return [trace], config, None
+
+
+def _fault_workload():
+    trace = Trace()
+    for i in range(50):
+        trace.append(load(0x80000 + 64 * i))
+        trace.append(alu())
+        trace.append(store(0x2000 + 64 * (i % 4)))
+    return [trace], TINY, FaultPlan(FaultSpec(squash_period=60), seed=5)
+
+
+_WORKLOADS = {
+    "memdep": _memdep_workload,
+    "inval": _inval_workload,
+    "evict": _evict_workload,
+    "fault": _fault_workload,
+}
+
+
+def test_every_reason_has_a_workload():
+    assert set(_WORKLOADS) == set(SQUASH_REASONS)
+
+
+@pytest.mark.parametrize("policy", POLICY_ORDER)
+@pytest.mark.parametrize("reason", SQUASH_REASONS)
+def test_squash_probe_fires_and_matches_stats(reason, policy):
+    traces, config, faults = _WORKLOADS[reason]()
+    bus = ProbeBus()
+    by_reason = {r: [] for r in SQUASH_REASONS}
+    for r in SQUASH_REASONS:
+        bus.subscribe(f"squash.{r}",
+                      lambda *args, _r=r: by_reason[_r].append(args))
+    system = System(traces, policy, config, probes=bus, faults=faults,
+                    warm_caches=False)
+    stats = system.run(2_000_000)
+
+    assert len(by_reason[reason]) >= 1, \
+        f"{reason} never fired under {policy}"
+    for r in SQUASH_REASONS:
+        counter = getattr(stats.total, f"squashes_{r}")
+        assert len(by_reason[r]) == counter, (r, policy)
+    # Payload shape: (core_id, cycle, from_seq, flushed).
+    core_id, cycle, from_seq, flushed = by_reason[reason][0]
+    assert 0 <= core_id < len(traces)
+    assert 0 <= cycle <= stats.execution_cycles
+    assert from_seq >= 0 and flushed >= 1
+
+
+def test_resolve_squash_probes_covers_all_reasons():
+    bus = ProbeBus()
+    fired = []
+    bus.subscribe("squash.*", lambda *args: fired.append(args))
+    probes = resolve_squash_probes(bus)
+    assert set(probes) == set(SQUASH_REASONS)
+    for probe in probes.values():
+        probe(0, 1, 2, 3)
+    assert len(fired) == len(SQUASH_REASONS)
+    # On a silent bus every entry resolves to None (zero-overhead off).
+    assert all(fn is None
+               for fn in resolve_squash_probes(ProbeBus()).values())

@@ -124,3 +124,35 @@ def test_validate_rejects_breakdown_mismatch():
     system.per_core[0].gate_lock_by_key = {1: 15}
     with pytest.raises(AssertionError, match="per-key"):
         system.validate()
+
+
+def test_validate_accepts_balanced_squash_reasons():
+    system = _system()
+    system.per_core[0].squashes = 7
+    system.per_core[0].squashes_inval = 3
+    system.per_core[0].squashes_evict = 1
+    system.per_core[0].squashes_memdep = 2
+    system.per_core[0].squashes_fault = 1
+    system.validate()
+
+
+def test_validate_rejects_squash_reason_mismatch():
+    system = _system()
+    system.per_core[0].squashes = 3
+    system.per_core[0].squashes_inval = 1
+    system.per_core[0].squashes_fault = 1
+    with pytest.raises(AssertionError, match="per-reason squashes"):
+        system.validate()
+
+
+def test_leakage_key_absent_when_empty():
+    system = _system()
+    assert "leakage" not in system.to_dict()
+    system.leakage = {"gadget": "g", "leaks": 1}
+    data = json.loads(system.to_json())
+    assert data["leakage"] == {"gadget": "g", "leaks": 1}
+    back = SystemStats.from_dict(data)
+    assert back.leakage == system.leakage
+    # Pre-leakage payloads (no key) must still load.
+    del data["leakage"]
+    assert SystemStats.from_dict(data).leakage == {}
