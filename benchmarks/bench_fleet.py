@@ -1,0 +1,207 @@
+"""Fleet benchmark: multi-node throughput scaling and failover cost.
+
+Drives the same mixed batch through three coordinator topologies, all
+with real ``repro fleet worker`` subprocesses (private caches, so
+replication — not a shared filesystem — carries results):
+
+* **1 worker** — the single-node baseline;
+* **3 workers** — cold throughput scaling across the ring;
+* **3 workers, one SIGKILLed mid-batch** — the requeue-recovery path;
+  the overhead over the undisturbed 3-worker run is the price of the
+  failover.
+
+Every run must produce byte-identical results (``identical_results``),
+matching the fleet's core invariant: faults and topology move *where*
+a job runs, never *what it returns*.
+
+Run standalone (CI smoke) to merge a ``fleet`` section into
+``BENCH_serve.json`` (run ``bench_serve_throughput.py`` first — it
+rewrites the file wholesale):
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+
+or under pytest for the assertion-only version:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.fleet import CoordinatorApi, FleetService
+from repro.resilience.fleet import _repro_env, _spawn_worker, kill_worker
+from repro.serve.jobs import DONE
+
+BENCH_NAMES = ("radix", "fft", "barnes", "cholesky")
+LITMUS_NAMES = ("mp", "sb", "lb", "iriw", "wrc", "rwc", "2+2w", "coRR")
+CORES = 2
+LENGTH = 6000
+SEEDS = range(2)
+
+RESULT_FILE = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_serve.json"
+
+
+def _requests():
+    jobs = [{"kind": "bench", "name": name, "policy": "x86",
+             "cores": CORES, "length": LENGTH, "seed": seed}
+            for name in BENCH_NAMES for seed in SEEDS]
+    jobs += [{"kind": "bench", "name": name, "policy": "370-SLFSoS-key",
+              "cores": CORES, "length": LENGTH, "seed": seed}
+             for name in BENCH_NAMES for seed in SEEDS]
+    jobs += [{"kind": "litmus", "name": name} for name in LITMUS_NAMES]
+    return jobs
+
+
+async def _fleet_batch(requests, workers, kill_after_s=None):
+    """One batch through a fresh fleet; returns timing + results."""
+    service = FleetService(heartbeat_timeout=1.5)
+    api = CoordinatorApi(service, host="127.0.0.1", port=0)
+    await api.start()
+    url = f"http://127.0.0.1:{api.port}"
+    env = _repro_env()
+    tmp = tempfile.mkdtemp(prefix="bench-fleet-")
+    procs = []
+    try:
+        for i in range(workers):
+            proc, _port = await _spawn_worker(
+                url, f"bench-w{i}", os.path.join(tmp, f"w{i}"),
+                0.25, env)
+            procs.append(proc)
+        t_end = time.monotonic() + 30.0
+        while len(service.ring) < workers and time.monotonic() < t_end:
+            await asyncio.sleep(0.05)
+        if len(service.ring) < workers:
+            raise RuntimeError(
+                f"only {len(service.ring)}/{workers} workers registered")
+
+        async def killer():
+            await asyncio.sleep(kill_after_s)
+            live = [p for p in procs if p.returncode is None]
+            if live:
+                kill_worker(live[len(live) // 2])
+
+        kill_task = None
+        if kill_after_s is not None:
+            kill_task = asyncio.get_running_loop().create_task(killer())
+
+        t0 = time.perf_counter()
+        records = [await service.submit_one(request)
+                   for request in requests]
+        for job in records:
+            await service.wait_for(job, 300.0)
+        elapsed = time.perf_counter() - t0
+        if kill_task is not None:
+            kill_task.cancel()
+
+        done = sum(job.state == DONE for job in records)
+        return {
+            "elapsed_s": round(elapsed, 4),
+            "jobs_per_sec": round(len(records) / elapsed, 2),
+            "done": done,
+            "requeues": service.metrics.counter("fleet_requeues"),
+            "replication_puts": service.metrics.counter(
+                "replication_puts"),
+            "results": {job.key: job.result for job in records
+                        if job.state == DONE},
+        }
+    finally:
+        for proc in procs:
+            if proc.returncode is None:
+                kill_worker(proc)
+        await asyncio.gather(*(p.wait() for p in procs),
+                             return_exceptions=True)
+        await api.stop(drain_timeout=5.0)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _canon(results):
+    return json.dumps(results, sort_keys=True)
+
+
+def measure():
+    """Three topologies over the same batch; returns the fleet dict."""
+    requests = _requests()
+    single = asyncio.run(_fleet_batch(requests, workers=1))
+    triple = asyncio.run(_fleet_batch(requests, workers=3))
+    # Kill roughly mid-batch, once dispatch is surely in flight.
+    kill_at = max(triple["elapsed_s"] * 0.4, 0.5)
+    killed = asyncio.run(_fleet_batch(requests, workers=3,
+                                      kill_after_s=kill_at))
+    jobs = len(requests)
+    identical = (_canon(single["results"]) == _canon(triple["results"])
+                 == _canon(killed["results"]))
+    return {
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,   # scaling is meaningless on 1
+        "all_done": (single["done"] == triple["done"]
+                     == killed["done"] == jobs),
+        "identical_results": identical,
+        "single_node": {k: single[k] for k in
+                        ("elapsed_s", "jobs_per_sec",
+                         "replication_puts")},
+        "three_node": {k: triple[k] for k in
+                       ("elapsed_s", "jobs_per_sec",
+                        "replication_puts")},
+        "cold_scaling": round(triple["jobs_per_sec"]
+                              / single["jobs_per_sec"], 2),
+        "killed_worker": {
+            "kill_after_s": round(kill_at, 2),
+            "elapsed_s": killed["elapsed_s"],
+            "jobs_per_sec": killed["jobs_per_sec"],
+            "requeues": killed["requeues"],
+            "recovery_overhead_s": round(
+                killed["elapsed_s"] - triple["elapsed_s"], 4),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+
+def test_fleet_scaling_and_failover():
+    result = measure()
+    assert result["all_done"], result
+    assert result["identical_results"], result
+    assert result["killed_worker"]["requeues"] >= 1, result
+    # Scaling is a hardware property: three workers can only outrun
+    # one when there are cores for them to spread across.
+    if (os.cpu_count() or 1) >= 4:
+        assert result["cold_scaling"] > 1.2, result
+
+
+# ----------------------------------------------------------------------
+# CI smoke: merge the fleet section into BENCH_serve.json
+# ----------------------------------------------------------------------
+
+def main():
+    result = measure()
+    merged = {}
+    if RESULT_FILE.exists():
+        try:
+            merged = json.loads(RESULT_FILE.read_text())
+        except ValueError:
+            merged = {}
+    merged["fleet"] = result
+    RESULT_FILE.write_text(json.dumps(merged, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if not result["all_done"]:
+        raise SystemExit("fleet benchmark: not every job finished")
+    if not result["identical_results"]:
+        raise SystemExit("fleet benchmark: topologies disagreed on "
+                         "results — the core invariant is broken")
+    print(f"fleet: 1-node {result['single_node']['jobs_per_sec']} "
+          f"jobs/s, 3-node {result['three_node']['jobs_per_sec']} "
+          f"jobs/s ({result['cold_scaling']}x), kill-recovery "
+          f"overhead {result['killed_worker']['recovery_overhead_s']}s "
+          f"with {result['killed_worker']['requeues']} requeue(s)")
+
+
+if __name__ == "__main__":
+    main()

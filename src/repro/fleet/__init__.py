@@ -1,0 +1,46 @@
+"""``repro.fleet`` — the fault-tolerant distributed serve fleet.
+
+Scales :mod:`repro.serve` from one node to many: a **coordinator**
+consistent-hashes the content-key namespace across **worker nodes**
+(each a full serve stack), tracks their liveness by heartbeat, fails
+jobs over from dead nodes onto survivors, and replicates every result
+to K ring owners with read repair and anti-entropy resync.  All on the
+same stdlib HTTP wire format the single-node service speaks, so
+:class:`~repro.serve.client.ServeClient` talks to a coordinator and a
+lone node interchangeably — and results are byte-identical either way.
+
+The layers:
+
+* :mod:`~repro.fleet.ring` — consistent hashing (virtual nodes) over
+  the SHA-256 result-key namespace;
+* :mod:`~repro.fleet.rpc` — the coordinator's asyncio HTTP client,
+  collapsing every transport failure into ``NodeUnreachable``;
+* :mod:`~repro.fleet.admission` — per-client token-bucket quotas with
+  structured 429s;
+* :mod:`~repro.fleet.coordinator` — :class:`FleetService` (routing,
+  heartbeat liveness, failover requeue, replication) and its HTTP
+  face :class:`CoordinatorApi`;
+* :mod:`~repro.fleet.worker` — :class:`FleetWorker`, a serve node plus
+  the register/heartbeat membership loop.
+
+Chaos coverage lives in :mod:`repro.resilience.fleet`.  See
+``docs/SERVICE.md`` ("Distributed fleet") for topology and guarantees.
+"""
+
+from repro.fleet.admission import ClientQuotas
+from repro.fleet.coordinator import (CoordinatorApi, FleetService,
+                                     NodeInfo)
+from repro.fleet.ring import HashRing
+from repro.fleet.rpc import AsyncNodeClient, NodeUnreachable
+from repro.fleet.worker import FleetWorker
+
+__all__ = [
+    "AsyncNodeClient",
+    "ClientQuotas",
+    "CoordinatorApi",
+    "FleetService",
+    "FleetWorker",
+    "HashRing",
+    "NodeInfo",
+    "NodeUnreachable",
+]

@@ -1,0 +1,103 @@
+"""Per-client admission quotas for the fleet coordinator.
+
+A classic token bucket per client id (the ``X-Client-Id`` request
+header; absent means ``"anonymous"``): each client accrues ``rate``
+tokens per second up to a ``burst`` cap, one job submission costs one
+token, and an empty bucket yields a structured 429 whose
+``retry_after_s`` says exactly when the next token lands — which the
+HTTP layer surfaces as a real ``Retry-After`` header and
+:class:`~repro.serve.client.ServeClient` honours when retrying.
+
+The quota protects the *fleet* from one noisy client, not the node
+queues — those have their own admission control
+(:meth:`~repro.serve.workers.ShardedWorkerPool.try_admit`).  Both
+rejections speak the same payload dialect (``status`` / ``error`` /
+``retry_after_s``) so clients need one retry path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+#: Default steady-state submissions per second per client.
+DEFAULT_RATE = 50.0
+#: Default bucket capacity (burst tolerance).
+DEFAULT_BURST = 100
+#: Buckets tracked before idle (full) ones are pruned.
+MAX_CLIENTS = 1024
+
+
+class ClientQuotas:
+    """Token buckets keyed by client id.
+
+    ``rate <= 0`` disables quotas entirely — every ``admit`` returns
+    None and nothing is tracked (the single-tenant default for tests
+    and benchmarks that measure the pipeline, not the limiter).
+    """
+
+    def __init__(self,
+                 rate: float = DEFAULT_RATE,
+                 burst: int = DEFAULT_BURST,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate > 0 and burst < 1:
+            raise ValueError("burst must be >= 1 when quotas are on")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._buckets: Dict[str, Tuple[float, float]] = {}  # id -> (tokens, at)
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def _refill(self, client_id: str, now: float) -> float:
+        tokens, at = self._buckets.get(client_id, (float(self.burst), now))
+        return min(float(self.burst), tokens + (now - at) * self.rate)
+
+    def admit(self, client_id: str) -> Optional[Dict]:
+        """Charge one token; None when admitted, else the structured
+        429 rejection payload."""
+        if not self.enabled:
+            return None
+        now = self.clock()
+        tokens = self._refill(client_id, now)
+        if tokens >= 1.0:
+            self._buckets[client_id] = (tokens - 1.0, now)
+            self.admitted += 1
+            self._prune(now)
+            return None
+        self._buckets[client_id] = (tokens, now)
+        self.rejected += 1
+        return {
+            "error": "quota-exceeded",
+            "status": 429,
+            "client": client_id,
+            "retry_after_s": round((1.0 - tokens) / self.rate, 3),
+            "rate": self.rate,
+            "burst": self.burst,
+        }
+
+    def _prune(self, now: float) -> None:
+        # An idle client's bucket refills to the cap and then carries no
+        # information; dropping it reconstructs identically on return.
+        if len(self._buckets) <= MAX_CLIENTS:
+            return
+        for client_id in [cid for cid in self._buckets
+                          if self._refill(cid, now) >= self.burst]:
+            del self._buckets[client_id]
+
+    def snapshot(self) -> Dict:
+        """JSON-safe state for ``/v1/fleet/status`` and metrics."""
+        now = self.clock()
+        return {
+            "enabled": self.enabled,
+            "rate": self.rate,
+            "burst": self.burst,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "clients": {cid: round(self._refill(cid, now), 2)
+                        for cid in sorted(self._buckets)},
+        }

@@ -1,0 +1,872 @@
+"""The fleet coordinator: routing, liveness, failover, replication.
+
+:class:`FleetService` is the coordinator's brain.  It keeps the node
+table and the consistent-hash ring (:mod:`repro.fleet.ring`), admits
+jobs through per-client quotas (:mod:`repro.fleet.admission`) and a
+fleet-wide queue bound, and runs one asyncio *dispatch task* per
+in-flight job:
+
+1. pick the key's ring owner among live, non-draining nodes (identical
+   keys land on one node, so node-side single-flight dedup still
+   collapses duplicates);
+2. POST the job over :class:`~repro.fleet.rpc.AsyncNodeClient` and
+   long-poll it to a terminal state, **racing the node's death event**
+   — the instant the liveness monitor declares the node dead, every
+   dispatch task parked on it wakes and requeues onto a survivor
+   (mirroring the sweep runner's ``excluded``/retry/backoff shape);
+3. on completion, write the result through to the key's K ring owners
+   (*replication*), then finish the job and its deduped followers.
+
+Reads are replicated too: a submit that misses the coordinator's local
+store asks the ring owners (*read repair* pushes the payload back to
+owners that missed), and a node that (re)registers gets an
+*anti-entropy* pass diffing its store manifest against the
+coordinator's — so a node that was dead while results were produced
+converges back to holding everything it owns.
+
+Liveness is heartbeat-driven: workers POST ``/v1/fleet/heartbeat``
+every second or so carrying their ``healthz`` document, which lets the
+coordinator distinguish *sick* (degraded: recent watchdog recycle,
+broken pool, drain in progress — stop routing new work there) from
+*dead* (no heartbeat for ``heartbeat_timeout`` — failover everything).
+A heartbeat from an unknown or previously-dead node gets a 404, which
+tells the worker to re-register; re-registration triggers the
+anti-entropy sync.
+
+:class:`CoordinatorApi` is the HTTP face — the same
+``POST /v1/jobs`` / ``GET /v1/jobs/<id>?wait=`` dialect a single serve
+node speaks (so :class:`~repro.serve.client.ServeClient` works against
+either, unchanged) plus the fleet control plane under ``/v1/fleet/``.
+
+Chaos hooks: an optional ``faults`` object (duck-typed; see
+:class:`repro.resilience.fleet.FleetFaultPlan`) may drop heartbeats or
+partition nodes at the coordinator's edge, which is how the chaos gate
+exercises failover without real packet loss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fleet.admission import ClientQuotas
+from repro.fleet.ring import HashRing
+from repro.fleet.rpc import AsyncNodeClient, NodeUnreachable
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.api import HttpServerBase
+from repro.serve.jobs import (DONE, FAILED, QUEUED, REJECTED, RUNNING,
+                              Job, JobValidationError, next_job_id,
+                              parse_request, request_key, spec_to_dict)
+from repro.serve.store import ResultStore
+from repro.serve.workers import NoteFn
+
+#: Replication factor: each result is written through to this many
+#: ring owners.
+DEFAULT_REPLICAS = 2
+#: Seconds without a heartbeat before a node is declared dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 3.0
+#: Fleet-wide bound on concurrently dispatched jobs.
+DEFAULT_QUEUE_LIMIT = 256
+#: How long one node-side long-poll waits per round trip.
+DEFAULT_POLL_WAIT = 5.0
+#: Give up on a job that has no live node to run on after this long.
+NO_NODES_TIMEOUT = 30.0
+#: Base backoff between dispatch rounds once every node was excluded.
+DISPATCH_BACKOFF = 0.2
+
+
+@dataclass
+class NodeInfo:
+    """One worker node as the coordinator sees it."""
+
+    id: str
+    url: str
+    client: AsyncNodeClient
+    registered_at: float
+    last_heartbeat: float
+    health: Dict = field(default_factory=dict)
+    inflight: Set[str] = field(default_factory=set)   # coordinator job ids
+    requeues: int = 0          # jobs failed over *off* this node
+    completed: int = 0
+    draining: bool = False
+    dead: bool = False
+    dead_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def age_s(self, now: float) -> float:
+        return round(now - self.last_heartbeat, 3)
+
+    def status_doc(self, now: float) -> Dict:
+        return {
+            "url": self.url,
+            "alive": not self.dead,
+            "draining": self.draining,
+            "heartbeat_age_s": self.age_s(now),
+            "inflight": len(self.inflight),
+            "requeues": self.requeues,
+            "completed": self.completed,
+            "state": self.health.get("state", "unknown"),
+            "degraded": self.health.get("degraded", []),
+        }
+
+
+class FleetService:
+    """Coordinator state machine; see the module docstring."""
+
+    def __init__(self,
+                 replicas: int = DEFAULT_REPLICAS,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 quota_rate: float = 0.0,
+                 quota_burst: int = 0,
+                 node_timeout: float = 30.0,
+                 poll_wait: float = DEFAULT_POLL_WAIT,
+                 no_nodes_timeout: float = NO_NODES_TIMEOUT,
+                 cache_dir=None,
+                 persistent: bool = False,
+                 faults=None,
+                 on_note: Optional[NoteFn] = None) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self.heartbeat_timeout = heartbeat_timeout
+        self.queue_limit = queue_limit
+        self.node_timeout = node_timeout
+        self.poll_wait = poll_wait
+        self.no_nodes_timeout = no_nodes_timeout
+        self.faults = faults
+        self.on_note = on_note
+        self.metrics = MetricsRegistry()
+        self.quotas = ClientQuotas(rate=quota_rate, burst=quota_burst or 1)
+        # The coordinator's own store is the job registry + a fast
+        # local tier; durable replicas live on the nodes (persistent
+        # only when the operator points the coordinator at a cache dir).
+        self.store = ResultStore(cache_dir=cache_dir,
+                                 persistent=persistent,
+                                 on_warning=on_note)
+        self.ring = HashRing()
+        self.nodes: Dict[str, NodeInfo] = {}
+        self.started_at = time.monotonic()
+        self.draining = False
+        self._primaries: Dict[str, Job] = {}
+        self._followers: Dict[str, List[Job]] = {}
+        self._live_dispatches = 0
+        self._tasks: Set[asyncio.Task] = set()
+        self._topology = asyncio.Event()
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._register_gauges()
+
+    def _note(self, msg: str) -> None:
+        if self.on_note is not None:
+            self.on_note(msg)
+
+    def _register_gauges(self) -> None:
+        m = self.metrics
+        m.gauge("uptime_s",
+                lambda: round(time.monotonic() - self.started_at, 3))
+        m.gauge("draining", lambda: self.draining)
+        m.gauge("nodes_live", lambda: sum(
+            not n.dead for n in self.nodes.values()))
+        m.gauge("nodes_dead", lambda: sum(
+            n.dead for n in self.nodes.values()))
+        m.gauge("jobs_inflight", lambda: self._live_dispatches)
+        m.gauge("jobs_tracked", lambda: self.store.jobs_tracked)
+        m.gauge("quota_clients", lambda: len(
+            self.quotas.snapshot().get("clients", {})))
+        # The structured per-node liveness map — one gauge, sampled
+        # fresh at every /v1/metrics scrape.
+        m.gauge("fleet_nodes", self._nodes_gauge)
+
+    def _nodes_gauge(self) -> Dict:
+        now = time.monotonic()
+        return {node_id: node.status_doc(now)
+                for node_id, node in sorted(self.nodes.items())}
+
+    # -- membership ----------------------------------------------------
+
+    def _signal_topology(self) -> None:
+        self._topology.set()
+        self._topology = asyncio.Event()
+
+    def register_node(self, node_id: str, url: str) -> Dict:
+        """(Re-)register a worker; idempotent for a live node at the
+        same URL, replacement for anything else."""
+        now = time.monotonic()
+        existing = self.nodes.get(node_id)
+        if existing is not None and not existing.dead:
+            if existing.url == url:
+                existing.last_heartbeat = now
+                return {"registered": True, "id": node_id,
+                        "nodes": len(self.ring)}
+            # Same id at a new address: the old incarnation is gone.
+            self._mark_dead(existing, f"replaced by {url}")
+        node = NodeInfo(id=node_id, url=url,
+                        client=AsyncNodeClient(url,
+                                               timeout=self.node_timeout),
+                        registered_at=now, last_heartbeat=now)
+        self.nodes[node_id] = node
+        self.ring.add(node_id)
+        self.metrics.inc("node_registrations")
+        self._note(f"fleet: node {node_id} registered at {url} "
+                   f"({len(self.ring)} live)")
+        self._spawn(self._sync_node(node), name=f"sync-{node_id}")
+        self._signal_topology()
+        return {"registered": True, "id": node_id,
+                "nodes": len(self.ring)}
+
+    def heartbeat(self, node_id: str, health: Dict) -> Tuple[int, Dict]:
+        """Record a heartbeat; 404 tells the worker to re-register."""
+        if self.faults is not None and self.faults.drop_heartbeat(node_id):
+            # Simulated loss: the packet "never arrived", but the
+            # worker sees a normal 200 — exactly like a drop on the
+            # return path.
+            self.metrics.inc("heartbeats_dropped")
+            return 200, {"ok": True}
+        node = self.nodes.get(node_id)
+        if node is None or node.dead:
+            return 404, {"error": "unknown-node", "status": 404,
+                         "id": node_id}
+        node.last_heartbeat = time.monotonic()
+        node.health = health if isinstance(health, dict) else {}
+        degraded = node.health.get("degraded")
+        node.draining = (isinstance(degraded, list)
+                         and "drain-in-progress" in degraded)
+        self.metrics.inc("heartbeats")
+        return 200, {"ok": True}
+
+    def _mark_dead(self, node: NodeInfo, reason: str) -> None:
+        if node.dead:
+            return
+        node.dead = True
+        node.dead_event.set()
+        self.ring.remove(node.id)
+        self.metrics.inc("node_deaths")
+        self._note(f"fleet: node {node.id} dead ({reason}); "
+                   f"{len(node.inflight)} job(s) to fail over, "
+                   f"{len(self.ring)} node(s) left")
+        self._signal_topology()
+
+    async def _monitor(self) -> None:
+        interval = max(self.heartbeat_timeout / 4, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for node in list(self.nodes.values()):
+                if (not node.dead and
+                        now - node.last_heartbeat > self.heartbeat_timeout):
+                    self._mark_dead(node, "heartbeat timeout")
+
+    # -- replication ---------------------------------------------------
+
+    async def _node_rpc(self, node: NodeInfo, method: str, path: str,
+                        body=None, timeout: Optional[float] = None
+                        ) -> Tuple[int, Dict]:
+        if self.faults is not None and self.faults.partitioned(node.id):
+            self.metrics.inc("rpcs_partitioned")
+            raise NodeUnreachable(f"{node.id}: partitioned (injected)")
+        return await node.client.request(method, path, body,
+                                         timeout=timeout)
+
+    def _owner_nodes(self, key: str) -> List[NodeInfo]:
+        out = []
+        for node_id in self.ring.owners(key, self.replicas):
+            node = self.nodes.get(node_id)
+            if node is not None and not node.dead:
+                out.append(node)
+        return out
+
+    async def replicated_get(self, key: str) -> Optional[Dict]:
+        """Local tier, then the ring owners; a hit found remotely is
+        read-repaired onto the owners that missed (and cached locally)."""
+        payload = self.store.peek(key)
+        if payload is not None:
+            return payload
+        missed: List[NodeInfo] = []
+        for node in self._owner_nodes(key):
+            try:
+                status, doc = await self._node_rpc(
+                    node, "GET", f"/v1/store/{key}")
+            except NodeUnreachable:
+                continue
+            result = doc.get("result") if status == 200 else None
+            if isinstance(result, dict):
+                self.store.put(key, result)
+                self.metrics.inc("replica_reads")
+                for behind in missed:
+                    if await self._push_replica(behind, key, result):
+                        self.metrics.inc("read_repairs")
+                return result
+            missed.append(node)
+        return None
+
+    async def _push_replica(self, node: NodeInfo, key: str,
+                            payload: Dict) -> bool:
+        try:
+            status, _doc = await self._node_rpc(
+                node, "PUT", f"/v1/store/{key}", payload)
+        except NodeUnreachable:
+            self.metrics.inc("replication_put_failures")
+            return False
+        if status != 200:
+            self.metrics.inc("replication_put_failures")
+            return False
+        return True
+
+    async def _replicate(self, key: str, payload: Dict,
+                         completed_at: float) -> None:
+        """Write-through: local tier + the K ring owners.  Failures are
+        counted, never fatal — anti-entropy heals them on rejoin."""
+        self.store.put(key, payload)
+        for node in self._owner_nodes(key):
+            if await self._push_replica(node, key, payload):
+                self.metrics.inc("replication_puts")
+        self.metrics.observe(
+            "replication_lag_ms",
+            max(int((time.monotonic() - completed_at) * 1000), 0))
+
+    async def _sync_node(self, node: NodeInfo) -> None:
+        """Anti-entropy on (re)join: diff manifests both ways — pull
+        results we lost track of, push results the node should own."""
+        try:
+            status, doc = await self._node_rpc(node, "GET", "/v1/store")
+        except NodeUnreachable:
+            return
+        manifest = doc.get("keys") if status == 200 else None
+        if not isinstance(manifest, list):
+            return
+        theirs = {k for k in manifest if isinstance(k, str)}
+        ours = set(self.store.keys())
+        pulled = pushed = 0
+        for key in sorted(theirs - ours):
+            try:
+                status, doc = await self._node_rpc(
+                    node, "GET", f"/v1/store/{key}")
+            except NodeUnreachable:
+                return
+            result = doc.get("result") if status == 200 else None
+            if isinstance(result, dict):
+                self.store.put(key, result)
+                pulled += 1
+        for key in sorted(ours - theirs):
+            if node.id not in self.ring.owners(key, self.replicas):
+                continue
+            payload = self.store.peek(key)
+            if payload is None:
+                continue
+            if await self._push_replica(node, key, payload):
+                pushed += 1
+        if pulled or pushed:
+            self.metrics.inc("anti_entropy_pulls", pulled)
+            self.metrics.inc("anti_entropy_pushes", pushed)
+            self._note(f"fleet: anti-entropy with {node.id}: "
+                       f"pulled {pulled}, pushed {pushed}")
+
+    # -- submission ----------------------------------------------------
+
+    def _terminal(self, job: Job, state: str, result: Optional[Dict] = None,
+                  error: Optional[Dict] = None,
+                  rejection: Optional[Dict] = None) -> None:
+        job.state = state
+        job.result = result
+        job.error = error
+        job.rejection = rejection
+        job.finished_at = time.monotonic()
+        self.store.finished(job)
+        event = job._done_event
+        if event is not None:
+            event.set()
+
+    def _finish_with_followers(self, job: Job, state: str,
+                               result: Optional[Dict] = None,
+                               error: Optional[Dict] = None) -> None:
+        followers = self._followers.pop(job.key, [])
+        if self._primaries.get(job.key) is job:
+            del self._primaries[job.key]
+        self._terminal(job, state, result=result, error=error)
+        for follower in followers:
+            self._terminal(follower, state, result=result, error=error)
+
+    async def submit_one(self, data: object,
+                         client_id: str = "anonymous") -> Job:
+        """Parse, quota-check, dedupe, and dispatch one request; always
+        returns a registered Job (possibly already terminal).  Raises
+        :class:`JobValidationError` for malformed requests."""
+        kind, spec, priority = parse_request(data)
+        job = Job(id=next_job_id(), kind=kind, spec=spec,
+                  key=request_key(spec), priority=priority,
+                  submitted_at=time.monotonic())
+        job._done_event = asyncio.Event()
+        self.metrics.inc("jobs_submitted")
+        self.store.register(job)
+
+        rejection = None
+        if self.draining:
+            rejection = {"error": "draining", "status": 503,
+                         "retry_after_s": 5.0}
+        if rejection is None:
+            rejection = self.quotas.admit(client_id)
+        if rejection is None and self._live_dispatches >= self.queue_limit:
+            rejection = {"error": "queue-full", "status": 429,
+                         "queue_limit": self.queue_limit,
+                         "retry_after_s": 1.0}
+        if rejection is not None:
+            self.metrics.inc("jobs_rejected")
+            self._terminal(job, REJECTED, rejection=rejection)
+            return job
+
+        cached = self.store.get(job.key)
+        if cached is None:
+            cached = await self.replicated_get(job.key)
+        if cached is not None:
+            job.cache_hit = True
+            self.metrics.inc("jobs_cache_hit")
+            self._terminal(job, DONE, result=cached)
+            return job
+
+        primary = self._primaries.get(job.key)
+        if primary is not None and primary.state in (QUEUED, RUNNING):
+            job.deduped = True
+            self._followers.setdefault(job.key, []).append(job)
+            self.metrics.inc("jobs_deduped")
+            return job
+
+        self._primaries[job.key] = job
+        self._followers[job.key] = []
+        self._live_dispatches += 1
+        self._spawn(self._dispatch(job), name=f"dispatch-{job.id}")
+        return job
+
+    async def submit_batch(self, items: List[object],
+                           client_id: str = "anonymous") -> List[Dict]:
+        docs: List[Dict] = []
+        for item in items:
+            try:
+                job = await self.submit_one(item, client_id)
+            except JobValidationError as exc:
+                self.metrics.inc("jobs_invalid")
+                docs.append({"state": "invalid", "error": exc.payload})
+                continue
+            docs.append(job.to_dict())
+        return docs
+
+    async def wait_for(self, job: Job, timeout: float) -> None:
+        event = job._done_event
+        if event is None or job.state in (DONE, REJECTED, FAILED):
+            return
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    # -- dispatch ------------------------------------------------------
+
+    def _spawn(self, coro, name: str) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro, name=name)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def _pick_node(self, key: str,
+                   excluded: Set[str]) -> Optional[NodeInfo]:
+        """The key's preferred live node: ring owners in order, then any
+        other live node — skipping excluded and draining ones."""
+        candidates = self.ring.owners(key, len(self.ring) or 1)
+        for node_id in candidates:
+            node = self.nodes.get(node_id)
+            if (node is not None and not node.dead
+                    and not node.draining and node_id not in excluded):
+                return node
+        return None
+
+    async def _dispatch(self, job: Job) -> None:
+        try:
+            await self._dispatch_inner(job)
+        except Exception as exc:  # a dispatch bug must not lose the job
+            self.metrics.inc("dispatch_errors")
+            self._finish_with_followers(job, FAILED, error={
+                "type": "dispatch-error",
+                "message": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._live_dispatches -= 1
+
+    async def _dispatch_inner(self, job: Job) -> None:
+        excluded: Set[str] = set()
+        no_nodes_since: Optional[float] = None
+        round_trips = 0
+        while True:
+            node = self._pick_node(job.key, excluded)
+            if node is None:
+                if excluded:
+                    # Everything live was excluded this round (busy or
+                    # freshly failed); widen again after a backoff.
+                    excluded.clear()
+                    round_trips += 1
+                    await asyncio.sleep(min(
+                        DISPATCH_BACKOFF * (2 ** min(round_trips, 5)),
+                        5.0))
+                    continue
+                # No live nodes at all: wait for one to register.
+                now = time.monotonic()
+                if no_nodes_since is None:
+                    no_nodes_since = now
+                    self._note(f"fleet: {job.id} waiting — no live nodes")
+                if now - no_nodes_since > self.no_nodes_timeout:
+                    self._finish_with_followers(job, FAILED, error={
+                        "type": "no-live-nodes",
+                        "message": f"no worker node became available in "
+                                   f"{self.no_nodes_timeout:g}s"})
+                    return
+                topology = self._topology
+                try:
+                    await asyncio.wait_for(topology.wait(), timeout=0.5)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            no_nodes_since = None
+
+            job.state = RUNNING
+            job.attempts += 1
+            node.inflight.add(job.id)
+            try:
+                outcome, payload = await self._run_on(node, job)
+            except NodeUnreachable as exc:
+                excluded.add(node.id)
+                node.requeues += 1
+                self.metrics.inc("fleet_requeues")
+                self._note(f"fleet: requeueing {job.id} off {node.id} "
+                           f"({exc})")
+                continue
+            finally:
+                node.inflight.discard(job.id)
+
+            if outcome == "busy":
+                # The node's own admission said no; try a sibling.
+                excluded.add(node.id)
+                continue
+            if outcome == "done":
+                completed_at = time.monotonic()
+                node.completed += 1
+                self.metrics.inc("jobs_executed")
+                self.metrics.observe("job_latency_ms", max(int(
+                    (completed_at - job.submitted_at) * 1000), 0))
+                await self._replicate(job.key, payload, completed_at)
+                self._finish_with_followers(job, DONE, result=payload)
+                return
+            # "failed" / "error" / "skew": deterministic outcomes a
+            # different node would reproduce — do not requeue.
+            self.metrics.inc("jobs_failed")
+            self._finish_with_followers(job, FAILED, error=payload)
+            return
+
+    async def _run_on(self, node: NodeInfo,
+                      job: Job) -> Tuple[str, Optional[Dict]]:
+        """Run one job on one node to a terminal outcome, racing the
+        node's death event so failover does not wait out a long poll.
+
+        Returns ``(outcome, payload)`` with outcome one of ``done`` /
+        ``failed`` / ``error`` / ``skew`` / ``busy``; raises
+        :class:`NodeUnreachable` when the node vanished mid-job."""
+        wire = spec_to_dict(job.kind, job.spec)
+        wire["priority"] = job.priority
+        status, doc = await self._node_rpc(node, "POST", "/v1/jobs", wire)
+        if status in (429, 503):
+            return "busy", doc
+        if status not in (200, 202):
+            return "error", {"type": "node-rejected",
+                             "status": status, "detail": doc}
+        remote_key = doc.get("key")
+        if remote_key != job.key:
+            # The node hashed the same spec to a different key: its
+            # source tree differs from ours, and its "result" would not
+            # be byte-identical to what this coordinator promises.
+            self.metrics.inc("key_mismatches")
+            self._note(f"fleet: {node.id} computed key "
+                       f"{str(remote_key)[:12]}… for {job.id} "
+                       f"(coordinator: {job.key[:12]}…) — version skew")
+            return "skew", {"type": "code-version-skew",
+                            "node": node.id,
+                            "message": "worker and coordinator disagree "
+                                       "on the job's content key; "
+                                       "results would not be comparable"}
+        if doc.get("state") == DONE:
+            return "done", doc.get("result")
+        if doc.get("state") == FAILED:
+            return "failed", doc.get("error")
+        remote_id = doc.get("id")
+        if not isinstance(remote_id, str):
+            return "error", {"type": "bad-node-response", "detail": doc}
+
+        while True:
+            if node.dead:
+                raise NodeUnreachable(f"{node.id} declared dead")
+            poll = self._spawn(
+                self._node_rpc(node, "GET",
+                               f"/v1/jobs/{remote_id}?wait={self.poll_wait:g}",
+                               timeout=self.node_timeout + self.poll_wait),
+                name=f"poll-{job.id}")
+            death = self._spawn(node.dead_event.wait(),
+                                name=f"death-{node.id}")
+            done, _pending = await asyncio.wait(
+                {poll, death}, return_when=asyncio.FIRST_COMPLETED)
+            death.cancel()
+            if poll not in done:
+                poll.cancel()
+                raise NodeUnreachable(f"{node.id} died mid-job")
+            status, doc = poll.result()  # re-raises NodeUnreachable
+            if status != 200:
+                return "error", {"type": "bad-node-response",
+                                 "status": status, "detail": doc}
+            state = doc.get("state")
+            if state == DONE:
+                return "done", doc.get("result")
+            if state == FAILED:
+                return "failed", doc.get("error")
+            if state == REJECTED:
+                return "busy", doc.get("rejection")
+            # queued / running: poll again.
+
+    # -- documents -----------------------------------------------------
+
+    def healthz(self) -> Dict:
+        live = sum(not n.dead for n in self.nodes.values())
+        reasons: List[str] = []
+        if self.draining:
+            reasons.append("drain-in-progress")
+        if not live:
+            reasons.append("no-live-nodes")
+        return {
+            "ok": True,
+            "state": "degraded" if reasons else "ok",
+            "degraded": reasons,
+            "draining": self.draining,
+            "role": "coordinator",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "nodes_live": live,
+            "nodes_dead": len(self.nodes) - live,
+            "jobs_inflight": self._live_dispatches,
+        }
+
+    def fleet_status(self) -> Dict:
+        now = time.monotonic()
+        return {
+            "nodes": {node_id: node.status_doc(now)
+                      for node_id, node in sorted(self.nodes.items())},
+            "ring": self.ring.nodes(),
+            "replicas": self.replicas,
+            "heartbeat_timeout_s": self.heartbeat_timeout,
+            "jobs": {
+                "submitted": self.metrics.counter("jobs_submitted"),
+                "executed": self.metrics.counter("jobs_executed"),
+                "cache_hit": self.metrics.counter("jobs_cache_hit"),
+                "deduped": self.metrics.counter("jobs_deduped"),
+                "rejected": self.metrics.counter("jobs_rejected"),
+                "failed": self.metrics.counter("jobs_failed"),
+                "requeues": self.metrics.counter("fleet_requeues"),
+                "inflight": self._live_dispatches,
+            },
+            "replication": {
+                "puts": self.metrics.counter("replication_puts"),
+                "put_failures": self.metrics.counter(
+                    "replication_put_failures"),
+                "replica_reads": self.metrics.counter("replica_reads"),
+                "read_repairs": self.metrics.counter("read_repairs"),
+                "anti_entropy_pulls": self.metrics.counter(
+                    "anti_entropy_pulls"),
+                "anti_entropy_pushes": self.metrics.counter(
+                    "anti_entropy_pushes"),
+            },
+            "quotas": self.quotas.snapshot(),
+        }
+
+    def metrics_snapshot(self) -> Dict:
+        snap = self.metrics.snapshot()
+        snap["store"] = {
+            "hits": self.store.hits,
+            "misses": self.store.misses,
+            "puts": self.store.puts,
+            "hit_rate": round(self.store.hit_rate(), 4),
+        }
+        return snap
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Attach loop-bound machinery (call from inside the loop)."""
+        self._monitor_task = asyncio.get_running_loop().create_task(
+            self._monitor(), name="fleet-monitor")
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission, let in-flight dispatches finish, flush."""
+        self.draining = True
+        self._note("fleet: draining (admission closed)")
+        pending = [t for t in self._tasks
+                   if t.get_name().startswith("dispatch-")]
+        drained = True
+        if pending:
+            done, not_done = await asyncio.wait(
+                pending, timeout=timeout)
+            drained = not not_done
+            for task in not_done:
+                task.cancel()
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        self.store.flush()
+        outcome = "complete" if drained else "timed out"
+        self._note(f"fleet: drain {outcome}; store flushed")
+        return drained
+
+
+class CoordinatorApi(HttpServerBase):
+    """The coordinator's HTTP face: the serve job dialect plus the
+    ``/v1/fleet/`` control plane."""
+
+    def __init__(self, service: FleetService,
+                 host: str = "127.0.0.1", port: int = 8378) -> None:
+        super().__init__(host=host, port=port)
+        self.service = service
+        self.metrics = service.metrics
+
+    def _on_start(self) -> None:
+        self.service.start()
+
+    async def _drain(self, timeout: Optional[float] = None) -> bool:
+        return await self.service.drain(timeout)
+
+    # -- routes --------------------------------------------------------
+
+    async def _route(self, method: str, target: str, headers: Dict,
+                     body: bytes) -> Tuple[int, Dict]:
+        from urllib.parse import parse_qs, urlsplit
+        import json as _json
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+
+        def parsed_body():
+            try:
+                return _json.loads(body.decode() or "null"), None
+            except (ValueError, UnicodeDecodeError) as exc:
+                return None, (400, {"error": "bad-json", "status": 400,
+                                    "message": str(exc)})
+
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "method-not-allowed",
+                             "status": 405, "allow": ["POST"]}
+            data, err = parsed_body()
+            if err is not None:
+                return err
+            client_id = headers.get("x-client-id", "anonymous")
+            return await self._post_jobs(data, client_id)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {"error": "method-not-allowed",
+                             "status": 405, "allow": ["GET"]}
+            return await self._get_job(path[len("/v1/jobs/"):], query)
+        if path == "/v1/fleet/register":
+            if method != "POST":
+                return 405, {"error": "method-not-allowed",
+                             "status": 405, "allow": ["POST"]}
+            data, err = parsed_body()
+            if err is not None:
+                return err
+            return self._register(data)
+        if path == "/v1/fleet/heartbeat":
+            if method != "POST":
+                return 405, {"error": "method-not-allowed",
+                             "status": 405, "allow": ["POST"]}
+            data, err = parsed_body()
+            if err is not None:
+                return err
+            if not isinstance(data, dict) or not isinstance(
+                    data.get("id"), str):
+                return 400, {"error": "bad-heartbeat", "status": 400,
+                             "message": "heartbeats are {'id': ..., "
+                                        "'healthz': {...}}"}
+            return self.service.heartbeat(data["id"],
+                                          data.get("healthz") or {})
+        if path == "/v1/fleet/status":
+            return 200, self.service.fleet_status()
+        if path == "/v1/store":
+            return 200, {"keys": self.service.store.keys()}
+        if path.startswith("/v1/store/"):
+            key = path[len("/v1/store/"):]
+            payload = await self.service.replicated_get(key)
+            if payload is None:
+                return 404, {"error": "unknown-key", "status": 404,
+                             "key": key}
+            return 200, {"key": key, "result": payload}
+        if path == "/v1/healthz":
+            return 200, self.service.healthz()
+        if path == "/v1/metrics":
+            return 200, self.service.metrics_snapshot()
+        return 404, {"error": "not-found", "status": 404, "path": path}
+
+    def _register(self, data: object) -> Tuple[int, Dict]:
+        if not isinstance(data, dict):
+            return 400, {"error": "bad-register", "status": 400,
+                         "message": "registrations are {'id': ..., "
+                                    "'url': ...}"}
+        node_id, url = data.get("id"), data.get("url")
+        if not isinstance(node_id, str) or not node_id:
+            return 400, {"error": "bad-register", "status": 400,
+                         "message": "'id' must be a non-empty string"}
+        if not isinstance(url, str) or not url.startswith("http://"):
+            return 400, {"error": "bad-register", "status": 400,
+                         "message": "'url' must be an http:// base URL"}
+        try:
+            return 200, self.service.register_node(node_id, url)
+        except ValueError as exc:
+            return 400, {"error": "bad-register", "status": 400,
+                         "message": str(exc)}
+
+    async def _post_jobs(self, data: object,
+                         client_id: str) -> Tuple[int, Dict]:
+        if isinstance(data, dict) and "jobs" in data:
+            items = data["jobs"]
+            if not isinstance(items, list):
+                return 400, {"error": "bad-batch", "status": 400,
+                             "message": "'jobs' must be a list"}
+        elif isinstance(data, list):
+            items = data
+        elif isinstance(data, dict):
+            try:
+                job = await self.service.submit_one(data, client_id)
+            except JobValidationError as exc:
+                self.service.metrics.inc("jobs_invalid")
+                return 400, exc.payload
+            doc = job.to_dict()
+            if job.state == REJECTED:
+                return job.rejection.get("status", 429), doc
+            return (200 if job.state == DONE else 202), doc
+        else:
+            return 400, {"error": "bad-request", "status": 400,
+                         "message": "expected a job object, a list, or "
+                                    "{'jobs': [...]}"}
+        docs = await self.service.submit_batch(items, client_id)
+        states = [d.get("state") for d in docs]
+        return 200, {
+            "jobs": docs,
+            "accepted": sum(s in ("queued", "running", "done")
+                            for s in states),
+            "rejected": states.count("rejected"),
+            "invalid": states.count("invalid"),
+        }
+
+    async def _get_job(self, job_id: str,
+                       query: Dict) -> Tuple[int, Dict]:
+        job = self.service.store.job(job_id)
+        if job is None:
+            return 404, {"error": "unknown-job", "status": 404,
+                         "id": job_id}
+        wait = query.get("wait")
+        if wait:
+            try:
+                seconds = min(float(wait[0]), 60.0)
+            except ValueError:
+                return 400, {"error": "bad-wait", "status": 400,
+                             "message": f"wait={wait[0]!r} is not a "
+                                        f"number"}
+            await self.service.wait_for(job, seconds)
+        return 200, job.to_dict()

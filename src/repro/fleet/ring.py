@@ -1,0 +1,127 @@
+"""Consistent hashing for the fleet's content-key namespace.
+
+The coordinator places every node at a fixed set of points on a 2^64
+ring (``VNODES`` SHA-256-derived virtual nodes each, so load stays even
+with a handful of physical nodes), and a result key — already a SHA-256
+hex digest (see :func:`repro.serve.jobs.request_key`) — maps to the
+first nodes clockwise from its own point.  Two properties matter here:
+
+* **Stability**: a node joining or leaving moves only ~1/N of the key
+  space; every key that *doesn't* move keeps hitting the node whose
+  local sweep cache already holds its result, so the fleet's
+  memoization survives membership churn.
+* **Determinism**: placement is a pure function of the node-id strings,
+  with no RNG and no insertion-order dependence — the same membership
+  set always yields the same ring, so a restarted coordinator routes
+  exactly like its predecessor.
+
+``owners(key, k)`` is the replication set: the first ``k`` *distinct*
+nodes clockwise, which the coordinator writes results through to and
+read-repairs from.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional
+
+#: Virtual nodes per physical node; 64 keeps the max/min key-share
+#: ratio within a few percent for small fleets.
+VNODES = 64
+
+#: Width of the ring coordinate space (first 16 hex chars = 64 bits).
+_POINT_HEX = 16
+
+
+def _point(label: str) -> int:
+    digest = hashlib.sha256(label.encode()).hexdigest()
+    return int(digest[:_POINT_HEX], 16)
+
+
+def key_point(key: str) -> int:
+    """Ring coordinate of a result key.  Keys are already uniform
+    SHA-256 hex, so their own leading bits are the coordinate; anything
+    else (tests, synthetic keys) gets hashed first."""
+    if len(key) >= _POINT_HEX:
+        try:
+            return int(key[:_POINT_HEX], 16)
+        except ValueError:
+            pass
+    return _point(key)
+
+
+class HashRing:
+    """A consistent-hash ring of node-id strings."""
+
+    def __init__(self, vnodes: int = VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []       # sorted vnode coordinates
+        self._owners: List[str] = []       # node id at each coordinate
+        self._nodes: Dict[str, List[int]] = {}  # id -> its coordinates
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def add(self, node_id: str) -> None:
+        """Place a node; re-adding an existing id is a no-op."""
+        if node_id in self._nodes:
+            return
+        points = []
+        for i in range(self.vnodes):
+            point = _point(f"{node_id}#{i}")
+            idx = bisect.bisect_left(self._points, point)
+            # A full SHA-256 collision between distinct labels is not a
+            # practical concern; ties on the truncated coordinate are —
+            # break them deterministically by owner id.
+            while (idx < len(self._points) and self._points[idx] == point
+                   and self._owners[idx] < node_id):
+                idx += 1
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node_id)
+            points.append(point)
+        self._nodes[node_id] = points
+
+    def remove(self, node_id: str) -> None:
+        """Withdraw a node; unknown ids are a no-op."""
+        if node_id not in self._nodes:
+            return
+        del self._nodes[node_id]
+        keep_points: List[int] = []
+        keep_owners: List[str] = []
+        for point, owner in zip(self._points, self._owners):
+            if owner != node_id:
+                keep_points.append(point)
+                keep_owners.append(owner)
+        self._points = keep_points
+        self._owners = keep_owners
+
+    def owners(self, key: str, k: int = 2) -> List[str]:
+        """The first ``min(k, len(ring))`` distinct nodes clockwise from
+        ``key`` — owner first, then its replica successors."""
+        if not self._points or k < 1:
+            return []
+        found: List[str] = []
+        start = bisect.bisect_right(self._points, key_point(key))
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in found:
+                found.append(owner)
+                if len(found) == k or len(found) == len(self._nodes):
+                    break
+        return found
+
+    def primary(self, key: str) -> Optional[str]:
+        """The single preferred executor for ``key`` (routing identical
+        keys to one node lets its single-flight dedup collapse them)."""
+        owners = self.owners(key, 1)
+        return owners[0] if owners else None

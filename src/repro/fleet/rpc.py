@@ -1,0 +1,134 @@
+"""The coordinator's async HTTP client for talking to nodes.
+
+The wire format is exactly what :class:`~repro.serve.api.HttpServerBase`
+speaks and :class:`~repro.serve.client.ServeClient` already sends —
+HTTP/1.1, JSON bodies, Content-Length framing — but written on
+``asyncio.open_connection`` so one coordinator task per in-flight job
+can block on a long-poll without holding a thread.  One connection per
+request, ``Connection: close``: at fleet scale (tens of nodes, seconds
+per simulation) connection reuse buys nothing, and a half-dead node
+can then only wedge the one request that touched it.
+
+Every transport failure — refused, reset, timed out, garbage bytes —
+collapses into :class:`NodeUnreachable`.  The coordinator treats them
+all identically (exclude the node, requeue elsewhere), so a finer
+taxonomy would only grow the failover matrix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+#: Cap on a node response body (a full metrics snapshot fits easily).
+MAX_RESPONSE_BYTES = 64 * 1024 * 1024
+
+
+class NodeUnreachable(Exception):
+    """The node did not produce a well-formed HTTP response in time."""
+
+
+class AsyncNodeClient:
+    """JSON-over-HTTP requests to one node's base URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        parts = urlsplit(self.url)
+        if parts.scheme != "http" or parts.hostname is None:
+            raise ValueError(f"node URL must be http://host:port, "
+                             f"got {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    async def request(self, method: str, path: str,
+                      body: Optional[object] = None,
+                      timeout: Optional[float] = None
+                      ) -> Tuple[int, Dict]:
+        """One request → ``(status, payload)``; :class:`NodeUnreachable`
+        on any transport- or framing-level failure."""
+        try:
+            return await asyncio.wait_for(
+                self._request(method, path, body),
+                timeout if timeout is not None else self.timeout)
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ValueError, UnicodeDecodeError) as exc:
+            raise NodeUnreachable(
+                f"{method} {self.url}{path}: "
+                f"{type(exc).__name__}: {exc}") from exc
+
+    async def _request(self, method: str, path: str,
+                       body: Optional[object]) -> Tuple[int, Dict]:
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split()
+            if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+                raise ValueError(f"malformed status line: {status_line!r}")
+            status = int(parts[1])
+            length: Optional[int] = None
+            while True:
+                raw = await reader.readline()
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = raw.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            if length is None or length > MAX_RESPONSE_BYTES:
+                raise ValueError(f"bad Content-Length: {length}")
+            data = await reader.readexactly(length)
+            doc = json.loads(data.decode()) if length else {}
+            if not isinstance(doc, dict):
+                raise ValueError("response body is not a JSON object")
+            return status, doc
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- node endpoints ------------------------------------------------
+
+    async def healthz(self) -> Tuple[int, Dict]:
+        return await self.request("GET", "/v1/healthz")
+
+    async def submit(self, job: Dict) -> Tuple[int, Dict]:
+        return await self.request("POST", "/v1/jobs", job)
+
+    async def poll(self, job_id: str,
+                   wait: Optional[float] = None) -> Tuple[int, Dict]:
+        path = f"/v1/jobs/{job_id}"
+        extra = 0.0
+        if wait is not None:
+            path += f"?wait={wait:g}"
+            extra = wait  # the long-poll itself must not trip the timeout
+        return await self.request("GET", path,
+                                  timeout=self.timeout + extra)
+
+    async def store_manifest(self) -> List[str]:
+        status, doc = await self.request("GET", "/v1/store")
+        keys = doc.get("keys") if status == 200 else None
+        return keys if isinstance(keys, list) else []
+
+    async def store_get(self, key: str) -> Optional[Dict]:
+        status, doc = await self.request("GET", f"/v1/store/{key}")
+        if status != 200:
+            return None
+        result = doc.get("result")
+        return result if isinstance(result, dict) else None
+
+    async def store_put(self, key: str, payload: Dict) -> bool:
+        status, _doc = await self.request("PUT", f"/v1/store/{key}",
+                                          payload)
+        return status == 200

@@ -1,0 +1,121 @@
+"""A fleet worker node: a whole serve stack plus a heartbeat.
+
+A worker *is* the single-node service — the same
+:class:`~repro.serve.api.ServeService` (sharded pool, admission,
+watchdog, store) behind the same :class:`~repro.serve.api.HttpApi` —
+wrapped with the two things membership needs:
+
+* **registration**: on startup (and whenever the coordinator answers a
+  heartbeat with 404, which is how a restarted coordinator says "I
+  don't know you"), POST ``/v1/fleet/register`` with this node's id and
+  advertised base URL, retrying forever — a worker that outlives a
+  coordinator restart rejoins by itself;
+* **heartbeats**: every ``interval`` seconds, POST the node's full
+  ``healthz`` document to ``/v1/fleet/heartbeat``.  Carrying the real
+  health document (not just "I'm alive") is what lets the coordinator
+  distinguish a degraded node (watchdog recycle, broken pool, drain in
+  progress) from a dead one and steer new work accordingly.
+
+An unreachable coordinator is never fatal to the worker: it keeps
+serving its HTTP surface (direct clients still work) and keeps trying
+to phone home.  The fleet heals from either side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.fleet.rpc import AsyncNodeClient, NodeUnreachable
+from repro.serve.api import HttpApi, ServeService
+
+#: Seconds between heartbeats; the coordinator's default death timeout
+#: is several multiples of this, so one lost beat never kills a node.
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+
+class FleetWorker:
+    """One node: a ServeService + HttpApi + the membership loop."""
+
+    def __init__(self, service: ServeService, coordinator_url: str,
+                 node_id: str,
+                 host: str = "127.0.0.1", port: int = 0,
+                 advertise_host: Optional[str] = None,
+                 interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 timeout: float = 10.0) -> None:
+        self.service = service
+        self.api = HttpApi(service, host=host, port=port)
+        self.node_id = node_id
+        self.interval = interval
+        self.advertise_host = advertise_host or host
+        self.coordinator = AsyncNodeClient(coordinator_url,
+                                           timeout=timeout)
+
+    @property
+    def url(self) -> str:
+        """This node's advertised base URL (valid once listening)."""
+        return f"http://{self.advertise_host}:{self.api.port}"
+
+    # -- membership ----------------------------------------------------
+
+    async def _register(self) -> bool:
+        try:
+            status, _doc = await self.coordinator.request(
+                "POST", "/v1/fleet/register",
+                {"id": self.node_id, "url": self.url})
+        except NodeUnreachable:
+            return False
+        if status == 200:
+            self.service.metrics.inc("fleet_registrations")
+            return True
+        return False
+
+    async def _heartbeat_loop(self) -> None:
+        registered = await self._register()
+        while True:
+            try:
+                status, _doc = await self.coordinator.request(
+                    "POST", "/v1/fleet/heartbeat",
+                    {"id": self.node_id, "url": self.url,
+                     "healthz": self.service.healthz()})
+            except NodeUnreachable:
+                status = None  # coordinator away; keep beating
+            if status == 200:
+                registered = True
+                self.service.metrics.inc("fleet_heartbeats")
+            elif status == 404 or not registered:
+                # The coordinator does not know us (restart, or it
+                # declared us dead during a partition): rejoin.
+                registered = await self._register()
+            await asyncio.sleep(self.interval)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def run(self, ready=None,
+                  drain_timeout: Optional[float] = None,
+                  install_signals: bool = True) -> None:
+        """Serve + heartbeat until shutdown; same contract as
+        :meth:`HttpApi.run` (``ready`` gets the bound port)."""
+        heartbeat: Optional[asyncio.Task] = None
+
+        def on_ready(port: int) -> None:
+            nonlocal heartbeat
+            heartbeat = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop(), name=f"heartbeat-{self.node_id}")
+            if ready is not None:
+                ready(port)
+
+        try:
+            await self.api.run(ready=on_ready,
+                               drain_timeout=drain_timeout,
+                               install_signals=install_signals)
+        finally:
+            if heartbeat is not None:
+                heartbeat.cancel()
+                try:
+                    await heartbeat
+                except (asyncio.CancelledError, Exception):
+                    pass
+
+    def request_shutdown(self) -> None:
+        self.api.request_shutdown()

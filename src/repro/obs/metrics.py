@@ -21,6 +21,10 @@ from typing import Callable, Dict, Union
 from repro.obs.samplers import LogHistogram
 
 Number = Union[int, float]
+#: What a gauge callable may return: any JSON-safe value.  Scalars for
+#: classic gauges (queue depth, uptime); small dicts/lists for
+#: structured ones (the fleet's per-node liveness map).
+JsonValue = Union[int, float, str, bool, None, Dict, list]
 
 
 class MetricsRegistry:
@@ -41,7 +45,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
-        self._gauges: Dict[str, Callable[[], Number]] = {}
+        self._gauges: Dict[str, Callable[[], JsonValue]] = {}
         self._histograms: Dict[str, LogHistogram] = {}
 
     # -- counters ------------------------------------------------------
@@ -57,9 +61,14 @@ class MetricsRegistry:
 
     # -- gauges --------------------------------------------------------
 
-    def gauge(self, name: str, fn: Callable[[], Number]) -> None:
+    def gauge(self, name: str, fn: Callable[[], JsonValue]) -> None:
         """Register (or replace) a gauge sampled at snapshot time."""
         self._gauges[name] = fn
+
+    def remove_gauge(self, name: str) -> None:
+        """Drop a gauge (e.g. one bound to a fleet node that left);
+        unknown names are a no-op."""
+        self._gauges.pop(name, None)
 
     # -- histograms ----------------------------------------------------
 

@@ -1,0 +1,410 @@
+"""Fleet-level chaos: node kills, dropped heartbeats, partitions.
+
+Where :mod:`repro.resilience.faults` perturbs one *simulation*, this
+module perturbs the *fleet around it* — and the invariant under test is
+the distributed analogue of the chaos gate's: faults may change
+**where and when** a job runs (requeues, re-registrations, replica
+repair), never **what it returns**.  Every result produced under fleet
+chaos must be byte-identical to a direct in-process execution of the
+same spec.
+
+Three mechanisms:
+
+``node-kill``        SIGKILL a live worker subprocess mid-batch (done
+                     by the harness, since only it owns the PIDs).
+                     Recovery path: heartbeat timeout → dead node →
+                     dispatch tasks requeue onto survivors.
+``heartbeat-drop``   the coordinator "loses" a fraction of heartbeats
+                     from a healthy node.  Enough in a row and a live
+                     node is declared dead — the worker's next accepted
+                     heartbeat gets a 404 and it re-registers, which
+                     also exercises the anti-entropy resync.
+``partition``        the coordinator cannot reach one node at all for a
+                     window (every RPC raises, heartbeats drop), while
+                     the node itself keeps running.  Jobs in flight
+                     there fail over; the node rejoins when the window
+                     closes.
+
+The drop/partition faults are injected *at the coordinator's edge*
+through the duck-typed hooks :meth:`FleetFaultPlan.drop_heartbeat` and
+:meth:`FleetFaultPlan.partitioned` (checked by
+:class:`~repro.fleet.coordinator.FleetService` before touching the
+network), so no real packets are harmed and a run needs no root, no tc,
+no iptables.  Streams are seeded per mechanism like
+:class:`~repro.resilience.faults.FaultPlan`; the *choices* are
+reproducible, though wall-clock interleaving of a real fleet is not —
+which is exactly why the invariant is outcome equality, not trace
+equality.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import random
+import shutil
+import signal
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+#: Seconds of grace for a worker subprocess to print its ready line.
+WORKER_READY_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """What to inject at the coordinator's edge.  All-zero disables
+    everything (the plan hooks then cost one float compare each)."""
+
+    heartbeat_drop_p: float = 0.0     # fraction of heartbeats "lost"
+    partition_period_s: float = 0.0   # partition one node every N s
+    partition_duration_s: float = 0.0  # ... for this long
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.heartbeat_drop_p > 0
+                    or (self.partition_period_s > 0
+                        and self.partition_duration_s > 0))
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+#: Aggressive defaults for a gate run of a minute or less: roughly one
+#: heartbeat in three vanishes and some node is unreachable for a
+#: 2-second window every 6 seconds.
+DEFAULT_FLEET_CHAOS = FleetFaultSpec(heartbeat_drop_p=0.35,
+                                     partition_period_s=6.0,
+                                     partition_duration_s=2.0)
+
+
+class FleetFaultPlan:
+    """Seeded drop/partition schedule, plugged into a
+    :class:`~repro.fleet.coordinator.FleetService` as ``faults=``.
+
+    Per-mechanism RNG streams (string-seeded, like
+    :class:`~repro.resilience.faults.FaultPlan`) keep choices stable
+    for a seed and independent across mechanisms.  ``injected`` counts
+    what actually fired, for the report.
+    """
+
+    def __init__(self, spec: FleetFaultSpec = DEFAULT_FLEET_CHAOS,
+                 seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.clock = clock
+        self._rng_hb = random.Random(f"{seed}:heartbeat")
+        self._rng_part = random.Random(f"{seed}:partition")
+        self.injected: Dict[str, int] = {"heartbeat_drop": 0,
+                                         "partition": 0}
+        self._seen: Set[str] = set()
+        self._partitioned_until: Dict[str, float] = {}
+        self._next_partition_at: Optional[float] = None
+
+    # -- coordinator-side hooks ----------------------------------------
+
+    def partitioned(self, node_id: str) -> bool:
+        """Is the coordinator→``node_id`` path cut right now?"""
+        spec = self.spec
+        if spec.partition_period_s <= 0 or spec.partition_duration_s <= 0:
+            return False
+        self._seen.add(node_id)
+        now = self.clock()
+        if self._next_partition_at is None:
+            self._next_partition_at = now + spec.partition_period_s
+        if now >= self._next_partition_at and self._seen:
+            victims = sorted(self._seen)
+            victim = victims[self._rng_part.randrange(len(victims))]
+            self._partitioned_until[victim] = (
+                now + spec.partition_duration_s)
+            self.injected["partition"] += 1
+            self._next_partition_at = now + spec.partition_period_s
+        until = self._partitioned_until.get(node_id)
+        return until is not None and now < until
+
+    def drop_heartbeat(self, node_id: str) -> bool:
+        """Should this heartbeat be treated as lost?  A partitioned
+        node's heartbeats always are (the cut is bidirectional)."""
+        if self.partitioned(node_id):
+            return True
+        if self.spec.heartbeat_drop_p <= 0:
+            return False
+        if self._rng_hb.random() < self.spec.heartbeat_drop_p:
+            self.injected["heartbeat_drop"] += 1
+            return True
+        return False
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed, "spec": self.spec.to_dict(),
+                "injected": dict(self.injected)}
+
+
+# ----------------------------------------------------------------------
+# The chaos-gate harness
+# ----------------------------------------------------------------------
+
+@dataclass
+class FleetChaosReport:
+    """Outcome of one :func:`run_fleet_chaos` gate run."""
+
+    ok: bool
+    jobs: int
+    done: int
+    failed: int
+    mismatched: int            # results differing from ground truth
+    requeues: int
+    node_deaths: int
+    registrations: int
+    killed_workers: int
+    injected: Dict[str, int] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    fleet: Dict = field(default_factory=dict)   # final /v1/fleet/status
+    results: Dict[str, Dict] = field(default_factory=dict)  # key → payload
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"fleet chaos: {verdict} — {self.done}/{self.jobs} jobs "
+            f"done, {self.mismatched} mismatched, "
+            f"{self.requeues} requeue(s), {self.node_deaths} node "
+            f"death(s), {self.registrations} registration(s), "
+            f"{self.killed_workers} worker(s) killed, "
+            f"injected {self.injected}, {self.elapsed_s:.1f}s",
+        ]
+        lines.extend(f"  FAIL: {f}" for f in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+def _repro_env() -> Dict[str, str]:
+    """Subprocess env whose PYTHONPATH can import this very ``repro``."""
+    import repro
+    pkg_parent = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (pkg_parent if not existing
+                         else pkg_parent + os.pathsep + existing)
+    return env
+
+
+def kill_worker(proc) -> None:
+    """SIGKILL a harness worker *and its process group* (the sharded
+    pool's child processes); missing groups are a no-op."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        try:
+            proc.send_signal(signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+
+async def _spawn_worker(coordinator_url: str, node_id: str,
+                        cache_dir: str, heartbeat_interval: float,
+                        env: Dict[str, str]) -> Tuple[object, int]:
+    """Start one ``repro fleet worker`` subprocess; returns
+    ``(process, port)`` once its ready line appears."""
+    # Each worker gets its own process group: SIGKILLing just the
+    # worker would orphan its ProcessPoolExecutor children, which
+    # inherit the stdout pipe and keep ``proc.wait()`` from ever
+    # seeing EOF — killing the group takes the whole subtree down.
+    proc = await asyncio.create_subprocess_exec(
+        sys.executable, "-m", "repro.cli", "fleet", "worker",
+        "--coordinator", coordinator_url, "--node-id", node_id,
+        "--port", "0", "--cache-dir", cache_dir,
+        "--heartbeat-interval", f"{heartbeat_interval:g}",
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.DEVNULL, env=env,
+        start_new_session=True)
+    line = await asyncio.wait_for(proc.stdout.readline(),
+                                  WORKER_READY_TIMEOUT)
+    text = line.decode(errors="replace")
+    marker = "listening on http://"
+    if marker not in text:
+        raise RuntimeError(f"worker {node_id} did not come up: {text!r}")
+    port = int(text.rsplit(":", 1)[1])
+    return proc, port
+
+
+def _default_jobs() -> List[Dict]:
+    """The litmus battery as job requests — fast, deterministic, and
+    with known-good ground truth via direct execution.  RMW-bearing
+    tests are skipped: the PC reference machine rejects locked
+    operations, so those jobs fail identically everywhere and tell the
+    gate nothing about the fleet."""
+    from repro.litmus.program import Rmw
+    from repro.litmus.registry import litmus_registry
+    return [{"kind": "litmus", "name": name}
+            for name, program in sorted(litmus_registry().items())
+            if not any(isinstance(op, Rmw)
+                       for thread in program.threads for op in thread)]
+
+
+def run_fleet_chaos(jobs: Optional[List[Dict]] = None,
+                    workers: int = 3,
+                    seed: int = 0,
+                    spec: FleetFaultSpec = DEFAULT_FLEET_CHAOS,
+                    kill_worker_after_s: Optional[float] = None,
+                    heartbeat_timeout: float = 1.5,
+                    heartbeat_interval: float = 0.25,
+                    deadline_s: float = 300.0,
+                    progress: Optional[Callable[[str], None]] = None
+                    ) -> FleetChaosReport:
+    """Run a batch through a real multi-process fleet under injected
+    faults and verify every result byte-identical to ground truth.
+
+    Topology: an in-process coordinator (so the fault plan's hooks and
+    the metrics are directly inspectable) driving ``workers`` real
+    ``repro fleet worker`` subprocesses, each with a private cache
+    directory — replication, not a shared filesystem, must carry
+    results.  ``kill_worker_after_s`` additionally SIGKILLs one worker
+    that long after submission (the node-kill mechanism).
+
+    Ground truth per unique key is computed in *this* process with
+    :func:`repro.serve.jobs.execute_request`; a fleet that returns
+    anything else fails the gate.
+    """
+    return asyncio.run(_run_fleet_chaos(
+        jobs=jobs, workers=workers, seed=seed, spec=spec,
+        kill_worker_after_s=kill_worker_after_s,
+        heartbeat_timeout=heartbeat_timeout,
+        heartbeat_interval=heartbeat_interval,
+        deadline_s=deadline_s, progress=progress))
+
+
+async def _run_fleet_chaos(jobs, workers, seed, spec,
+                           kill_worker_after_s, heartbeat_timeout,
+                           heartbeat_interval, deadline_s,
+                           progress) -> FleetChaosReport:
+    from repro.fleet import CoordinatorApi, FleetService
+    from repro.serve.jobs import execute_request, parse_request
+    from repro.serve.jobs import DONE, FAILED
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    if jobs is None:
+        jobs = _default_jobs()
+    started = time.monotonic()
+    plan = FleetFaultPlan(spec, seed=seed)
+    service = FleetService(heartbeat_timeout=heartbeat_timeout,
+                           faults=plan, on_note=progress)
+    api = CoordinatorApi(service, host="127.0.0.1", port=0)
+    await api.start()
+    url = f"http://127.0.0.1:{api.port}"
+    note(f"fleet chaos: coordinator at {url}, spawning "
+         f"{workers} worker(s)")
+
+    env = _repro_env()
+    tmp = tempfile.mkdtemp(prefix="fleet-chaos-")
+    procs: List[object] = []
+    failures: List[str] = []
+    killed = 0
+    try:
+        for i in range(workers):
+            proc, _port = await _spawn_worker(
+                url, f"chaos-w{i}", os.path.join(tmp, f"w{i}"),
+                heartbeat_interval, env)
+            procs.append(proc)
+
+        # Wait for everyone to register before loading the fleet.
+        t_end = time.monotonic() + WORKER_READY_TIMEOUT
+        while (len(service.ring) < workers
+               and time.monotonic() < t_end):
+            await asyncio.sleep(0.05)
+        if len(service.ring) < workers:
+            failures.append(f"only {len(service.ring)}/{workers} "
+                            f"workers registered")
+
+        records = []
+        for request in jobs:
+            job = await service.submit_one(request)
+            records.append(job)
+
+        async def killer() -> None:
+            nonlocal killed
+            await asyncio.sleep(kill_worker_after_s)
+            live = [p for p in procs if p.returncode is None]
+            if live:
+                victim = live[len(live) // 2]
+                kill_worker(victim)
+                killed += 1
+                note(f"fleet chaos: SIGKILLed worker pid {victim.pid}")
+
+        kill_task = None
+        if kill_worker_after_s is not None:
+            kill_task = asyncio.get_running_loop().create_task(killer())
+
+        t_end = time.monotonic() + deadline_s
+        for job in records:
+            left = t_end - time.monotonic()
+            if left <= 0:
+                break
+            await service.wait_for(job, left)
+        if kill_task is not None:
+            kill_task.cancel()
+
+        done = sum(job.state == DONE for job in records)
+        failed = sum(job.state == FAILED for job in records)
+        unfinished = [job.id for job in records
+                      if job.state not in (DONE, FAILED)]
+        if unfinished:
+            failures.append(f"{len(unfinished)} job(s) never finished: "
+                            f"{unfinished[:5]}")
+        for job in records:
+            if job.state == FAILED:
+                failures.append(f"{job.id} failed: {job.error}")
+
+        # Byte-identity against in-process ground truth, per unique key.
+        truth: Dict[str, str] = {}
+        mismatched = 0
+        for request, job in zip(jobs, records):
+            if job.state != DONE:
+                continue
+            if job.key not in truth:
+                _kind, parsed_spec, _prio = parse_request(request)
+                truth[job.key] = json.dumps(execute_request(parsed_spec),
+                                            sort_keys=True)
+            got = json.dumps(job.result, sort_keys=True)
+            if got != truth[job.key]:
+                mismatched += 1
+                failures.append(f"{job.id}: fleet result differs from "
+                                f"direct execution")
+        status = service.fleet_status()
+        report = FleetChaosReport(
+            ok=not failures,
+            jobs=len(records),
+            done=done,
+            failed=failed,
+            mismatched=mismatched,
+            requeues=service.metrics.counter("fleet_requeues"),
+            node_deaths=service.metrics.counter("node_deaths"),
+            registrations=service.metrics.counter("node_registrations"),
+            killed_workers=killed,
+            injected=dict(plan.injected),
+            failures=failures,
+            elapsed_s=round(time.monotonic() - started, 2),
+            fleet=status,
+            results={job.key: job.result for job in records
+                     if job.state == DONE},
+        )
+        note(report.summary())
+        return report
+    finally:
+        for proc in procs:
+            if proc.returncode is None:
+                kill_worker(proc)
+        await asyncio.gather(*(p.wait() for p in procs),
+                             return_exceptions=True)
+        await api.stop(drain_timeout=5.0)
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -6,21 +6,37 @@
 (:mod:`repro.serve.workers`) — and owns the metrics registry and the
 graceful-drain state machine.
 
-:class:`HttpApi` is a deliberately small HTTP/1.1 server written
+:class:`HttpServerBase` is a deliberately small HTTP/1.1 server written
 directly on ``asyncio.start_server`` (no ``http.server``, no
 frameworks): parse a request line + headers + Content-Length body,
-route, write a JSON response, honour keep-alive.  Endpoints:
+route, write a JSON response, honour keep-alive.  :class:`HttpApi`
+subclasses it with the service's routes; the fleet coordinator
+(:mod:`repro.fleet.coordinator`) subclasses it with its own.  Endpoints
+of the worker/service surface:
 
 =============================  ========================================
 ``POST /v1/jobs``              submit one job object or a batch
                                (``{"jobs": [...]}`` or a bare list)
 ``GET /v1/jobs/<id>``          job status + result; ``?wait=SECONDS``
                                long-polls for completion
-``GET /v1/healthz``            liveness + drain state
+``GET /v1/healthz``            liveness + degraded/drain state
 ``GET /v1/metrics``            the full metrics snapshot: queue depth,
                                per-shard occupancy, cache hit rate,
                                jobs/sec, latency histograms
+``GET /v1/store``              manifest of stored result keys
+``GET /v1/store/<key>``        one stored result payload (404 on miss)
+``PUT /v1/store/<key>``        store a replicated result payload
 =============================  ========================================
+
+The ``/v1/store`` tier is the fleet's replication substrate: the
+coordinator write-throughs finished results to their ring owners,
+read-repairs misses, and anti-entropy-syncs a rejoining node through
+exactly these three endpoints.
+
+Rejections carry a ``Retry-After`` header (derived from the structured
+``retry_after_s`` the payloads already contain) so well-behaved clients
+— including :class:`~repro.serve.client.ServeClient` — can back off
+precisely instead of guessing.
 
 On SIGTERM (or SIGINT) the server drains gracefully: admission starts
 returning 503s immediately, queued and in-flight jobs run to
@@ -49,6 +65,9 @@ from repro.serve.workers import NoteFn, ShardedWorkerPool
 MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Cap on ``?wait=`` long-poll time.
 MAX_WAIT_S = 60.0
+#: How long after a shard incident (watchdog recycle, broken-pool
+#: replacement) ``/v1/healthz`` keeps reporting "degraded".
+DEGRADED_WINDOW_S = 60.0
 
 
 class ServeService:
@@ -66,6 +85,7 @@ class ServeService:
                  cache: bool = True,
                  cache_dir=None,
                  cache_max_bytes: Optional[int] = None,
+                 degraded_window: float = DEGRADED_WINDOW_S,
                  on_note: Optional[NoteFn] = None) -> None:
         self.on_note = on_note
         self.metrics = MetricsRegistry()
@@ -80,6 +100,7 @@ class ServeService:
             on_complete=self._job_completed)
         self.started_at = time.monotonic()
         self.draining = False
+        self.degraded_window = degraded_window
         self._register_gauges()
 
     def _note(self, msg: str) -> None:
@@ -183,12 +204,30 @@ class ServeService:
     # -- documents -----------------------------------------------------
 
     def healthz(self) -> Dict:
+        """Liveness *and* health: ``state`` is ``"ok"`` or
+        ``"degraded"`` with the reasons spelled out — drain in
+        progress, a recent stuck-shard watchdog recycle, a recent
+        broken-pool replacement — so a fleet coordinator's liveness
+        checks can tell a sick node from a dead one.  ``ok`` stays
+        ``True`` whenever the process can answer at all."""
+        reasons: List[str] = []
+        if self.draining:
+            reasons.append("drain-in-progress")
+        incident = self.pool.last_incident
+        if incident is not None and (
+                time.monotonic() - incident[0] < self.degraded_window):
+            reasons.append(incident[1])
         return {
             "ok": True,
+            "state": "degraded" if reasons else "ok",
+            "degraded": reasons,
             "draining": self.draining,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "shards": len(self.pool.shards),
             "queue_depth": sum(self.pool.queue_depths()),
+            "recycles": self.metrics.counter("shard_recycles"),
+            "pool_replacements": self.metrics.counter(
+                "pool_replacements"),
         }
 
     def metrics_snapshot(self) -> Dict:
@@ -228,16 +267,37 @@ class _BadRequest(Exception):
     """Protocol-level garbage; maps to a 400 and closes the stream."""
 
 
-class HttpApi:
-    """Minimal asyncio HTTP/1.1 JSON server for a :class:`ServeService`."""
+class HttpServerBase:
+    """Minimal asyncio HTTP/1.1 JSON server: wire parsing, response
+    formatting, keep-alive, signal-driven graceful shutdown.
 
-    def __init__(self, service: ServeService,
-                 host: str = "127.0.0.1", port: int = 8377) -> None:
-        self.service = service
+    Subclasses provide the application:  set ``self.metrics`` (a
+    :class:`MetricsRegistry` — used for ``http_requests`` /
+    ``http_errors`` accounting), implement :meth:`_route`, and override
+    the :meth:`_on_start` / :meth:`_drain` lifecycle hooks.  Both the
+    serve node (:class:`HttpApi`) and the fleet coordinator are this
+    class with different routes.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8377) -> None:
         self.host = host
         self.port = port              # updated to the bound port
+        self.metrics = MetricsRegistry()
         self.server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
+
+    # -- subclass surface ----------------------------------------------
+
+    async def _route(self, method: str, target: str, headers: Dict,
+                     body: bytes) -> Tuple[int, Dict]:
+        raise NotImplementedError
+
+    def _on_start(self) -> None:
+        """Attach loop-bound machinery (called from inside the loop)."""
+
+    async def _drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful-shutdown hook; return True when fully drained."""
+        return True
 
     # -- wire helpers --------------------------------------------------
 
@@ -280,16 +340,40 @@ class HttpApi:
         return method, target, headers, body
 
     @staticmethod
-    def _response(status: int, payload: Dict,
+    def _retry_after_s(status: int, payload: Dict) -> Optional[float]:
+        """Seconds a client should wait before retrying, or None.
+
+        429/503 rejections already carry a structured ``retry_after_s``
+        (top-level or inside a job document's ``rejection``); surface it
+        as a real ``Retry-After`` header with sane defaults."""
+        if status not in (429, 503):
+            return None
+        rejection = payload.get("rejection")
+        for source in (payload, rejection if isinstance(rejection, dict)
+                       else {}):
+            value = source.get("retry_after_s")
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool) and value > 0:
+                return float(value)
+        return 1.0 if status == 429 else 5.0
+
+    @classmethod
+    def _response(cls, status: int, payload: Dict,
                   keep_alive: bool) -> bytes:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
                    404: "Not Found", 405: "Method Not Allowed",
                    429: "Too Many Requests", 500: "Internal Server Error",
                    503: "Service Unavailable"}
         body = json.dumps(payload, sort_keys=True).encode()
+        retry_after = cls._retry_after_s(status, payload)
+        extra = ""
+        if retry_after is not None:
+            # Integer seconds per RFC 9110; never advertise zero.
+            extra = f"Retry-After: {max(1, round(retry_after))}\r\n"
         head = (f"HTTP/1.1 {status} {reasons.get(status, 'Status')}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}"
                 f"\r\n\r\n")
         return head.encode("latin-1") + body
@@ -303,7 +387,7 @@ class HttpApi:
                 try:
                     request = await self._read_request(reader)
                 except _BadRequest as exc:
-                    self.service.metrics.inc("http_errors")
+                    self.metrics.inc("http_errors")
                     writer.write(self._response(
                         400, {"error": "bad-request", "status": 400,
                               "message": str(exc)}, keep_alive=False))
@@ -315,7 +399,8 @@ class HttpApi:
                 method, target, headers, body = request
                 keep_alive = headers.get(
                     "connection", "keep-alive").lower() != "close"
-                status, payload = await self._route(method, target, body)
+                status, payload = await self._dispatch(
+                    method, target, headers, body)
                 writer.write(self._response(status, payload, keep_alive))
                 await writer.drain()
                 if not keep_alive:
@@ -329,33 +414,120 @@ class HttpApi:
             except (ConnectionError, OSError):
                 pass
 
-    async def _route(self, method: str, target: str,
+    async def _dispatch(self, method: str, target: str, headers: Dict,
+                        body: bytes) -> Tuple[int, Dict]:
+        self.metrics.inc("http_requests")
+        try:
+            return await self._route(method, target, headers, body)
+        except Exception as exc:  # a handler bug must not kill the loop
+            self.metrics.inc("http_errors")
+            return 500, {"error": "internal", "status": 500,
+                         "message": f"{type(exc).__name__}: {exc}"}
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._on_start()
+        self.server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Signal-safe: flips the event the serve loop waits on."""
+        self._shutdown.set()
+
+    async def run(self, ready=None,
+                  drain_timeout: Optional[float] = None,
+                  install_signals: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_shutdown`),
+        then drain gracefully.  ``ready`` (if given) is called with the
+        bound port once the socket is listening."""
+        await self.start()
+        if ready is not None:
+            ready(self.port)
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signals:
+            for signame in ("SIGTERM", "SIGINT"):
+                signum = getattr(signal, signame, None)
+                if signum is None:
+                    continue
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        try:
+            await self._shutdown.wait()
+            # Close the listening socket *after* flipping draining so
+            # in-flight connections still get their 503s / results.
+            await self._drain(drain_timeout)
+            self.server.close()
+            await self.server.wait_closed()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    async def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Programmatic shutdown for in-process embedding (tests)."""
+        await self._drain(drain_timeout)
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+
+def _is_result_key(key: str) -> bool:
+    """A store key must look like the content hashes we mint (64 hex
+    chars) — anything else 400s before it can name a cache file."""
+    return len(key) == 64 and all(c in "0123456789abcdef" for c in key)
+
+
+class HttpApi(HttpServerBase):
+    """The serve-node HTTP surface over a :class:`ServeService`."""
+
+    def __init__(self, service: ServeService,
+                 host: str = "127.0.0.1", port: int = 8377) -> None:
+        super().__init__(host=host, port=port)
+        self.service = service
+        self.metrics = service.metrics
+
+    def _on_start(self) -> None:
+        self.service.start()
+
+    async def _drain(self, timeout: Optional[float] = None) -> bool:
+        return await self.service.drain(timeout)
+
+    # -- routes --------------------------------------------------------
+
+    async def _route(self, method: str, target: str, headers: Dict,
                      body: bytes) -> Tuple[int, Dict]:
-        self.service.metrics.inc("http_requests")
         url = urlsplit(target)
         path = url.path.rstrip("/") or "/"
         query = parse_qs(url.query)
-        try:
-            if path == "/v1/jobs":
-                if method != "POST":
-                    return 405, {"error": "method-not-allowed",
-                                 "status": 405, "allow": ["POST"]}
-                return await self._post_jobs(body)
-            if path.startswith("/v1/jobs/"):
-                if method != "GET":
-                    return 405, {"error": "method-not-allowed",
-                                 "status": 405, "allow": ["GET"]}
-                return await self._get_job(path[len("/v1/jobs/"):], query)
-            if path == "/v1/healthz":
-                return 200, self.service.healthz()
-            if path == "/v1/metrics":
-                return 200, self.service.metrics_snapshot()
-            return 404, {"error": "not-found", "status": 404,
-                         "path": path}
-        except Exception as exc:  # a handler bug must not kill the loop
-            self.service.metrics.inc("http_errors")
-            return 500, {"error": "internal", "status": 500,
-                         "message": f"{type(exc).__name__}: {exc}"}
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "method-not-allowed",
+                             "status": 405, "allow": ["POST"]}
+            return await self._post_jobs(body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {"error": "method-not-allowed",
+                             "status": 405, "allow": ["GET"]}
+            return await self._get_job(path[len("/v1/jobs/"):], query)
+        if path == "/v1/store":
+            if method != "GET":
+                return 405, {"error": "method-not-allowed",
+                             "status": 405, "allow": ["GET"]}
+            return 200, {"keys": self.service.store.keys()}
+        if path.startswith("/v1/store/"):
+            return self._store_entry(method, path[len("/v1/store/"):],
+                                     body)
+        if path == "/v1/healthz":
+            return 200, self.service.healthz()
+        if path == "/v1/metrics":
+            return 200, self.service.metrics_snapshot()
+        return 404, {"error": "not-found", "status": 404,
+                     "path": path}
 
     async def _post_jobs(self, body: bytes) -> Tuple[int, Dict]:
         try:
@@ -419,53 +591,31 @@ class HttpApi:
                 out["progress"] = prog
         return 200, out
 
-    # -- lifecycle -----------------------------------------------------
-
-    async def start(self) -> None:
-        self.service.start()
-        self.server = await asyncio.start_server(
-            self._handle, self.host, self.port)
-        self.port = self.server.sockets[0].getsockname()[1]
-
-    def request_shutdown(self) -> None:
-        """Signal-safe: flips the event the serve loop waits on."""
-        self._shutdown.set()
-
-    async def run(self, ready=None,
-                  drain_timeout: Optional[float] = None,
-                  install_signals: bool = True) -> None:
-        """Serve until SIGTERM/SIGINT (or :meth:`request_shutdown`),
-        then drain gracefully.  ``ready`` (if given) is called with the
-        bound port once the socket is listening."""
-        await self.start()
-        if ready is not None:
-            ready(self.port)
-        loop = asyncio.get_running_loop()
-        installed = []
-        if install_signals:
-            for signame in ("SIGTERM", "SIGINT"):
-                signum = getattr(signal, signame, None)
-                if signum is None:
-                    continue
-                try:
-                    loop.add_signal_handler(signum, self.request_shutdown)
-                    installed.append(signum)
-                except (NotImplementedError, RuntimeError):
-                    pass
-        try:
-            await self._shutdown.wait()
-            # Close the listening socket *after* flipping draining so
-            # in-flight connections still get their 503s / results.
-            await self.service.drain(drain_timeout)
-            self.server.close()
-            await self.server.wait_closed()
-        finally:
-            for signum in installed:
-                loop.remove_signal_handler(signum)
-
-    async def stop(self, drain_timeout: Optional[float] = None) -> None:
-        """Programmatic shutdown for in-process embedding (tests)."""
-        await self.service.drain(drain_timeout)
-        if self.server is not None:
-            self.server.close()
-            await self.server.wait_closed()
+    def _store_entry(self, method: str, key: str,
+                     body: bytes) -> Tuple[int, Dict]:
+        """The replication substrate: read or write one stored result."""
+        if not _is_result_key(key):
+            return 400, {"error": "bad-key", "status": 400,
+                         "message": "store keys are 64 lowercase hex "
+                                    "characters"}
+        if method == "GET":
+            payload = self.service.store.peek(key)
+            if payload is None:
+                return 404, {"error": "unknown-key", "status": 404,
+                             "key": key}
+            return 200, {"key": key, "result": payload}
+        if method == "PUT":
+            try:
+                payload = json.loads(body.decode() or "null")
+            except (ValueError, UnicodeDecodeError) as exc:
+                return 400, {"error": "bad-json", "status": 400,
+                             "message": str(exc)}
+            if not isinstance(payload, dict):
+                return 400, {"error": "bad-payload", "status": 400,
+                             "message": "store payloads are result "
+                                        "objects"}
+            self.service.store.put(key, payload)
+            self.service.metrics.inc("store_replica_puts")
+            return 200, {"stored": True, "key": key}
+        return 405, {"error": "method-not-allowed", "status": 405,
+                     "allow": ["GET", "PUT"]}

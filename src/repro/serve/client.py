@@ -6,17 +6,31 @@ plain blocking process.  Transport failures raise :class:`ServeError`;
 HTTP-level rejections (429/503/400) come back as normal
 ``(status, payload)`` results so callers can inspect the structured
 body the service went to the trouble of writing.
+
+With ``retries`` > 0 the client absorbs transient pressure on its own:
+a 429/503 is retried after the server's ``Retry-After`` header (falling
+back to exponential backoff with jitter), and *idempotent* requests —
+the GET polls — are also retried on connection resets, which a fleet
+node being killed mid-poll produces.  Retries default to **0** so
+callers that assert on the first response (the admission tests, for
+one) see exactly what the server said; the CLI and the fleet opt in.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Tuple
 
 DEFAULT_URL = "http://127.0.0.1:8377"
+
+#: Statuses that mean "try again shortly", never "you are wrong".
+RETRYABLE_STATUSES = (429, 503)
+#: Ceiling on a single computed backoff sleep.
+MAX_BACKOFF_S = 10.0
 
 
 class ServeError(RuntimeError):
@@ -27,31 +41,86 @@ class ServeClient:
     """Blocking JSON-over-HTTP client for one service base URL."""
 
     def __init__(self, url: str = DEFAULT_URL,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 retries: int = 0,
+                 backoff: float = 0.25,
+                 client_id: Optional[str] = None) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.client_id = client_id
 
-    def _request(self, method: str, path: str,
-                 body: Optional[object] = None) -> Tuple[int, Dict]:
+    # -- transport -----------------------------------------------------
+
+    def _once(self, method: str, path: str,
+              body: Optional[object] = None
+              ) -> Tuple[int, Dict, Optional[str]]:
+        """One attempt: ``(status, payload, Retry-After header)``.
+        Raises the underlying transport error unconverted."""
         data = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
         req = urllib.request.Request(
-            self.url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"})
+            self.url + path, data=data, method=method, headers=headers)
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, json.loads(resp.read().decode())
+                return (resp.status, json.loads(resp.read().decode()),
+                        resp.headers.get("Retry-After"))
         except urllib.error.HTTPError as exc:
             try:
                 payload = json.loads(exc.read().decode())
             except ValueError:
                 payload = {"error": "non-json-response",
                            "status": exc.code}
-            return exc.code, payload
-        except (urllib.error.URLError, OSError, ValueError) as exc:
-            raise ServeError(
-                f"{method} {self.url}{path} failed: {exc}") from exc
+            return exc.code, payload, exc.headers.get("Retry-After")
+
+    def _sleep_before_retry(self, attempt: int,
+                            retry_after: Optional[str]) -> None:
+        """Honour ``Retry-After`` when the server sent one; otherwise
+        exponential backoff with full jitter so a thundering herd of
+        rejected clients does not come back in lockstep."""
+        delay = None
+        if retry_after is not None:
+            try:
+                delay = float(retry_after)
+            except ValueError:
+                delay = None
+        if delay is None:
+            delay = self.backoff * (2 ** attempt) * random.random()
+        time.sleep(min(max(delay, 0.0), MAX_BACKOFF_S))
+
+    def _request(self, method: str, path: str,
+                 body: Optional[object] = None) -> Tuple[int, Dict]:
+        idempotent = method == "GET"
+        attempt = 0
+        while True:
+            try:
+                status, payload, retry_after = self._once(
+                    method, path, body)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                # A connection reset mid-POST may have submitted the
+                # job; only GETs are safe to repeat blindly.  (Submits
+                # are content-keyed and *would* dedupe server-side, but
+                # the caller should know the transport failed.)
+                if idempotent and attempt < self.retries:
+                    self._sleep_before_retry(attempt, None)
+                    attempt += 1
+                    continue
+                raise ServeError(
+                    f"{method} {self.url}{path} failed: {exc}") from exc
+            if status in RETRYABLE_STATUSES and attempt < self.retries:
+                self._sleep_before_retry(attempt, retry_after)
+                attempt += 1
+                continue
+            return status, payload
 
     # -- endpoints -----------------------------------------------------
+
+    def get(self, path: str) -> Tuple[int, Dict]:
+        """GET an arbitrary API path (e.g. ``/v1/fleet/status``)."""
+        return self._request("GET", path)
 
     def healthz(self) -> Dict:
         return self._request("GET", "/v1/healthz")[1]

@@ -145,6 +145,11 @@ class ShardedWorkerPool:
         self.on_note = on_note
         self.on_complete = on_complete
         self.draining = False
+        # (monotonic time, reason) of the most recent shard incident —
+        # a watchdog recycle or a broken-pool replacement.  healthz()
+        # reports "degraded" while an incident is recent, so the fleet
+        # coordinator can tell a sick node from a dead one.
+        self.last_incident: Optional[Tuple[float, str]] = None
         self._arrival = itertools.count()
         self._primaries: Dict[str, Job] = {}     # key -> executing job
         self._followers: Dict[str, List[Job]] = {}
@@ -273,6 +278,9 @@ class ShardedWorkerPool:
                 if shard.pool is not None and getattr(
                         shard.pool, "_broken", False):
                     shard.recycle()
+                    self.metrics.inc("pool_replacements")
+                    self.last_incident = (time.monotonic(),
+                                          "broken-pool")
         self._finish(shard, job, payload, error)
 
     def _finish(self, shard: _Shard, job: Job,
@@ -337,6 +345,7 @@ class ShardedWorkerPool:
         self._note(f"serve: watchdog recycling shard {shard.index} "
                    f"(stuck: {', '.join(names)})")
         self.metrics.inc("shard_recycles")
+        self.last_incident = (now, "watchdog-recycle")
         diagnostic = {
             "shard": shard.index,
             "stuck_after_s": self.stuck_after,

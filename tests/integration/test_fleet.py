@@ -1,0 +1,224 @@
+"""Fleet integration: a real coordinator + worker-subprocess topology.
+
+The headline test is the robustness acceptance criterion: a 32-job
+batch spread over three workers, one of which is SIGKILLed mid-batch,
+must complete with every result byte-identical to a single-node
+:class:`~repro.serve.api.ServeService` run of the same requests — the
+failover requeue may move jobs, never change answers.
+
+The chaos-gate test layers dropped heartbeats and coordinator-side
+partitions on top (via :class:`FleetFaultPlan`), the anti-entropy test
+checks a late joiner is backfilled with results it now owns, and the
+quota test exercises the coordinator's client-level 429s (which need
+no workers at all — admission precedes dispatch).
+"""
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+
+from repro.fleet import AsyncNodeClient, FleetService
+from repro.fleet.coordinator import CoordinatorApi
+from repro.resilience.fleet import (FleetFaultSpec, _repro_env,
+                                    _spawn_worker, kill_worker,
+                                    run_fleet_chaos)
+from repro.serve.api import ServeService
+from repro.serve.jobs import DONE, FAILED, REJECTED
+
+# The executable battery (the PC reference machine rejects the two
+# RMW-bearing tests, so a fleet job for them fails deterministically).
+LITMUS_NAMES = ["2+2w", "coRR", "fig5-sb-fwd", "iriw", "lb", "mp", "n5",
+                "n6", "rwc", "sb", "sb+mfences", "self-read",
+                "spectre-bcb", "spectre-slf", "wrc"]
+
+
+def _acceptance_batch():
+    """32 requests: the litmus battery plus a bench grid with enough
+    distinct seeds that no two jobs share a content key."""
+    requests = [{"kind": "litmus", "name": name}
+                for name in LITMUS_NAMES]
+    for profile in ("fft", "radix", "barnes", "cholesky"):
+        for seed in range(4):
+            requests.append({"kind": "bench", "name": profile,
+                             "policy": "370-SLFSoS-key", "cores": 2,
+                             "length": 400, "seed": seed})
+    requests.append({"kind": "bench", "name": "fft",
+                     "policy": "x86", "cores": 2, "length": 400,
+                     "seed": 99})
+    assert len(requests) == 32
+    return requests
+
+
+def _canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+async def _single_node_results(requests):
+    """The same batch through one in-process ServeService — the
+    reference the fleet must match byte for byte."""
+    service = ServeService(shards=2, shard_workers=1, cache=False)
+    service.start()
+    try:
+        records = [service.submit_one(request) for request in requests]
+        for job in records:
+            await service.wait_for(job, 240.0)
+        assert all(job.state == DONE for job in records), (
+            [(job.id, job.state, job.error) for job in records
+             if job.state != DONE])
+        return {job.key: job.result for job in records}
+    finally:
+        await service.pool.shutdown(cancel=True)
+
+
+def test_kill_one_of_three_workers_midbatch_byte_identity():
+    requests = _acceptance_batch()
+    report = run_fleet_chaos(jobs=requests, workers=3, seed=0,
+                             spec=FleetFaultSpec(),  # the kill is the fault
+                             kill_worker_after_s=0.5,
+                             deadline_s=240.0)
+    assert report.ok, report.summary()
+    assert report.jobs == 32 and report.done == 32
+    assert report.killed_workers == 1
+    # The victim held in-flight work when it died; failover requeued it
+    # onto the survivors.  (Death *declaration* may lag the recovery:
+    # polls on a SIGKILLed node fail with connection resets long before
+    # the heartbeat timeout, which is exactly what we want.)
+    assert report.requeues >= 1
+    assert report.mismatched == 0
+
+    reference = asyncio.run(_single_node_results(requests))
+    assert set(report.results) == set(reference)
+    for key, payload in report.results.items():
+        assert _canon(payload) == _canon(reference[key]), key
+
+
+def test_chaos_gate_heartbeat_drops_and_partitions():
+    # Partition windows (1.2 s) outlast the heartbeat timeout (0.8 s),
+    # so victims get declared dead and re-register when the window
+    # closes.  The period (2 s) leaves the initial registration alone
+    # and the batch is sized to span several partition periods — the
+    # litmus battery alone drains before the first window opens.
+    spec = FleetFaultSpec(heartbeat_drop_p=0.15,
+                          partition_period_s=2.5,
+                          partition_duration_s=1.2)
+    jobs = [{"kind": "litmus", "name": name} for name in LITMUS_NAMES]
+    jobs += [{"kind": "bench", "name": profile, "policy": "x86",
+              "cores": 2, "length": 8000, "seed": seed}
+             for profile in ("fft", "radix", "barnes", "cholesky")
+             for seed in range(3)]
+    report = run_fleet_chaos(jobs=jobs, workers=3, seed=1, spec=spec,
+                             heartbeat_timeout=0.8,
+                             heartbeat_interval=0.1,
+                             deadline_s=240.0)
+    assert report.ok, report.summary()
+    assert report.done == report.jobs
+    assert report.injected["heartbeat_drop"] >= 1
+    assert report.injected["partition"] >= 1
+    # Partitions outlive the heartbeat timeout, so nodes were declared
+    # dead and re-registered when their window closed.
+    assert report.node_deaths >= 1
+    assert report.registrations > 3
+
+
+def test_anti_entropy_backfills_a_late_joiner():
+    asyncio.run(_anti_entropy_scenario())
+
+
+async def _anti_entropy_scenario():
+    service = FleetService(heartbeat_timeout=5.0)
+    api = CoordinatorApi(service, host="127.0.0.1", port=0)
+    await api.start()
+    url = f"http://127.0.0.1:{api.port}"
+    env = _repro_env()
+    tmp = tempfile.mkdtemp(prefix="fleet-ae-")
+    procs = []
+    try:
+        proc0, _port0 = await _spawn_worker(
+            url, "ae-w0", os.path.join(tmp, "w0"), 0.25, env)
+        procs.append(proc0)
+        await _wait_for(lambda: len(service.ring) == 1)
+
+        job = await service.submit_one({"kind": "litmus", "name": "mp"})
+        await service.wait_for(job, 60.0)
+        assert job.state == DONE, job.error
+
+        proc1, port1 = await _spawn_worker(
+            url, "ae-w1", os.path.join(tmp, "w1"), 0.25, env)
+        procs.append(proc1)
+        await _wait_for(lambda: len(service.ring) == 2)
+
+        # With two nodes and K=2 the joiner owns every key; the
+        # registration-time anti-entropy sync must hand it the result
+        # even though its private cache dir never saw the job.
+        client = AsyncNodeClient(f"http://127.0.0.1:{port1}",
+                                 timeout=5.0)
+
+        async def joiner_has_key():
+            _status, doc = await client.request("GET", "/v1/store")
+            return job.key in doc.get("keys", [])
+
+        await _wait_for(joiner_has_key)
+        assert service.metrics.counter("anti_entropy_pushes") >= 1
+    finally:
+        for proc in procs:
+            kill_worker(proc)
+        await asyncio.gather(*(p.wait() for p in procs),
+                             return_exceptions=True)
+        await api.stop(drain_timeout=5.0)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+async def _wait_for(condition, deadline=30.0, interval=0.05):
+    t_end = asyncio.get_running_loop().time() + deadline
+    while True:
+        result = condition()
+        if asyncio.iscoroutine(result):
+            result = await result
+        if result:
+            return
+        if asyncio.get_running_loop().time() >= t_end:
+            raise AssertionError(f"condition never held: {condition}")
+        await asyncio.sleep(interval)
+
+
+def test_client_quotas_reject_with_structured_429():
+    asyncio.run(_quota_scenario())
+
+
+async def _quota_scenario():
+    # No workers: quota admission happens before dispatch, and the
+    # admitted jobs then fail fast on the no-live-nodes timeout.
+    service = FleetService(quota_rate=1.0, quota_burst=2,
+                           no_nodes_timeout=0.2)
+    service.start()
+    try:
+        noisy = []
+        for name in ("mp", "sb", "lb"):
+            noisy.append(await service.submit_one(
+                {"kind": "litmus", "name": name}, client_id="noisy"))
+        assert noisy[0].state != REJECTED
+        assert noisy[1].state != REJECTED
+        assert noisy[2].state == REJECTED
+        rejection = noisy[2].rejection
+        assert rejection["error"] == "quota-exceeded"
+        assert rejection["status"] == 429
+        assert rejection["client"] == "noisy"
+        assert rejection["retry_after_s"] > 0
+
+        # Buckets are per client: another id is unaffected.
+        quiet = await service.submit_one(
+            {"kind": "litmus", "name": "wrc"}, client_id="quiet")
+        assert quiet.state != REJECTED
+
+        for job in (noisy[0], noisy[1], quiet):
+            await service.wait_for(job, 10.0)
+            assert job.state == FAILED
+            assert job.error["type"] == "no-live-nodes"
+
+        snap = service.quotas.snapshot()
+        assert snap["rejected"] == 1
+        assert snap["admitted"] == 3
+    finally:
+        await service.drain(timeout=2.0)

@@ -1,0 +1,87 @@
+"""Per-client token-bucket admission: burst, refill, structured 429s."""
+
+from repro.fleet.admission import MAX_CLIENTS, ClientQuotas
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_disabled_quotas_admit_everything():
+    quotas = ClientQuotas(rate=0.0, burst=0)
+    assert not quotas.enabled
+    for _ in range(10_000):
+        assert quotas.admit("anyone") is None
+
+
+def test_burst_then_reject_with_retry_after():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=10.0, burst=5, clock=clock)
+    for _ in range(5):
+        assert quotas.admit("alice") is None
+    rejection = quotas.admit("alice")
+    assert rejection is not None
+    assert rejection["error"] == "quota-exceeded"
+    assert rejection["status"] == 429
+    assert rejection["client"] == "alice"
+    # Empty bucket at 10 tokens/s: one token is 0.1s away.
+    assert 0.0 < rejection["retry_after_s"] <= 0.1
+
+
+def test_refill_readmits_after_retry_after_elapses():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=10.0, burst=2, clock=clock)
+    assert quotas.admit("bob") is None
+    assert quotas.admit("bob") is None
+    rejection = quotas.admit("bob")
+    assert rejection is not None
+    clock.advance(rejection["retry_after_s"] + 0.01)
+    assert quotas.admit("bob") is None
+
+
+def test_clients_are_isolated():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=1.0, burst=1, clock=clock)
+    assert quotas.admit("alice") is None
+    assert quotas.admit("alice") is not None
+    # Alice exhausting her bucket does not touch Bob's.
+    assert quotas.admit("bob") is None
+
+
+def test_refill_caps_at_burst():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=100.0, burst=3, clock=clock)
+    assert quotas.admit("carol") is None
+    clock.advance(3600.0)  # a long idle stretch must not bank tokens
+    for _ in range(3):
+        assert quotas.admit("carol") is None
+    assert quotas.admit("carol") is not None
+
+
+def test_pruning_bounds_tracked_clients():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=10.0, burst=5, clock=clock)
+    for i in range(MAX_CLIENTS + 100):
+        quotas.admit(f"client-{i}")
+        clock.advance(10.0)  # every earlier bucket refills to full
+    snap = quotas.snapshot()
+    assert len(snap["clients"]) <= MAX_CLIENTS
+
+
+def test_snapshot_shape():
+    quotas = ClientQuotas(rate=50.0, burst=100)
+    quotas.admit("alice")
+    snap = quotas.snapshot()
+    assert snap["enabled"] is True
+    assert snap["rate"] == 50.0
+    assert snap["burst"] == 100
+    assert list(snap["clients"]) == ["alice"]
+    assert snap["admitted"] == 1
+    assert snap["rejected"] == 0

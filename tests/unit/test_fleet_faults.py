@@ -1,0 +1,101 @@
+"""FleetFaultPlan: seeded determinism, partition windows, spec gating."""
+
+from repro.resilience.fleet import (DEFAULT_FLEET_CHAOS, FleetFaultPlan,
+                                    FleetFaultSpec)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_spec_enabled_flags():
+    assert not FleetFaultSpec().enabled
+    assert FleetFaultSpec(heartbeat_drop_p=0.1).enabled
+    assert FleetFaultSpec(partition_period_s=5.0,
+                          partition_duration_s=1.0).enabled
+    # A period without a duration (or vice versa) injects nothing.
+    assert not FleetFaultSpec(partition_period_s=5.0).enabled
+    assert not FleetFaultSpec(partition_duration_s=5.0).enabled
+    assert DEFAULT_FLEET_CHAOS.enabled
+
+
+def test_disabled_plan_never_fires():
+    plan = FleetFaultPlan(FleetFaultSpec(), seed=7, clock=FakeClock())
+    for _ in range(200):
+        assert not plan.drop_heartbeat("w0")
+        assert not plan.partitioned("w0")
+    assert plan.injected == {"heartbeat_drop": 0, "partition": 0}
+
+
+def test_heartbeat_drops_are_seed_deterministic():
+    spec = FleetFaultSpec(heartbeat_drop_p=0.4)
+
+    def trace(seed):
+        plan = FleetFaultPlan(spec, seed=seed, clock=FakeClock())
+        return [plan.drop_heartbeat("w0") for _ in range(100)]
+
+    first = trace(3)
+    assert trace(3) == first
+    assert any(first) and not all(first)
+    assert trace(4) != first
+
+
+def test_partition_opens_and_closes_a_window():
+    clock = FakeClock()
+    spec = FleetFaultSpec(partition_period_s=5.0,
+                          partition_duration_s=2.0)
+    plan = FleetFaultPlan(spec, seed=0, clock=clock)
+    # Nothing partitioned before the first period elapses.
+    assert not plan.partitioned("w0")
+    clock.advance(5.5)
+    assert plan.partitioned("w0")  # sole known node → must be the victim
+    assert plan.injected["partition"] == 1
+    clock.advance(1.0)
+    assert plan.partitioned("w0")  # still inside the 2 s window
+    clock.advance(1.5)
+    assert not plan.partitioned("w0")  # window closed
+
+
+def test_partitioned_node_also_drops_heartbeats():
+    clock = FakeClock()
+    spec = FleetFaultSpec(partition_period_s=1.0,
+                          partition_duration_s=10.0)
+    plan = FleetFaultPlan(spec, seed=0, clock=clock)
+    plan.partitioned("w0")
+    clock.advance(1.5)
+    assert plan.partitioned("w0")
+    # The cut is bidirectional: heartbeats vanish too, even with
+    # heartbeat_drop_p == 0.
+    assert plan.drop_heartbeat("w0")
+
+
+def test_partition_picks_only_known_nodes():
+    clock = FakeClock()
+    spec = FleetFaultSpec(partition_period_s=2.0,
+                          partition_duration_s=1.0)
+    plan = FleetFaultPlan(spec, seed=1, clock=clock)
+    nodes = ["w0", "w1", "w2"]
+    victims = set()
+    for _ in range(40):
+        clock.advance(2.1)
+        for node in nodes:
+            if plan.partitioned(node):
+                victims.add(node)
+    assert victims and victims <= set(nodes)
+
+
+def test_to_dict_reports_seed_spec_and_counts():
+    plan = FleetFaultPlan(FleetFaultSpec(heartbeat_drop_p=1.0), seed=9,
+                          clock=FakeClock())
+    assert plan.drop_heartbeat("w0")
+    doc = plan.to_dict()
+    assert doc["seed"] == 9
+    assert doc["spec"]["heartbeat_drop_p"] == 1.0
+    assert doc["injected"]["heartbeat_drop"] == 1

@@ -1,0 +1,109 @@
+"""Consistent-hash ring: placement determinism, replication sets,
+membership-churn stability."""
+
+import hashlib
+
+import pytest
+
+from repro.fleet.ring import HashRing, key_point
+
+
+def _keys(n):
+    """n realistic keys: sha256 hex digests, like request_key mints."""
+    return [hashlib.sha256(f"key-{i}".encode()).hexdigest()
+            for i in range(n)]
+
+
+def test_empty_ring_owns_nothing():
+    ring = HashRing()
+    assert len(ring) == 0
+    assert ring.owners("ab" * 32, 2) == []
+    assert ring.primary("ab" * 32) is None
+
+
+def test_owners_are_distinct_and_bounded_by_membership():
+    ring = HashRing()
+    for node in ("a", "b", "c"):
+        ring.add(node)
+    for key in _keys(50):
+        owners = ring.owners(key, 2)
+        assert len(owners) == 2
+        assert len(set(owners)) == 2
+        # Asking for more replicas than nodes yields every node once.
+        assert sorted(ring.owners(key, 10)) == ["a", "b", "c"]
+
+
+def test_placement_is_insertion_order_independent():
+    forward, backward = HashRing(), HashRing()
+    for node in ("w0", "w1", "w2", "w3"):
+        forward.add(node)
+    for node in ("w3", "w2", "w1", "w0"):
+        backward.add(node)
+    for key in _keys(100):
+        assert forward.owners(key, 2) == backward.owners(key, 2)
+
+
+def test_removal_only_moves_the_removed_nodes_keys():
+    ring = HashRing()
+    for node in ("w0", "w1", "w2", "w3"):
+        ring.add(node)
+    keys = _keys(200)
+    before = {key: ring.primary(key) for key in keys}
+    ring.remove("w2")
+    moved = 0
+    for key in keys:
+        after = ring.primary(key)
+        if before[key] == "w2":
+            assert after != "w2"
+            moved += 1
+        else:
+            # Consistency: keys not owned by the leaver do not move.
+            assert after == before[key]
+    # w2 owned roughly a quarter of the space.
+    assert 0 < moved < len(keys)
+
+
+def test_rejoin_restores_identical_placement():
+    ring = HashRing()
+    for node in ("w0", "w1", "w2"):
+        ring.add(node)
+    keys = _keys(100)
+    before = {key: ring.owners(key, 2) for key in keys}
+    ring.remove("w1")
+    ring.add("w1")
+    assert all(ring.owners(key, 2) == before[key] for key in keys)
+
+
+def test_load_is_roughly_even():
+    ring = HashRing()
+    nodes = [f"w{i}" for i in range(4)]
+    for node in nodes:
+        ring.add(node)
+    counts = {node: 0 for node in nodes}
+    for key in _keys(2000):
+        counts[ring.primary(key)] += 1
+    share = 2000 / len(nodes)
+    for node, count in counts.items():
+        assert 0.5 * share < count < 1.7 * share, (node, counts)
+
+
+def test_key_point_uses_hex_prefix_directly():
+    key = "f" * 64
+    assert key_point(key) == int("f" * 16, 16)
+    # Non-hex keys still map somewhere stable.
+    assert key_point("not-a-digest") == key_point("not-a-digest")
+
+
+def test_add_is_idempotent_and_remove_unknown_is_noop():
+    ring = HashRing()
+    ring.add("a")
+    ring.add("a")
+    assert len(ring) == 1
+    ring.remove("ghost")
+    assert ring.nodes() == ["a"]
+    assert "a" in ring and "ghost" not in ring
+
+
+def test_vnodes_validation():
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
