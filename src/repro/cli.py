@@ -36,6 +36,11 @@ Commands:
                                   ``--litmus``, the herd-style relation
                                   classifier cross-checked against the
                                   axiomatic enumerator
+``synth``                         exhaustive bounded litmus synthesis:
+                                  enumerate every small program, keep
+                                  model-pair distinguishers, minimize,
+                                  triple-check, and ``--promote`` them
+                                  into the battery (docs/SYNTHESIS.md)
 
 ``bench`` and ``replay`` take ``--json`` (machine-readable stats) and
 ``--obs``/``--obs-out`` (histograms + gate intervals, optionally as
@@ -578,8 +583,24 @@ def cmd_fleet_status(args) -> int:
 
 def _parse_submit_token(token: str, args) -> Dict:
     """``bench:NAME[:POLICY]`` / ``litmus:NAME[:MODEL+MODEL...]`` /
-    ``leak:GADGET[:POLICY+POLICY...]`` → a job-request dict."""
+    ``leak:GADGET[:POLICY+POLICY...]`` / ``synth:SPACE[:CHUNK/CHUNKS]``
+    → a job-request dict."""
     parts = token.split(":")
+    if parts[0] == "synth":
+        import re
+        if len(parts) < 2 or len(parts) > 3 or not parts[1]:
+            raise SystemExit(f"bad synth spec {token!r} "
+                             f"(synth:SPACE[:CHUNK/CHUNKS], e.g. "
+                             f"synth:2x3x2:0/8)")
+        job = {"kind": "synth", "bounds": _parse_space(parts[1]).to_dict()}
+        if len(parts) == 3:
+            match = re.fullmatch(r"(\d+)/(\d+)", parts[2])
+            if not match:
+                raise SystemExit(f"bad synth chunk {parts[2]!r} "
+                                 f"(want CHUNK/CHUNKS, e.g. 0/8)")
+            job["chunk"] = int(match.group(1))
+            job["chunks"] = int(match.group(2))
+        return job
     if parts[0] == "leak":
         if len(parts) < 2 or len(parts) > 3 or not parts[1]:
             raise SystemExit(f"bad leak spec {token!r} "
@@ -607,7 +628,7 @@ def _parse_submit_token(token: str, args) -> Dict:
             job["length"] = args.length
         return job
     raise SystemExit(f"job spec {token!r} must start with "
-                     f"'bench:', 'litmus:' or 'leak:'")
+                     f"'bench:', 'litmus:', 'leak:' or 'synth:'")
 
 
 def cmd_submit(args) -> int:
@@ -718,12 +739,22 @@ def cmd_cache(args) -> int:
     return 0
 
 
-def _changed_files(base: str) -> List[str]:
+def _changed_files(base: str) -> "Tuple[List[str], List[str]]":
     """Python files differing from ``base`` (committed, staged or
-    unstaged) plus untracked ones — the ``lint --changed`` file set."""
+    unstaged) plus untracked ones — the ``lint --changed`` file set.
+
+    Returns ``(existing, missing)``: git names files that were deleted
+    or renamed away since ``base``, which no longer exist on disk and
+    cannot be linted — the caller skips those with a note rather than
+    erroring.  Names are resolved against the repository root, not the
+    current directory, so ``--changed`` works from any subdirectory.
+    """
     import os
     import subprocess
     try:
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True)
         diff = subprocess.run(
             ["git", "diff", "--name-only", base],
             capture_output=True, text=True, check=True)
@@ -734,9 +765,15 @@ def _changed_files(base: str) -> List[str]:
         detail = getattr(exc, "stderr", "") or str(exc)
         raise SystemExit(f"--changed needs a git checkout with "
                          f"{base!r} resolvable: {detail.strip()}")
-    names = diff.stdout.splitlines() + untracked.stdout.splitlines()
-    return sorted({os.path.abspath(n) for n in names
-                   if n.endswith(".py")})
+    root = toplevel.stdout.strip()
+    names = sorted({
+        os.path.abspath(os.path.join(root, name))
+        for name in (diff.stdout.splitlines()
+                     + untracked.stdout.splitlines())
+        if name.endswith(".py")})
+    existing = [name for name in names if os.path.isfile(name)]
+    missing = [name for name in names if not os.path.isfile(name)]
+    return existing, missing
 
 
 def cmd_lint(args) -> int:
@@ -757,7 +794,11 @@ def cmd_lint(args) -> int:
         sys.modules["repro"].__file__))]
     only_files = None
     if args.changed:
-        only_files = set(_changed_files(args.base))
+        existing, missing = _changed_files(args.base)
+        for path in missing:
+            print(f"lint: skipping {path} "
+                  f"(renamed or deleted since {args.base})")
+        only_files = set(existing)
     try:
         report = run_lint(paths, rules=args.rule or None,
                           only_files=only_files)
@@ -826,6 +867,188 @@ def cmd_lint(args) -> int:
             print(f"wrote {args.litmus_json}")
         if not result.ok:
             failed = True
+
+    return 1 if failed else 0
+
+
+def _parse_space(token: str):
+    """``TxOxA[f][tN]`` → :class:`SynthBounds` (e.g. ``2x3x2``,
+    ``2x3x2f`` with fences, ``3x3x2t6`` capped at 6 events total)."""
+    import re
+
+    from repro.synth import SynthBounds
+    match = re.fullmatch(r"(\d+)x(\d+)x(\d+)(f?)(?:t(\d+))?", token)
+    if not match:
+        raise SystemExit(f"bad space {token!r} (want THREADSxOPSxADDRS"
+                         f"[f][tN], e.g. 2x3x2 or 3x3x2t6)")
+    try:
+        return SynthBounds(threads=int(match.group(1)),
+                           max_ops=int(match.group(2)),
+                           addresses=int(match.group(3)),
+                           fences=bool(match.group(4)),
+                           max_total=int(match.group(5) or 0))
+    except ValueError as exc:
+        raise SystemExit(f"bad space {token!r}: {exc}")
+
+
+def _parse_pairs(text: str) -> List[List[str]]:
+    from repro.synth.space import LATTICE
+    pairs = []
+    for token in text.split(","):
+        parts = token.split(":")
+        if len(parts) != 2 or not all(p in LATTICE for p in parts):
+            raise SystemExit(
+                f"bad model pair {token!r} (want STRONG:WEAK from "
+                f"{'/'.join(LATTICE)}, e.g. SC:x86)")
+        if LATTICE.index(parts[0]) >= LATTICE.index(parts[1]):
+            raise SystemExit(f"pair {token!r} is not (stronger:weaker)")
+        pairs.append(parts)
+    return pairs
+
+
+def _synth_via_service(url: str, bounds, pairs: List[List[str]],
+                       chunks: int, args):
+    """Scatter one space as ``chunks`` synth jobs on a running service
+    and merge the chunk results."""
+    from repro.serve import ServeClient, ServeError
+    from repro.synth import SynthResult, merge_results
+
+    client = ServeClient(url, timeout=args.http_timeout,
+                         retries=args.http_retries)
+    jobs = [{"kind": "synth", "bounds": bounds.to_dict(), "pairs": pairs,
+             "chunk": chunk, "chunks": chunks}
+            for chunk in range(chunks)]
+    try:
+        batch = client.submit_batch(jobs)
+        ids = [doc["id"] for doc in batch["jobs"]
+               if doc["state"] in ("queued", "running", "done")]
+        if len(ids) != len(jobs):
+            bad = [doc for doc in batch["jobs"]
+                   if doc["state"] not in ("queued", "running", "done")]
+            raise SystemExit(f"service rejected {len(bad)} synth "
+                             f"job(s): {bad[0].get('error') or bad[0]}")
+        finished = client.wait_all(ids, deadline=args.deadline)
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+    payloads = []
+    for job_id in ids:
+        doc = finished[job_id]
+        if doc.get("state") != "done":
+            raise SystemExit(f"synth job {job_id} {doc.get('state')}: "
+                             f"{doc.get('error')}")
+        payloads.append(SynthResult.from_dict(doc["result"]))
+    return merge_results(payloads)
+
+
+def cmd_synth(args) -> int:
+    import json
+    import os
+    import time
+
+    from repro.litmus.battery import EXTRA_CASES as _EXTRA
+    from repro.litmus.program import canonical_key
+    from repro.litmus.tests import ALL_CASES as _ALL
+    from repro.synth import (battery_duplicates, case_name,
+                             pool_distinguishers, search, triple_check,
+                             write_generated_module)
+
+    spaces = [_parse_space(token) for token in args.spaces.split(",")]
+    pairs = _parse_pairs(args.pairs) if args.pairs else \
+        [["SC", "370"], ["SC", "x86"], ["370", "x86"]]
+    hand_cases = _ALL + _EXTRA
+    battery_keys = {canonical_key(case.program): case.program.name
+                    for case in hand_cases}
+
+    results = []
+    started = time.monotonic()
+    for bounds in spaces:
+        if args.url:
+            result = _synth_via_service(args.url, bounds, pairs,
+                                        args.chunks, args)
+        else:
+            result = search(bounds,
+                            pairs=[tuple(p) for p in pairs],
+                            limit=args.limit)
+        results.append(result)
+        print(f"synth {bounds.describe()}: {result.enumerated} programs, "
+              f"{result.judged} judged, {result.hits} hits, "
+              f"{result.distinct} distinct"
+              + (f", {len(result.lattice_errors)} LATTICE ERRORS"
+                 if result.lattice_errors else ""))
+    elapsed = time.monotonic() - started
+
+    pooled = pool_distinguishers(results)
+    rediscovered = [d for d in pooled if d.key in battery_keys]
+    fresh = [d for d in pooled if d.key not in battery_keys]
+    print(f"distinguishers: {len(pooled)} distinct "
+          f"({len(rediscovered)} rediscover battery tests, "
+          f"{len(fresh)} new) in {elapsed:.1f}s")
+    for dist in rediscovered:
+        print(f"  known {battery_keys[dist.key]} "
+              f"[{dist.pair[0]} vs {dist.pair[1]}] key={dist.key}")
+    for dist in fresh:
+        print(f"  NEW {case_name(dist)} "
+              f"[{dist.pair[0]} vs {dist.pair[1]}] "
+              f"{dist.events} events (from {dist.events_before})")
+
+    duplicates = battery_duplicates(hand_cases)
+    for key, names in sorted(duplicates.items()):
+        print(f"  battery duplicate: {', '.join(names)} share "
+              f"canonical key {key}")
+
+    mismatches: List[str] = []
+    if not args.no_check:
+        for dist in pooled:
+            report = triple_check(dist.program)
+            mismatches.extend(report.mismatches)
+        print(f"oracle cross-check: {len(pooled)} programs x 3 oracles, "
+              f"{len(mismatches)} mismatches")
+        for mismatch in mismatches:
+            print(f"  ORACLE MISMATCH {mismatch}")
+
+    lattice_errors = [err for result in results
+                      for err in result.lattice_errors]
+    failed = bool(mismatches or lattice_errors)
+
+    if args.json:
+        payload = {
+            "spaces": [{"bounds": r.bounds.to_dict(),
+                        "enumerated": r.enumerated, "judged": r.judged,
+                        "hits": r.hits, "distinct": r.distinct,
+                        "dedupe_ratio": round(r.dedupe_ratio, 4)}
+                       for r in results],
+            "pairs": pairs,
+            "elapsed_sec": round(elapsed, 3),
+            "distinct": len(pooled),
+            "rediscovered": sorted(battery_keys[d.key]
+                                   for d in rediscovered),
+            "new": [d.to_dict() for d in fresh],
+            "battery_duplicates": {k: v for k, v in duplicates.items()},
+            "oracle_mismatches": mismatches,
+            "lattice_errors": lattice_errors,
+            "ok": not failed,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if args.promote:
+        if args.no_check:
+            raise SystemExit("--promote requires the oracle check "
+                             "(drop --no-check)")
+        if failed:
+            raise SystemExit("refusing to promote with oracle "
+                             "mismatches or lattice errors")
+        out = args.out
+        if out is None:
+            import repro.litmus as _litmus_pkg
+            out = os.path.join(
+                os.path.dirname(os.path.abspath(_litmus_pkg.__file__)),
+                "generated.py")
+        write_generated_module(fresh, out)
+        promoted = len({dist.key for dist in fresh})
+        print(f"promoted {promoted} synthesized test(s) "
+              f"({len(fresh)} pair witnesses) -> {out}")
 
     return 1 if failed else 0
 
@@ -1156,8 +1379,10 @@ def build_parser() -> argparse.ArgumentParser:
         "submit",
         help="submit jobs to a running 'repro serve' over HTTP")
     p.add_argument("specs", nargs="*", metavar="SPEC",
-                   help="bench:NAME[:POLICY] or "
-                        "litmus:NAME[:MODEL+MODEL...]")
+                   help="bench:NAME[:POLICY], "
+                        "litmus:NAME[:MODEL+MODEL...], "
+                        "leak:GADGET[:POLICY+...] or "
+                        "synth:SPACE[:CHUNK/CHUNKS]")
     p.add_argument("--file", default=None, metavar="PATH",
                    help="JSON file with a list of job objects "
                         "(or {'jobs': [...]})")
@@ -1247,6 +1472,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--litmus-json", default=None, metavar="PATH",
                    help="write the cross-check/race report as JSON")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "synth",
+        help="exhaustive bounded litmus synthesis: enumerate small "
+             "programs, keep model-pair distinguishers, minimize, "
+             "triple-check, optionally promote (docs/SYNTHESIS.md)")
+    p.add_argument("--spaces", default="2x3x2", metavar="SPACES",
+                   help="comma list of THREADSxOPSxADDRS[f][tN] spaces "
+                        "(f = fences, tN = total-event cap; default "
+                        "2x3x2)")
+    p.add_argument("--pairs", default=None, metavar="PAIRS",
+                   help="comma list of STRONG:WEAK model pairs "
+                        "(default: SC:370,SC:x86,370:x86)")
+    p.add_argument("--limit", type=int, default=0,
+                   help="stop a space after N distinct witnesses "
+                        "(0 = exhaust it)")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the three-oracle cross-check (discovery "
+                        "only; --promote refuses this)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the synthesis report as JSON")
+    p.add_argument("--promote", action="store_true",
+                   help="write new distinguishers into the generated "
+                        "battery module (litmus/generated.py)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="target for --promote (default: the installed "
+                        "repro.litmus/generated.py)")
+    p.add_argument("--url", default=None,
+                   help="scatter the search over a running "
+                        "'repro serve' instead of searching in-process")
+    p.add_argument("--chunks", type=int, default=8,
+                   help="chunks per space when using --url")
+    p.add_argument("--deadline", type=float, default=600.0,
+                   help="--url waits this long for chunk jobs")
+    p.add_argument("--http-timeout", type=float, default=60.0)
+    p.add_argument("--http-retries", type=int, default=2)
+    p.set_defaults(func=cmd_synth)
     return parser
 
 

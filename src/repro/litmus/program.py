@@ -10,8 +10,10 @@ that can be compared across memory models.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -143,6 +145,87 @@ class Program:
             for idx, op in enumerate(thread):
                 if isinstance(op, St):
                     yield tid, idx, op
+
+
+# ----------------------------------------------------------------------
+# Canonical form: structural identity up to relabeling
+# ----------------------------------------------------------------------
+
+def _canonical_render(program: Program, order: Tuple[int, ...]) -> str:
+    """Render the program with threads permuted by ``order`` and every
+    name relabeled by order of appearance in that rendering: addresses
+    become ``a0, a1, ...``; each address's values map to ``1, 2, ...``
+    with the *initial* value pinned to class ``0`` (so a store of the
+    initial value — observationally distinct from a store of a fresh
+    value — keeps that identity); registers restart at ``r0`` per
+    thread.  Value equality per address is preserved exactly: equal
+    values stay equal, distinct values stay distinct, which is the
+    relabeling under which outcome sets are isomorphic."""
+    addr_label: Dict[str, str] = {}
+    value_label: Dict[str, Dict[int, int]] = {}
+
+    def addr_of(addr: str) -> str:
+        if addr not in addr_label:
+            addr_label[addr] = f"a{len(addr_label)}"
+            value_label[addr] = {program.initial_value(addr): 0}
+        return addr_label[addr]
+
+    def value_of(addr: str, value: int) -> int:
+        labels = value_label[addr]
+        if value not in labels:
+            labels[value] = len(labels)   # 0 is the initial value
+        return labels[value]
+
+    lines: List[str] = []
+    for out_tid, tid in enumerate(order):
+        reg_label: Dict[str, str] = {}
+        for op in program.threads[tid]:
+            if isinstance(op, Fence):
+                lines.append(f"T{out_tid} mfence")
+                continue
+            label = addr_of(op.addr)
+            if isinstance(op, St):
+                lines.append(
+                    f"T{out_tid} st {label},{value_of(op.addr, op.value)}")
+                continue
+            reg = reg_label.setdefault(op.reg, f"r{len(reg_label)}")
+            if isinstance(op, Ld):
+                lines.append(f"T{out_tid} ld {label} -> {reg}")
+            else:  # Rmw
+                lines.append(f"T{out_tid} xchg {label},"
+                             f"{value_of(op.addr, op.value)} -> {reg}")
+    # Addresses only mentioned in ``initial`` still exist (their final
+    # memory value is part of every outcome) — give them labels so two
+    # programs differing only in untouched addresses stay distinct.
+    extra = sorted(addr_of(addr) for addr in program.addresses
+                   if addr not in addr_label)
+    secret = sorted(addr_label[a] for a in program.secret
+                    if a in addr_label)
+    return "\n".join(lines + [f"addr {a}" for a in extra]
+                     + [f"secret {s}" for s in secret])
+
+
+def canonical_form(program: Program) -> str:
+    """The canonical text of a program: minimal rendering over all
+    thread permutations, with addresses, store values and registers
+    relabeled by order of appearance.
+
+    Two programs have equal canonical forms iff one can be obtained
+    from the other by permuting threads and consistently renaming
+    addresses, values (preserving equality per address) and registers —
+    the relabelings under which every memory model's outcome set is
+    isomorphic.  This is the structural identity the synthesis dedupe
+    and the battery duplicate check key on.
+    """
+    return min(_canonical_render(program, order)
+               for order in itertools.permutations(
+                   range(len(program.threads))))
+
+
+def canonical_key(program: Program) -> str:
+    """A short stable hash of :func:`canonical_form` (16 hex chars)."""
+    digest = hashlib.sha256(canonical_form(program).encode("utf-8"))
+    return digest.hexdigest()[:16]
 
 
 def make_program(name: str, threads: Sequence[Sequence[Instruction]],

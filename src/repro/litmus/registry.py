@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.litmus.battery import EXTRA_CASES
+from repro.litmus.generated import GENERATED_CASES
 from repro.litmus.program import Program
 from repro.litmus.tests import ALL_CASES
 
@@ -19,9 +20,14 @@ _REGISTRY: Optional[Dict[str, Program]] = None
 
 
 def litmus_registry() -> Dict[str, Program]:
-    """Name → :class:`Program` for the whole battery (memoized)."""
+    """Name → :class:`Program` for the whole battery (memoized).
+
+    Includes the synthesized members (``litmus/generated.py``, written
+    by ``repro synth --promote``) alongside the hand-written cases.
+    """
     global _REGISTRY
     if _REGISTRY is None:
         _REGISTRY = {case.program.name: case.program
-                     for case in ALL_CASES + EXTRA_CASES}
+                     for case in ALL_CASES + EXTRA_CASES
+                     + GENERATED_CASES}
     return _REGISTRY

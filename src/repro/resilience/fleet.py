@@ -334,9 +334,28 @@ async def _run_fleet_chaos(jobs, workers, seed, spec,
         async def killer() -> None:
             nonlocal killed
             await asyncio.sleep(kill_worker_after_s)
-            live = [p for p in procs if p.returncode is None]
-            if live:
-                victim = live[len(live) // 2]
+            # Prefer a victim that holds in-flight dispatches, so the
+            # kill provably exercises failover: placement follows
+            # content keys (which cover code_version()), so a blind
+            # fixed-delay kill can land on a node the ring left idle
+            # and requeue nothing.
+            victim = None
+            t_kill = time.monotonic() + WORKER_READY_TIMEOUT
+            while victim is None and time.monotonic() < t_kill:
+                for i, proc in enumerate(procs):
+                    if proc.returncode is not None:
+                        continue
+                    node = service.nodes.get(f"chaos-w{i}")
+                    if (node is not None and not node.dead
+                            and node.inflight):
+                        victim = proc
+                        break
+                else:
+                    await asyncio.sleep(0.05)
+            if victim is None:
+                live = [p for p in procs if p.returncode is None]
+                victim = live[len(live) // 2] if live else None
+            if victim is not None:
                 kill_worker(victim)
                 killed += 1
                 note(f"fleet chaos: SIGKILLed worker pid {victim.pid}")

@@ -14,6 +14,10 @@ exist:
 * ``leak`` — run one Spectre gadget from :mod:`repro.leakage` under one
   or more policies with taint-based leakage tracking; the result is the
   per-policy leakage report (``SystemStats.leakage``).
+* ``synth`` — search one chunk of a bounded litmus-program space for
+  model-pair distinguishers (:mod:`repro.synth`); pure CPU, no
+  simulation, and chunks of the same space are independent — the shape
+  the fleet scatters for service-scale synthesis.
 
 Every request derives an **idempotency key**: the same content hash the
 sweep cache uses (:func:`~repro.sweep.runner.job_key` /
@@ -33,7 +37,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, List, Optional, Tuple,
+                    Union)
 
 from repro.core.policies import POLICY_ORDER
 from repro.litmus.operational import MODELS, enumerate_outcomes
@@ -42,8 +47,11 @@ from repro.sweep.cache import code_version, content_key
 from repro.sweep.runner import (SweepJob, execute_job, job_key,
                                 with_deadline)
 
+if TYPE_CHECKING:  # pragma: no cover — keeps the synth machinery off
+    from repro.synth.space import SynthBounds  # the worker boot path
+
 #: Request kinds accepted by ``POST /v1/jobs``.
-JOB_KINDS = ("bench", "sweep", "litmus", "leak")
+JOB_KINDS = ("bench", "sweep", "litmus", "leak", "synth")
 
 #: Default priority; lower runs earlier within a shard.
 DEFAULT_PRIORITY = 100
@@ -79,8 +87,21 @@ class LeakSpec:
     policies: Tuple[str, ...] = tuple(POLICY_ORDER)
 
 
-#: What a job executes: a sweep cell, litmus enumeration, or leak run.
-JobSpec = Union[SweepJob, LitmusSpec, LeakSpec]
+@dataclass(frozen=True)
+class SynthSpec:
+    """One synthesis chunk: search ``chunk`` of ``chunks`` congruence
+    classes of a bounded program space for model-pair distinguishers."""
+
+    bounds: "SynthBounds"
+    pairs: Tuple[Tuple[str, str], ...]
+    chunk: int = 0
+    chunks: int = 1
+    limit: int = 0
+
+
+#: What a job executes: sweep cell, litmus enumeration, leak run, or
+#: synthesis chunk.
+JobSpec = Union[SweepJob, LitmusSpec, LeakSpec, "SynthSpec"]
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +193,54 @@ def parse_request(data: object) -> "Tuple[str, JobSpec, int]":
                 {"policies": list(POLICY_ORDER)})
         return kind, LeakSpec(gadget, tuple(policies)), priority
 
+    if kind == "synth":
+        allowed = {"kind", "priority", "bounds", "pairs", "chunk",
+                   "chunks", "limit"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise JobValidationError(
+                f"unknown field(s) for a synth job: {unknown}")
+        from repro.synth.search import MODEL_PAIRS
+        from repro.synth.space import LATTICE, SynthBounds
+        bounds_data = data.get("bounds")
+        if not isinstance(bounds_data, dict):
+            raise JobValidationError("synth jobs need a 'bounds' object")
+        try:
+            bounds = SynthBounds.from_dict(bounds_data)
+        except (TypeError, ValueError) as exc:
+            raise JobValidationError(f"bad synth bounds: {exc}")
+        pairs_data = data.get("pairs")
+        if pairs_data is None:
+            pairs_data = [list(pair) for pair in MODEL_PAIRS]
+        if (not isinstance(pairs_data, list) or not pairs_data
+                or not all(isinstance(p, list) and len(p) == 2
+                           and all(isinstance(m, str) for m in p)
+                           for p in pairs_data)):
+            raise JobValidationError(
+                "'pairs' must be a non-empty list of [strong, weak] "
+                "model-name pairs")
+        for strong, weak in pairs_data:
+            bad = sorted({strong, weak} - set(LATTICE))
+            if bad:
+                raise JobValidationError(
+                    f"unknown model(s) {bad}", {"models": list(LATTICE)})
+            if LATTICE.index(strong) >= LATTICE.index(weak):
+                raise JobValidationError(
+                    f"pair [{strong}, {weak}] is not (stronger, weaker) "
+                    f"in the {' / '.join(LATTICE)} lattice")
+        chunk = _require_type(data, "chunk", int, 0)
+        chunks = _require_type(data, "chunks", int, 1)
+        if chunks < 1 or not (0 <= chunk < chunks):
+            raise JobValidationError(
+                f"bad chunk {chunk}/{chunks}: need 0 <= chunk < chunks")
+        limit = _require_type(data, "limit", int, 0)
+        if limit < 0:
+            raise JobValidationError("'limit' must be >= 0")
+        return kind, SynthSpec(
+            bounds=bounds,
+            pairs=tuple((strong, weak) for strong, weak in pairs_data),
+            chunk=chunk, chunks=chunks, limit=limit), priority
+
     # bench / sweep: a SweepJob in wire form.
     spec_fields = {k: v for k, v in data.items()
                    if k not in ("kind", "priority")}
@@ -209,6 +278,11 @@ def spec_to_dict(kind: str, spec: JobSpec) -> Dict:
     if isinstance(spec, LeakSpec):
         return {"kind": "leak", "gadget": spec.gadget,
                 "policies": list(spec.policies)}
+    if isinstance(spec, SynthSpec):
+        return {"kind": "synth", "bounds": spec.bounds.to_dict(),
+                "pairs": [list(pair) for pair in spec.pairs],
+                "chunk": spec.chunk, "chunks": spec.chunks,
+                "limit": spec.limit}
     out = {"kind": kind}
     out.update(spec.to_dict())
     return out
@@ -231,6 +305,17 @@ def request_key(spec: JobSpec) -> str:
             "kind": "leak",
             "gadget": spec.gadget,
             "policies": list(spec.policies),
+            "code": code_version(),
+        })
+    if isinstance(spec, SynthSpec):
+        return content_key({
+            "schema": 1,
+            "kind": "synth",
+            "bounds": spec.bounds.to_dict(),
+            "pairs": [list(pair) for pair in spec.pairs],
+            "chunk": spec.chunk,
+            "chunks": spec.chunks,
+            "limit": spec.limit,
             "code": code_version(),
         })
     return content_key({
@@ -279,6 +364,18 @@ def execute_leak(spec: LeakSpec) -> Dict:
     }
 
 
+def execute_synth(spec: SynthSpec) -> Dict:
+    """Search one synthesis chunk; deterministic, JSON-safe payload
+    (the :class:`repro.synth.search.SynthResult` wire form)."""
+    from repro.synth.search import search
+
+    result = search(spec.bounds, pairs=spec.pairs, chunk=spec.chunk,
+                    chunks=spec.chunks, limit=spec.limit)
+    payload = result.to_dict()
+    payload["kind"] = "synth"
+    return payload
+
+
 def execute_request(spec: JobSpec, timeout: Optional[float] = None,
                     cache_dir: Optional[str] = None) -> Dict:
     """Run one job spec to completion under the deadline guard.
@@ -295,6 +392,10 @@ def execute_request(spec: JobSpec, timeout: Optional[float] = None,
     if isinstance(spec, LeakSpec):
         return with_deadline(lambda: execute_leak(spec), timeout,
                              f"leak:{spec.gadget}")
+    if isinstance(spec, SynthSpec):
+        return with_deadline(
+            lambda: execute_synth(spec), timeout,
+            f"synth:{spec.chunk}/{spec.chunks}")
     return with_deadline(lambda: execute_litmus(spec), timeout,
                          f"litmus:{spec.name}")
 

@@ -296,6 +296,12 @@ class ShardedWorkerPool:
                 self.metrics.inc("leak_jobs_executed")
                 self.metrics.inc("leak_lines_found",
                                  sum(payload["leaked_lines"].values()))
+            elif payload.get("kind") == "synth":
+                self.metrics.inc("synth_jobs_executed")
+                self.metrics.inc("synth_programs_enumerated",
+                                 payload.get("enumerated", 0))
+                self.metrics.inc("synth_distinguishers_found",
+                                 payload.get("distinct", 0))
         else:
             shard.failed += 1
             self.metrics.inc("jobs_failed")

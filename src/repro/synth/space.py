@@ -1,0 +1,191 @@
+"""The bounded program space: every small litmus program, in order.
+
+A :class:`SynthBounds` names a finite shape — thread count, events per
+thread, address pool, fences or not — and :func:`enumerate_programs`
+streams every program inside it in a fixed deterministic order, so the
+space can be partitioned into ``chunks`` congruence classes that
+different service workers (or processes, or fleet nodes) enumerate
+independently: chunk ``i`` judges exactly the programs whose index is
+``i (mod chunks)``, and the union over chunks is the whole space.
+
+Store values are globally unique in enumeration order — the canonical
+relabeling (:func:`repro.litmus.program.canonical_form`) collapses the
+naming anyway, and unique values keep every rf edge unambiguous, the
+same invariant :func:`repro.litmus.checker.random_program` maintains.
+
+:func:`may_distinguish` is the sound prefilter: necessary structural
+conditions for a program to *possibly* tell a model pair apart (a
+st→ld program-order pair for SC-vs-TSO relaxations; a same-address
+st→ld pair — the only source of an ``rfi`` edge — for 370-vs-x86).
+Programs that fail it are counted but never judged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.litmus.axiomatic import M370, SC, X86
+from repro.litmus.program import Instruction, Ld, Program, St
+
+#: The model lattice, strongest first (SC ⊆ 370 ⊆ x86 outcome sets).
+LATTICE = (SC, M370, X86)
+
+#: Address pool (bounds.addresses says how many are in play).
+_ADDRESSES = ("x", "y", "z", "w")
+
+#: Per-event kinds: ("ld", addr) | ("st", addr) | ("fence", None)
+_EventKind = Tuple[str, object]
+
+
+@dataclass(frozen=True)
+class SynthBounds:
+    """A finite program shape.
+
+    ``threads`` × up to ``max_ops`` events each, over ``addresses``
+    distinct locations, optionally with fences; ``max_total`` caps the
+    event count across all threads (useful for 3-thread spaces, where
+    the full ``max_ops``-per-thread cube explodes).
+    """
+
+    threads: int = 2
+    max_ops: int = 3
+    addresses: int = 2
+    fences: bool = False
+    max_total: int = 0          # 0 = no cross-thread cap
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.threads <= 4):
+            raise ValueError("threads must be in [1, 4]")
+        if not (1 <= self.max_ops <= 4):
+            raise ValueError("max_ops must be in [1, 4]")
+        if not (1 <= self.addresses <= len(_ADDRESSES)):
+            raise ValueError(f"addresses must be in "
+                             f"[1, {len(_ADDRESSES)}]")
+        if self.max_total < 0:
+            raise ValueError("max_total must be >= 0")
+
+    def to_dict(self) -> Dict:
+        return {"threads": self.threads, "max_ops": self.max_ops,
+                "addresses": self.addresses, "fences": self.fences,
+                "max_total": self.max_total}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SynthBounds":
+        return cls(**{key: data[key] for key in
+                      ("threads", "max_ops", "addresses", "fences",
+                       "max_total") if key in data})
+
+    def describe(self) -> str:
+        cap = f", <={self.max_total} total" if self.max_total else ""
+        return (f"{self.threads} threads x <={self.max_ops} events, "
+                f"{self.addresses} addrs"
+                + (", fences" if self.fences else "") + cap)
+
+
+def _event_kinds(bounds: SynthBounds) -> List[_EventKind]:
+    kinds: List[_EventKind] = []
+    for addr in _ADDRESSES[:bounds.addresses]:
+        kinds.append(("ld", addr))
+        kinds.append(("st", addr))
+    if bounds.fences:
+        kinds.append(("fence", None))
+    return kinds
+
+
+def _thread_shapes(bounds: SynthBounds) -> List[Tuple[_EventKind, ...]]:
+    """Every per-thread event sequence, shortest first, fixed order."""
+    kinds = _event_kinds(bounds)
+    shapes: List[Tuple[_EventKind, ...]] = []
+    for length in range(1, bounds.max_ops + 1):
+        shapes.extend(itertools.product(kinds, repeat=length))
+    return shapes
+
+
+def count_programs(bounds: SynthBounds) -> int:
+    """The size of the space (before prefilters and dedupe)."""
+    shapes = _thread_shapes(bounds)
+    if not bounds.max_total:
+        return len(shapes) ** bounds.threads
+    lengths = [len(s) for s in shapes]
+    total = 0
+    for combo in itertools.product(lengths, repeat=bounds.threads):
+        if sum(combo) <= bounds.max_total:
+            total += 1
+    return total
+
+
+def _build(index: int, shape_combo: Sequence[Tuple[_EventKind, ...]]
+           ) -> Program:
+    from repro.litmus.program import Fence
+    threads: List[List[Instruction]] = []
+    next_value = 1
+    for events in shape_combo:
+        ops: List[Instruction] = []
+        regs = 0
+        for kind, addr in events:
+            if kind == "ld":
+                ops.append(Ld(addr, f"r{regs}"))
+                regs += 1
+            elif kind == "st":
+                ops.append(St(addr, next_value))
+                next_value += 1
+            else:
+                ops.append(Fence())
+        threads.append(ops)
+    return Program(name=f"synth-{index}",
+                   threads=tuple(tuple(t) for t in threads))
+
+
+def enumerate_programs(bounds: SynthBounds, chunk: int = 0,
+                       chunks: int = 1) -> Iterator[Tuple[int, Program]]:
+    """Yield ``(index, program)`` for the space, deterministically.
+
+    With ``chunks > 1`` only indices congruent to ``chunk`` are built
+    (the index sequence itself is global, so a program keeps its index
+    no matter how the space is partitioned).
+    """
+    if chunks < 1 or not (0 <= chunk < chunks):
+        raise ValueError(f"bad chunk {chunk}/{chunks}")
+    shapes = _thread_shapes(bounds)
+    index = 0
+    for combo in itertools.product(shapes, repeat=bounds.threads):
+        if bounds.max_total and \
+                sum(len(events) for events in combo) > bounds.max_total:
+            continue
+        if index % chunks == chunk:
+            yield index, _build(index, combo)
+        index += 1
+
+
+def may_distinguish(program: Program, pair: Tuple[str, str]) -> bool:
+    """Sound structural prefilter for "could ``pair`` tell this program
+    apart?".  Necessary conditions only — a True can still profile to
+    identical outcome sets, but a False never distinguishes:
+
+    * any pair involving SC against a TSO-family model needs a store
+      program-ordered before a later load (the st→ld relaxation is the
+      only SC-vs-TSO difference, and a fence between them re-orders the
+      pair under both models);
+    * (370, x86) needs a store program-ordered before a later load *of
+      the same address* (an ``rfi`` edge — the only relation the two
+      models treat differently — requires exactly that shape).
+    """
+    from repro.litmus.program import Fence
+    need_same_addr = SC not in pair
+    for thread in program.threads:
+        pending: List[Tuple[int, str]] = []    # (fence epoch, addr)
+        epoch = 0
+        for op in thread:
+            if isinstance(op, Fence):
+                epoch += 1
+            elif isinstance(op, St):
+                pending.append((epoch, op.addr))
+            elif isinstance(op, Ld):
+                for st_epoch, st_addr in pending:
+                    if st_epoch != epoch:
+                        continue               # fenced: ordered anyway
+                    if not need_same_addr or st_addr == op.addr:
+                        return True
+    return False

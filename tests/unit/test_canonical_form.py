@@ -1,0 +1,105 @@
+"""Canonical program form: structural identity up to relabeling."""
+
+from repro.litmus.battery import EXTRA_CASES
+from repro.litmus.program import (Fence, Ld, St, canonical_form,
+                                  canonical_key, make_program)
+from repro.litmus.tests import ALL_CASES, N6, SB
+
+
+def _sb_variant(addrs=("x", "y"), values=(1, 2), regs=("r0", "r0"),
+                swap=False):
+    threads = [
+        [St(addrs[0], values[0]), Ld(addrs[1], regs[0])],
+        [St(addrs[1], values[1]), Ld(addrs[0], regs[1])],
+    ]
+    if swap:
+        threads.reverse()
+    return make_program("variant", threads)
+
+
+def test_address_relabeling_is_canonical():
+    assert canonical_key(_sb_variant()) == \
+        canonical_key(_sb_variant(addrs=("p", "q")))
+
+
+def test_value_relabeling_is_canonical():
+    assert canonical_key(_sb_variant()) == \
+        canonical_key(_sb_variant(values=(7, 42)))
+
+
+def test_register_relabeling_is_canonical():
+    assert canonical_key(_sb_variant()) == \
+        canonical_key(_sb_variant(regs=("ra", "rb")))
+
+
+def test_thread_permutation_is_canonical():
+    assert canonical_key(_sb_variant()) == \
+        canonical_key(_sb_variant(swap=True))
+
+
+def test_battery_sb_matches_relabeled_variant():
+    assert canonical_key(SB) == canonical_key(
+        _sb_variant(addrs=("y", "x"), values=(9, 3), swap=True))
+
+
+def test_different_structure_distinct():
+    mp_like = make_program("t", [
+        [Ld("x", "r0"), Ld("y", "r1")],
+        [St("y", 1), St("x", 2)],
+    ])
+    assert canonical_key(mp_like) != canonical_key(SB)
+
+
+def test_fences_are_structural():
+    fenced = make_program("t", [
+        [St("x", 1), Fence(), Ld("y", "r0")],
+        [St("y", 2), Ld("x", "r1")],
+    ])
+    assert canonical_key(fenced) != canonical_key(SB)
+
+
+def test_store_of_initial_value_is_distinct():
+    # A store of the location's initial value is observationally
+    # different from a store of a fresh value (a load cannot tell the
+    # init apart from an equal-valued store); the canonical form pins
+    # the initial value to class 0, so the two must not collapse.
+    fresh = make_program("t", [[St("x", 1), Ld("x", "r0")]])
+    initial = make_program("t", [[St("x", 0), Ld("x", "r0")]])
+    assert canonical_key(fresh) != canonical_key(initial)
+
+
+def test_value_equality_per_address_preserved():
+    # Two stores of the same value to one address vs distinct values:
+    # distinct structures.
+    same = make_program("t", [[St("x", 5)], [St("x", 5), Ld("x", "r0")]])
+    diff = make_program("t", [[St("x", 5)], [St("x", 6), Ld("x", "r0")]])
+    assert canonical_key(same) != canonical_key(diff)
+
+
+def test_initial_only_addresses_kept():
+    with_extra = make_program("t", [[St("x", 1)]], initial={"y": 0})
+    without = make_program("t", [[St("x", 1)]])
+    assert canonical_key(with_extra) != canonical_key(without)
+
+
+def test_canonical_form_is_deterministic_text():
+    form = canonical_form(N6)
+    assert form == canonical_form(N6)
+    assert "a0" in form and "T0" in form
+
+
+def test_battery_has_no_structural_duplicates():
+    keys = {}
+    for case in ALL_CASES + EXTRA_CASES:
+        keys.setdefault(canonical_key(case.program),
+                        []).append(case.program.name)
+    duplicates = {k: v for k, v in keys.items() if len(v) > 1}
+    assert duplicates == {}
+
+
+def test_generated_battery_members_are_new_structures():
+    from repro.litmus.generated import GENERATED_CASES
+    hand = {canonical_key(case.program)
+            for case in ALL_CASES + EXTRA_CASES}
+    for case in GENERATED_CASES:
+        assert canonical_key(case.program) not in hand

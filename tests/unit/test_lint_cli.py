@@ -155,6 +155,60 @@ def test_lint_changed_picks_up_untracked_files(tmp_path, monkeypatch,
     assert "fresh.py" in out
 
 
+def test_lint_changed_skips_renamed_and_deleted_files(tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+    repo = tmp_path / "work"
+    hot = repo / "repro" / "sim"
+    hot.mkdir(parents=True)
+    (hot / "old_name.py").write_text(CLEAN_SOURCE)
+    # The deleted file holds a violation: after deletion it must be
+    # skipped with a note, not linted (it is gone) and not an error.
+    (hot / "doomed.py").write_text(BAD_SOURCE)
+    _git(repo, "init", "-q", "-b", "main")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "seed")
+
+    monkeypatch.chdir(repo)
+    _git(repo, "mv", "repro/sim/old_name.py", "repro/sim/new_name.py")
+    _git(repo, "rm", "-q", "repro/sim/doomed.py")
+    assert main(["lint", str(repo), "--changed", "--base", "main"]) == 0
+    out = capsys.readouterr().out
+    assert "skipping" in out
+    assert "doomed.py" in out
+    assert "renamed or deleted" in out
+    # The renamed file's old path (when git reports it) and the deleted
+    # file must not surface as violations or errors.
+    assert "det-wallclock" not in out
+
+    # The renamed-to file is still linted under its new name.
+    (repo / "repro" / "sim" / "new_name.py").write_text(BAD_SOURCE)
+    assert main(["lint", str(repo), "--changed", "--base", "main"]) == 1
+    out = capsys.readouterr().out
+    assert "new_name.py" in out
+
+
+def test_lint_changed_resolves_names_from_subdirectory(tmp_path,
+                                                       monkeypatch,
+                                                       capsys):
+    repo = tmp_path / "work"
+    hot = repo / "repro" / "sim"
+    hot.mkdir(parents=True)
+    tracked = hot / "tracked.py"
+    tracked.write_text(CLEAN_SOURCE)
+    _git(repo, "init", "-q", "-b", "main")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "seed")
+
+    # git names files relative to the repo root; --changed must resolve
+    # them against the root even when invoked from a subdirectory.
+    monkeypatch.chdir(hot)
+    tracked.write_text(BAD_SOURCE)
+    assert main(["lint", str(repo), "--changed", "--base", "main"]) == 1
+    out = capsys.readouterr().out
+    assert "det-wallclock" in out
+
+
 def test_lint_changed_outside_git_exits_with_message(tmp_path,
                                                      monkeypatch):
     monkeypatch.chdir(tmp_path)

@@ -146,3 +146,81 @@ class TestSweepJobWire:
         job = SweepJob(name="fft", policy="x86", config=TINY)
         with pytest.raises(ValueError, match="config"):
             job.to_dict()
+
+
+class TestSynthJobs:
+    def test_parse_minimal(self):
+        kind, spec, priority = parse_request(
+            {"kind": "synth", "bounds": {"threads": 2, "max_ops": 2}})
+        assert kind == "synth"
+        assert spec.bounds.threads == 2 and spec.bounds.max_ops == 2
+        assert spec.chunk == 0 and spec.chunks == 1
+        assert spec.pairs == (("SC", "370"), ("SC", "x86"),
+                              ("370", "x86"))
+        assert priority == DEFAULT_PRIORITY
+
+    def test_spec_round_trips(self):
+        data = {"kind": "synth",
+                "bounds": {"threads": 2, "max_ops": 2, "addresses": 2,
+                           "fences": True, "max_total": 3},
+                "pairs": [["370", "x86"]], "chunk": 1, "chunks": 4,
+                "limit": 2}
+        kind, spec, _ = parse_request(data)
+        wire = spec_to_dict(kind, spec)
+        _, spec2, _ = parse_request(wire)
+        assert spec2 == spec
+
+    @pytest.mark.parametrize("bad", [
+        {"kind": "synth"},                              # missing bounds
+        {"kind": "synth", "bounds": {"threads": 0}},
+        {"kind": "synth", "bounds": {}, "pairs": []},
+        {"kind": "synth", "bounds": {}, "pairs": [["x86", "SC"]]},
+        {"kind": "synth", "bounds": {}, "pairs": [["SC", "SC"]]},
+        {"kind": "synth", "bounds": {}, "pairs": [["SC", "alpha"]]},
+        {"kind": "synth", "bounds": {}, "chunk": 2, "chunks": 2},
+        {"kind": "synth", "bounds": {}, "chunks": 0},
+        {"kind": "synth", "bounds": {}, "limit": -1},
+        {"kind": "synth", "bounds": {}, "stray": 1},
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(JobValidationError):
+            parse_request(bad)
+
+    def test_chunk_forks_the_key(self):
+        base = {"kind": "synth", "bounds": {"threads": 2, "max_ops": 2}}
+        _, whole, _ = parse_request(base)
+        _, part, _ = parse_request({**base, "chunk": 1, "chunks": 2})
+        assert request_key(whole) != request_key(part)
+
+    def test_execute_matches_direct_search(self):
+        from repro.synth import SynthBounds, SynthResult, search
+        _, spec, _ = parse_request(
+            {"kind": "synth", "bounds": {"threads": 2, "max_ops": 2},
+             "chunk": 0, "chunks": 2})
+        payload = execute_request(spec)
+        assert payload["kind"] == "synth"
+        direct = search(SynthBounds(threads=2, max_ops=2),
+                        chunk=0, chunks=2)
+        expected = direct.to_dict()
+        expected["kind"] = "synth"
+        assert json.dumps(payload, sort_keys=True) == \
+            json.dumps(expected, sort_keys=True)
+        # And the wire form reconstructs losslessly.
+        clone = SynthResult.from_dict(payload)
+        assert clone.enumerated == direct.enumerated
+        assert set(clone.distinguishers) == set(direct.distinguishers)
+
+    def test_chunked_results_merge_to_the_serial_search(self):
+        from repro.synth import SynthResult, merge_results, search
+        from repro.synth.space import SynthBounds
+        bounds = {"threads": 2, "max_ops": 2}
+        parts = []
+        for chunk in range(3):
+            _, spec, _ = parse_request(
+                {"kind": "synth", "bounds": bounds,
+                 "chunk": chunk, "chunks": 3})
+            parts.append(SynthResult.from_dict(execute_request(spec)))
+        merged = merge_results(parts)
+        serial = search(SynthBounds(threads=2, max_ops=2))
+        assert merged.enumerated == serial.enumerated
+        assert set(merged.distinguishers) == set(serial.distinguishers)
