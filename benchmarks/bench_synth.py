@@ -2,13 +2,16 @@
 
 Measures the ``repro.synth`` pipeline on the 2-thread, <=3-event,
 2-address space (every rf/co candidate of every program judged under
-SC, 370 and x86):
+every axiomatic model: SC, 370, x86 and WMM):
 
 * **serial** — one in-process :func:`repro.synth.search` pass
   (programs/sec, distinguishers found, canonical-dedupe ratio);
 * **service** — the same space scattered as chunked ``synth`` jobs over
   the real HTTP API and merged back, byte-identical to the serial
-  result (serial-vs-serve speedup, cold and warm).
+  result (serial-vs-serve speedup, cold and warm);
+* **enlarged** — a serial pass over the extended-vocabulary space
+  (locked RMWs + acquire/release/lwfence, the ``2x2x2ra`` token), so
+  the recorded programs/sec tracks the richer event kinds too.
 
 Run standalone (CI smoke) to record ``BENCH_synth.json``:
 
@@ -32,6 +35,8 @@ from repro.synth import SynthResult, merge_results, search
 from repro.synth.space import SynthBounds, count_programs
 
 BOUNDS = SynthBounds(threads=2, max_ops=3, addresses=2)
+ENLARGED = SynthBounds(threads=2, max_ops=2, addresses=2,
+                       rmws=True, acqrel=True)
 CHUNKS = 4
 SHARDS = 2
 SHARD_WORKERS = 2
@@ -111,6 +116,11 @@ def measure():
 
     identical = (merged.to_dict() == serial.to_dict()
                  == rewarmed.to_dict())
+
+    t0 = time.perf_counter()
+    enlarged = search(ENLARGED)
+    enlarged_s = time.perf_counter() - t0
+
     return {
         "space": BOUNDS.describe(),
         "programs": count_programs(BOUNDS),
@@ -135,6 +145,15 @@ def measure():
         "serve_warm_seconds": round(warm_s, 4),
         "serve_warm_cache_hits": warm_hits,
         "serve_warm_speedup": round(serial_s / warm_s, 2),
+        "enlarged_space": ENLARGED.describe(),
+        "enlarged_programs": count_programs(ENLARGED),
+        "enlarged_judged": enlarged.judged,
+        "enlarged_hits": enlarged.hits,
+        "enlarged_distinct": enlarged.distinct,
+        "enlarged_lattice_errors": len(enlarged.lattice_errors),
+        "enlarged_seconds": round(enlarged_s, 4),
+        "enlarged_programs_per_sec": round(
+            enlarged.enumerated / enlarged_s, 1),
     }
 
 
@@ -149,6 +168,10 @@ def test_synth_scatter_matches_serial():
     assert result["distinct"] >= 1, result
     # The warm pass answers every chunk from the store.
     assert result["serve_warm_cache_hits"] == CHUNKS, result
+    # The extended-vocabulary space must stay lattice-clean and keep
+    # finding witnesses (WMM pairs have plenty).
+    assert result["enlarged_lattice_errors"] == 0, result
+    assert result["enlarged_distinct"] >= 1, result
 
 
 # ----------------------------------------------------------------------
@@ -170,7 +193,10 @@ def main():
           f" programs/s ({result['serve_cold_speedup']}x cold, "
           f"{result['serve_warm_speedup']}x warm) over "
           f"{result['programs']} programs, {result['distinct']} "
-          f"distinct distinguishers")
+          f"distinct distinguishers; enlarged space "
+          f"{result['enlarged_programs_per_sec']} programs/s over "
+          f"{result['enlarged_programs']} programs, "
+          f"{result['enlarged_distinct']} distinct")
 
 
 if __name__ == "__main__":

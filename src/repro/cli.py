@@ -41,6 +41,12 @@ Commands:
                                   model-pair distinguishers, minimize,
                                   triple-check, and ``--promote`` them
                                   into the battery (docs/SYNTHESIS.md)
+``zoo``                           the memory-model registry: model
+                                  table, machine-checked conformance
+                                  lattice over the battery, optional
+                                  triple-oracle cross-check of random
+                                  RMW/acquire-release programs
+                                  (docs/MEMORY_MODELS.md)
 
 ``bench`` and ``replay`` take ``--json`` (machine-readable stats) and
 ``--obs``/``--obs-out`` (histograms + gate intervals, optionally as
@@ -872,20 +878,26 @@ def cmd_lint(args) -> int:
 
 
 def _parse_space(token: str):
-    """``TxOxA[f][tN]`` → :class:`SynthBounds` (e.g. ``2x3x2``,
-    ``2x3x2f`` with fences, ``3x3x2t6`` capped at 6 events total)."""
+    """``TxOxA[f][r][a][tN]`` → :class:`SynthBounds` (e.g. ``2x3x2``,
+    ``2x3x2f`` with fences, ``2x3x2rf`` with locked RMWs and fences,
+    ``2x2x2a`` with acquire/release/lwfence, ``3x3x2t6`` capped at 6
+    events total)."""
     import re
 
     from repro.synth import SynthBounds
-    match = re.fullmatch(r"(\d+)x(\d+)x(\d+)(f?)(?:t(\d+))?", token)
-    if not match:
+    match = re.fullmatch(r"(\d+)x(\d+)x(\d+)([fra]*)(?:t(\d+))?", token)
+    flags = match.group(4) if match else ""
+    if not match or len(set(flags)) != len(flags):
         raise SystemExit(f"bad space {token!r} (want THREADSxOPSxADDRS"
-                         f"[f][tN], e.g. 2x3x2 or 3x3x2t6)")
+                         f"[f][r][a][tN], e.g. 2x3x2, 2x3x2rf or "
+                         f"3x3x2t6)")
     try:
         return SynthBounds(threads=int(match.group(1)),
                            max_ops=int(match.group(2)),
                            addresses=int(match.group(3)),
-                           fences=bool(match.group(4)),
+                           fences="f" in flags,
+                           rmws="r" in flags,
+                           acqrel="a" in flags,
                            max_total=int(match.group(5) or 0))
     except ValueError as exc:
         raise SystemExit(f"bad space {token!r}: {exc}")
@@ -940,6 +952,66 @@ def _synth_via_service(url: str, bounds, pairs: List[List[str]],
     return merge_results(payloads)
 
 
+def cmd_zoo(args) -> int:
+    import json
+    import random
+
+    from repro.litmus.checker import random_program
+    from repro.models import model_table
+    from repro.models.lattice import check_lattice
+    from repro.synth.oracle import triple_check
+
+    header = ("model", "title", "relaxations", "formalizations",
+              "stronger than")
+    rows = [header] + [tuple(str(cell) for cell in row)
+                       for row in model_table()]
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(header))]
+    print("the memory-model zoo (strongest first):")
+    for row in rows:
+        print("  " + "  ".join(cell.ljust(width) for cell, width
+                               in zip(row, widths)).rstrip())
+    print()
+
+    report = check_lattice()
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation.program}: {violation.strong} allows "
+              f"{', '.join(violation.outcomes)} which "
+              f"{violation.weak} forbids")
+
+    oracle_reports = []
+    if args.random:
+        rng = random.Random(args.seed)
+        programs = [random_program(rng, name=f"zoo-random-{i}",
+                                   allow_fences=True, allow_rmws=True,
+                                   allow_acqrel=True)
+                    for i in range(args.random)]
+        oracle_reports = [triple_check(program) for program in programs]
+        disagreements = [r for r in oracle_reports if not r.agree]
+        print(f"triple-oracle cross-check: {len(programs)} random "
+              f"programs (seed {args.seed}, rmw/acq-rel vocabulary) — "
+              f"{len(disagreements)} disagreements")
+        for r in disagreements:
+            print("\n".join(r.mismatches))
+
+    if args.json:
+        payload = {
+            "models": [dict(zip(("name", "title", "relaxations",
+                                 "formalizations", "stronger_than"), row))
+                       for row in model_table()],
+            "lattice": report.to_dict(),
+            "random": {"programs": args.random, "seed": args.seed,
+                       "reports": [r.to_dict() for r in oracle_reports]},
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    ok = report.ok and all(r.agree for r in oracle_reports)
+    return 0 if ok else 1
+
+
 def cmd_synth(args) -> int:
     import json
     import os
@@ -953,8 +1025,11 @@ def cmd_synth(args) -> int:
                              write_generated_module)
 
     spaces = [_parse_space(token) for token in args.spaces.split(",")]
-    pairs = _parse_pairs(args.pairs) if args.pairs else \
-        [["SC", "370"], ["SC", "x86"], ["370", "x86"]]
+    if args.pairs:
+        pairs = _parse_pairs(args.pairs)
+    else:
+        from repro.synth.search import MODEL_PAIRS
+        pairs = [list(pair) for pair in MODEL_PAIRS]
     hand_cases = _ALL + _EXTRA
     battery_keys = {canonical_key(case.program): case.program.name
                     for case in hand_cases}
@@ -1071,10 +1146,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="models to enumerate (default: all)")
     p.set_defaults(func=cmd_litmus)
 
+    from repro.models import model_names
     p = sub.add_parser("explain", help="happens-before explanation")
     p.add_argument("name")
     p.add_argument("-m", "--model", default="370",
-                   choices=("SC", "370", "x86"))
+                   choices=model_names(axiomatic_only=True))
     p.add_argument("-w", "--witness", nargs="+", default=[],
                    help="witness conditions, e.g. r0_rx=1 mem_x=1")
     p.set_defaults(func=cmd_explain)
@@ -1474,17 +1550,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
+        "zoo",
+        help="the memory-model registry: print the model table, "
+             "machine-check the conformance lattice over the battery, "
+             "and optionally triple-oracle random RMW/acquire-release "
+             "programs (docs/MEMORY_MODELS.md)")
+    p.add_argument("--random", type=int, default=0, metavar="N",
+                   help="also triple-oracle N seeded random programs "
+                        "drawn with the full event vocabulary")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for --random program generation")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the model table + lattice/oracle report "
+                        "as JSON")
+    p.set_defaults(func=cmd_zoo)
+
+    p = sub.add_parser(
         "synth",
         help="exhaustive bounded litmus synthesis: enumerate small "
              "programs, keep model-pair distinguishers, minimize, "
              "triple-check, optionally promote (docs/SYNTHESIS.md)")
     p.add_argument("--spaces", default="2x3x2", metavar="SPACES",
-                   help="comma list of THREADSxOPSxADDRS[f][tN] spaces "
-                        "(f = fences, tN = total-event cap; default "
-                        "2x3x2)")
+                   help="comma list of THREADSxOPSxADDRS[f][r][a][tN] "
+                        "spaces (f = fences, r = locked RMWs, a = "
+                        "acquire/release/lwfence, tN = total-event cap; "
+                        "default 2x3x2)")
     p.add_argument("--pairs", default=None, metavar="PAIRS",
                    help="comma list of STRONG:WEAK model pairs "
-                        "(default: SC:370,SC:x86,370:x86)")
+                        "(default: every lattice pair among "
+                        "SC/370/x86/WMM)")
     p.add_argument("--limit", type=int, default=0,
                    help="stop a space after N distinct witnesses "
                         "(0 = exhaust it)")

@@ -19,15 +19,13 @@ as oracles for each other:
   immediate ones — and tests acyclicity with a **Kahn indegree peel**,
   extracting a concrete witness cycle from the unpeeled residue.
 
-The model table matches the paper's Figure 2 distinction:
-
-========  ===========================  ============================
-model     ppo                          grf (rf edges in ghb)
-========  ===========================  ============================
-SC        po                           all rf
-370       po minus st→ld (unfenced)    all rf — **rfi is global**
-x86       po minus st→ld (unfenced)    rfe + rf-from-init only
-========  ===========================  ============================
+Each model's ppo/grf predicates are resolved from the registry
+(:mod:`repro.models`) — the same definitions ``axiomatic.py``
+evaluates, covering SC, 370, x86 and WMM (the paper's Figure 2
+forwarding distinction is the 370-vs-x86 ``grf`` difference).  Locked
+read-modify-writes contribute a read event ``(tid, idx)`` plus a write
+event ``(tid, idx, 1)`` tied by the atomicity axiom; a failed cas
+performs no write (its write event is inactive).
 
 An outcome that x86 allows and 370 forbids always owes its 370 cycle to
 an ``rfi`` (store-to-load forwarding) edge — exactly the store-atomicity
@@ -43,13 +41,17 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.litmus.axiomatic import M370, SC, X86, enumerate_axiomatic
-from repro.litmus.program import (Fence, Ld, Outcome, Program, Rmw, St)
+from repro.litmus.program import (Cas, Ld, Outcome, Program, Rmw, St)
+from repro.models import get_model, model_names, po_access_pairs
+from repro.models.base import PoPair
 
-MODELS = (SC, M370, X86)
+MODELS = model_names(axiomatic_only=True)
 
-#: (tid, idx); tid == -1 for the per-address initial store
-#: (idx = ordinal of the address in ``program.addresses``).
-Event = Tuple[int, int]
+#: ``(tid, idx)`` for a load/store or the read half of a locked op;
+#: ``(tid, idx, 1)`` for the write half of a locked op; tid == -1 for
+#: the per-address initial store (idx = ordinal of the address in
+#: ``program.addresses``).
+Event = Tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -58,7 +60,7 @@ class Edge:
 
     src: Event
     dst: Event
-    kind: str  # po | ppo | po-loc | rfi | rfe | rf-init | co | fr
+    kind: str  # po|ppo|po-loc|fence | rfi|rfe|rf-init | co|fr | atom
 
     def sort_key(self) -> Tuple[Event, Event, str]:
         return (self.src, self.dst, self.kind)
@@ -68,7 +70,7 @@ class Edge:
 class CycleWitness:
     """A happens-before cycle proving an outcome forbidden."""
 
-    axiom: str               # "sc-per-location" | "ghb"
+    axiom: str               # "sc-per-location" | "atomicity" | "ghb"
     edges: Tuple[Edge, ...]
 
     @property
@@ -79,17 +81,22 @@ class CycleWitness:
         return any(edge.kind == kind for edge in self.edges)
 
     def communication_edges(self) -> Tuple[Edge, ...]:
-        """The rf/fr/co edges of the cycle — the inter-thread
-        communication chain, stripped of intra-thread program order."""
+        """The rf/fr/co (and RMW-atomicity) edges of the cycle — the
+        inter-thread communication chain, stripped of intra-thread
+        program order."""
         return tuple(e for e in self.edges
-                     if e.kind in ("rfi", "rfe", "rf-init", "co", "fr"))
+                     if e.kind in ("rfi", "rfe", "rf-init", "co", "fr",
+                                   "atom"))
 
 
 def event_name(program: Program, event: Event) -> str:
-    tid, idx = event
+    tid = event[0]
     if tid < 0:
-        return f"init[{program.addresses[idx]}]"
-    return f"T{tid}:{program.threads[tid][idx]}"
+        return f"init[{program.addresses[event[1]]}]"
+    op = program.threads[tid][event[1]]
+    if isinstance(op, (Rmw, Cas)):
+        return f"T{tid}:{op} [{'W' if len(event) == 3 else 'R'}]"
+    return f"T{tid}:{op}"
 
 
 def render_cycle(program: Program, witness: CycleWitness) -> List[str]:
@@ -104,18 +111,17 @@ class RelationAnalysis:
     :class:`Candidate` adds one concrete (rf, co) pick on top.
     """
 
-    __slots__ = ("program", "loads", "stores", "init_events", "addr_of",
-                 "value_of", "po_pairs")
+    __slots__ = ("program", "loads", "stores", "locked", "init_events",
+                 "addr_of", "value_of", "po_pairs")
 
     def __init__(self, program: Program) -> None:
-        for thread in program.threads:
-            if any(isinstance(op, Rmw) for op in thread):
-                raise NotImplementedError(
-                    "the relation analysis does not model atomic RMWs; "
-                    "use the operational engine")
         self.program = program
-        self.loads: List[Tuple[Event, Ld]] = []
-        self.stores: List[Tuple[Event, St]] = []
+        #: (event, op) — loads plus the read half of every locked op.
+        self.loads: List[Tuple[Event, object]] = []
+        #: (event, op) — stores plus the write half of every locked op.
+        self.stores: List[Tuple[Event, object]] = []
+        #: (read event, write event, op) per locked instruction.
+        self.locked: List[Tuple[Event, Event, object]] = []
         self.init_events: Dict[str, Event] = {}
         self.addr_of: Dict[Event, str] = {}
         self.value_of: Dict[Event, int] = {}
@@ -134,49 +140,39 @@ class RelationAnalysis:
                     self.stores.append((event, op))
                     self.addr_of[event] = op.addr
                     self.value_of[event] = op.value
-        # (a, b, fenced, a_is_store, b_is_store), a before b in thread.
-        self.po_pairs: List[Tuple[Event, Event, bool, bool, bool]] = []
-        for tid, thread in enumerate(program.threads):
-            accesses: List[Tuple[int, bool]] = []
-            fence_positions: List[int] = []
-            for idx, op in enumerate(thread):
-                if isinstance(op, Fence):
-                    fence_positions.append(idx)
-                elif isinstance(op, (Ld, St)):
-                    accesses.append((idx, isinstance(op, St)))
-            for i in range(len(accesses)):
-                idx_a, a_st = accesses[i]
-                for j in range(i + 1, len(accesses)):
-                    idx_b, b_st = accesses[j]
-                    fenced = any(idx_a < f < idx_b
-                                 for f in fence_positions)
-                    self.po_pairs.append(
-                        ((tid, idx_a), (tid, idx_b), fenced, a_st, b_st))
+                elif isinstance(op, (Rmw, Cas)):
+                    write = (tid, idx, 1)
+                    self.loads.append((event, op))
+                    self.stores.append((write, op))
+                    self.locked.append((event, write, op))
+                    self.addr_of[event] = op.addr
+                    self.addr_of[write] = op.addr
+                    self.value_of[write] = op.value
+        self.po_pairs: List[PoPair] = list(po_access_pairs(program))
 
     def candidates(self) -> Iterator["Candidate"]:
-        """Every candidate execution: an rf source per load crossed
-        with a coherence order per address."""
+        """Every candidate execution: an rf source per read crossed
+        with a coherence order per address (over the writes that are
+        *active* under the rf choice — a failed cas writes nothing)."""
         rf_domains: List[List[Event]] = []
         for _, op in self.loads:
             domain = [self.init_events[op.addr]]
             domain.extend(event for event, store in self.stores
                           if store.addr == op.addr)
             rf_domains.append(domain)
-        per_addr: Dict[str, List[Event]] = {
-            addr: [] for addr in self.program.addresses}
-        for event, store in self.stores:
-            per_addr[store.addr].append(event)
 
-        def co_orders(addr_index: int,
+        def co_orders(addr_index: int, active: frozenset,
                       chosen: Dict[str, Tuple[Event, ...]]
                       ) -> Iterator[Dict[str, Tuple[Event, ...]]]:
             if addr_index == len(self.program.addresses):
                 yield dict(chosen)
                 return
             addr = self.program.addresses[addr_index]
-            for order in _permutations(per_addr[addr]):
+            events = [event for event, store in self.stores
+                      if store.addr == addr and event in active]
+            for order in _permutations(events):
                 chosen[addr] = order
-                yield from co_orders(addr_index + 1, chosen)
+                yield from co_orders(addr_index + 1, active, chosen)
             chosen.pop(addr, None)
 
         def rf_assignments(load_index: int, chosen: Dict[Event, Event]
@@ -191,8 +187,22 @@ class RelationAnalysis:
             chosen.pop(load_event, None)
 
         for rf in rf_assignments(0, {}):
-            for co in co_orders(0, {}):
-                yield Candidate(self, rf, co)
+            active = self._active_writes(rf)
+            if any(source[0] >= 0 and source not in active
+                   for source in rf.values()):
+                continue   # a read sources a write that never happens
+            for co in co_orders(0, active, {}):
+                yield Candidate(self, rf, co, active)
+
+    def _active_writes(self, rf: Dict[Event, Event]) -> frozenset:
+        """The writes that happen under ``rf``: everything except the
+        write half of a cas whose read saw a value != expect."""
+        active = {event for event, _ in self.stores}
+        for read, write, op in self.locked:
+            if isinstance(op, Cas) and \
+                    self.value_of[rf[read]] != op.expect:
+                active.discard(write)
+        return frozenset(active)
 
 
 def _permutations(items: List[Event]) -> Iterator[Tuple[Event, ...]]:
@@ -208,14 +218,17 @@ def _permutations(items: List[Event]) -> Iterator[Tuple[Event, ...]]:
 class Candidate:
     """One candidate execution: an (rf, co) choice over the analysis."""
 
-    __slots__ = ("analysis", "rf", "co")
+    __slots__ = ("analysis", "rf", "co", "active")
 
     def __init__(self, analysis: RelationAnalysis,
                  rf: Dict[Event, Event],
-                 co: Dict[str, Tuple[Event, ...]]) -> None:
+                 co: Dict[str, Tuple[Event, ...]],
+                 active: Optional[frozenset] = None) -> None:
         self.analysis = analysis
         self.rf = rf
         self.co = co
+        self.active = analysis._active_writes(rf) \
+            if active is None else active
 
     # -- relations -----------------------------------------------------
     def rf_edges(self) -> List[Edge]:
@@ -255,24 +268,57 @@ class Candidate:
                 edges.append(Edge(load, nxt, "fr"))
         return edges
 
+    def _pair_exists(self, pair: PoPair) -> bool:
+        """A pair is an edge source only when both events happen (the
+        write half of a failed cas does not)."""
+        return (not pair.a_store or pair.a in self.active) and \
+               (not pair.b_store or pair.b in self.active)
+
     def uniproc_edges(self) -> List[Edge]:
         edges = self.rf_edges() + self.co_edges() + self.fr_edges()
-        addr_of = self.analysis.addr_of
-        for a, b, _fenced, _a_st, _b_st in self.analysis.po_pairs:
-            if addr_of[a] == addr_of[b]:
-                edges.append(Edge(a, b, "po-loc"))
+        for pair in self.analysis.po_pairs:
+            if pair.same_addr and self._pair_exists(pair):
+                edges.append(Edge(pair.a, pair.b, "po-loc"))
+        return edges
+
+    def atomicity_edges(self) -> List[Edge]:
+        """Violated-atomicity witness triangles: for a locked op whose
+        write is not the immediate co-successor of its read's source,
+        the cycle  R --fr--> X --co--> W --atom--> R  (empty list when
+        every locked op is atomic)."""
+        successor: Dict[Event, Event] = {}
+        for addr in self.analysis.program.addresses:
+            chain = (self.analysis.init_events[addr],) + self.co[addr]
+            for a, b in zip(chain, chain[1:]):
+                successor[a] = b
+        edges: List[Edge] = []
+        for read, write, _op in self.analysis.locked:
+            if write not in self.active:
+                continue
+            intervening = successor.get(self.rf[read])
+            if intervening != write:
+                edges.extend([Edge(read, intervening, "fr"),
+                              Edge(intervening, write, "co"),
+                              Edge(write, read, "atom")])
+                break
         return edges
 
     def ghb_edges(self, model: str) -> List[Edge]:
+        axiomatic = get_model(model).axiomatic
         edges = self.co_edges() + self.fr_edges()
         for edge in self.rf_edges():
-            if model == X86 and edge.kind == "rfi":
-                continue   # forwarding is not globally ordered on x86
-            edges.append(edge)
-        for a, b, fenced, a_st, b_st in self.analysis.po_pairs:
-            st_to_ld = a_st and not b_st
-            if model == SC or not st_to_ld or fenced:
-                edges.append(Edge(a, b, "po" if model == SC else "ppo"))
+            if axiomatic.grf(edge.kind):
+                edges.append(edge)
+        for pair in self.analysis.po_pairs:
+            if not self._pair_exists(pair):
+                continue
+            if not axiomatic.ppo(pair):
+                continue
+            if pair.fence and not axiomatic.ppo(pair.without_fence()):
+                kind = "fence"    # kept only because of the barrier
+            else:
+                kind = "po" if model == SC else "ppo"
+            edges.append(Edge(pair.a, pair.b, kind))
         return edges
 
     def outcome(self) -> Outcome:
@@ -290,12 +336,23 @@ class Candidate:
         return Outcome(registers=tuple(sorted(regs)),
                        memory=tuple(sorted(mem)))
 
-    def judge(self, model: str) -> Optional[CycleWitness]:
-        """None when the candidate satisfies the model's axioms, else
-        the witness cycle of the first violated axiom."""
+    def universal_witness(self) -> Optional[CycleWitness]:
+        """A model-independent violation: an sc-per-location cycle or
+        a broken RMW atomicity triangle (None when neither)."""
         cycle = find_cycle(self.uniproc_edges())
         if cycle is not None:
             return CycleWitness("sc-per-location", tuple(cycle))
+        triangle = self.atomicity_edges()
+        if triangle:
+            return CycleWitness("atomicity", tuple(triangle))
+        return None
+
+    def judge(self, model: str) -> Optional[CycleWitness]:
+        """None when the candidate satisfies the model's axioms, else
+        the witness cycle of the first violated axiom."""
+        witness = self.universal_witness()
+        if witness is not None:
+            return witness
         cycle = find_cycle(self.ghb_edges(model))
         if cycle is not None:
             return CycleWitness("ghb", tuple(cycle))
@@ -513,7 +570,7 @@ def find_races(program: Program) -> RaceReport:
 @dataclass
 class CrossCheckResult:
     programs_checked: int = 0
-    programs_skipped: int = 0       # Rmw programs (neither oracle models them)
+    programs_skipped: int = 0       # retained for report compatibility
     mismatches: List[str] = field(default_factory=list)
 
     @property
@@ -547,16 +604,12 @@ def cross_check_program(program: Program,
 
 
 def cross_check_battery(models: Sequence[str] = MODELS) -> CrossCheckResult:
-    """Cross-check the full built-in battery (Rmw cases skipped — the
-    axiomatic side does not model locked instructions)."""
+    """Cross-check the full built-in battery — locked-RMW cases
+    included, both sides model them now."""
     from repro.litmus.battery import EXTRA_CASES
     from repro.litmus.tests import ALL_CASES
     result = CrossCheckResult()
     for case in list(ALL_CASES) + list(EXTRA_CASES):
-        if any(isinstance(op, Rmw) for thread in case.program.threads
-               for op in thread):
-            result.programs_skipped += 1
-            continue
         result.mismatches.extend(cross_check_program(case.program, models))
         result.programs_checked += 1
     return result

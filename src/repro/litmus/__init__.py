@@ -1,4 +1,5 @@
-"""Litmus-test engines: operational executors (SC / 370 / x86-TSO),
+"""Litmus-test engines: operational executors for every registered
+model (SC / 370 / x86-TSO / PC / WMM — see :mod:`repro.models`),
 exhaustive interleaving, axiomatic happens-before checking, the paper's
 litmus tests, and the 370-vs-x86 ConsistencyChecker."""
 
@@ -15,21 +16,24 @@ from repro.litmus.parser import (LitmusParseError, ParsedLitmus,
                                  render_litmus)
 from repro.litmus.pipeline_runner import (check_conformance,
                                           observed_outcomes, run_once)
-from repro.litmus.operational import (M370, MODELS, PC, SC, X86, allows,
-                                      enumerate_outcomes, matching_outcomes)
+from repro.litmus.operational import (M370, MODELS, PC, SC, WMM, X86,
+                                      allows, enumerate_outcomes,
+                                      machine_for, matching_outcomes)
 from repro.litmus.registry import litmus_registry
 from repro.litmus.sampler import SampleReport, sample
-from repro.litmus.program import (Fence, Instruction, Ld, Outcome, Program,
-                                  Rmw, St, make_program)
+from repro.litmus.program import (Cas, Fence, Instruction, Ld, Outcome,
+                                  Program, Rmw, St, make_program)
 from repro.litmus.tests import (ALL_CASES, FIG5, FIG5_CASE, IRIW, IRIW_CASE,
                                 MP, MP_CASE, N6, N6_CASE, PAPER_CASES, SB,
                                 SB_CASE, SB_FENCED, SB_FENCED_CASE,
                                 LitmusCase)
 
-__all__ = ["Ld", "St", "Fence", "Rmw", "Instruction", "Program", "Outcome",
+__all__ = ["Ld", "St", "Fence", "Rmw", "Cas", "Instruction", "Program",
+           "Outcome",
            "make_program", "enumerate_outcomes", "matching_outcomes",
+           "machine_for",
            "allows", "enumerate_axiomatic", "SC", "M370", "X86", "PC",
-           "MODELS", "sample", "SampleReport", "explain",
+           "WMM", "MODELS", "sample", "SampleReport", "explain",
            "litmus_registry",
            "run_once", "observed_outcomes", "check_conformance",
            "parse_litmus", "parse_litmus_file", "render_litmus",

@@ -1,63 +1,66 @@
 """Axiomatic memory-model checker (Alglave-style happens-before).
 
-Candidate executions of a litmus program are enumerated by choosing, for
-each load, the store it reads from (``rf``) and, per location, a total
-coherence order over stores (``co``); derived from these is the
-from-read relation ``fr = rf⁻¹ ; co``.  A candidate is allowed when:
+Candidate executions of a litmus program are enumerated by choosing,
+for each read, the write it reads from (``rf``) and, per location, a
+total coherence order over the writes (``co``); derived from these is
+the from-read relation ``fr = rf⁻¹ ; co``.  A candidate is allowed
+when:
 
 * **sc-per-location** (uniproc): ``po-loc ∪ rf ∪ co ∪ fr`` is acyclic;
+* **atomicity**: for every locked read-modify-write, no other write to
+  the same address falls in coherence order between the write the RMW
+  read from and the write it performed;
 * **no-thin-air** is trivial here (no data-dependent values);
 * the **global happens-before** relation is acyclic, where::
 
       ghb = ppo ∪ grf ∪ co ∪ fr
 
-  with per-model preserved program order and global read-from:
+  with each model's preserved-program-order and global-read-from
+  *predicates* resolved from the model registry
+  (:mod:`repro.models`) — SC keeps everything; 370/x86 relax st→ld
+  (370 keeps rfi global, x86 does not — exactly the paper's Figure 2
+  forwarding distinction); WMM keeps only ld→st plus whatever fences,
+  acquire loads, release stores and locked instructions restore.
 
-  ========  ==========================  =================
-  model     ppo                         grf
-  ========  ==========================  =================
-  SC        po                          rf
-  370       po minus st→ld (TSO)        rf   (store-atomic: rfi is global)
-  x86       po minus st→ld (TSO)        rfe  (rfi not global: forwarding)
-  ========  ==========================  =================
+Locked instructions (xchg / cas) contribute two events — a read
+``(tid, idx)`` and a write ``(tid, idx, 1)`` — tied by the atomicity
+axiom.  A cas whose read sees a value other than ``expect`` performs
+no write: its write event is *inactive*, excluded from ``co`` and
+unusable as an rf source.
 
-This is exactly the distinction the paper draws in Figure 2: "if
-store-to-load forwarding (rfi) enforces memory order, we have a cycle"
-— under the 370 model internal read-from edges participate in global
-happens-before, under x86 they do not.
-
-A fence contributes ordering: every access before the fence is ppo-
-ordered before every access after it (mfence restores st→ld order).
+This checker and the lint relation analysis
+(:mod:`repro.lint.memory_model`) evaluate the same registry predicates
+but are otherwise independent (full-transitive-closure DFS here vs
+immediate-edge Kahn peel there); the operational machines are the
+third, fully independent oracle.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.litmus.program import Fence, Ld, Outcome, Program, St
+from repro.litmus.program import (Cas, Ld, Outcome, Program, Rmw, St)
+from repro.models import get_model, model_names, po_access_pairs
+from repro.models.base import Event, PoPair
 
 SC = "SC"
 M370 = "370"
 X86 = "x86"
-
-# Event: (tid, idx) with tid == -1 for initial stores (idx = addr ordinal).
-Event = Tuple[int, int]
+WMM = "WMM"
 
 
 class _Execution:
     """One candidate execution: events plus chosen rf and co."""
 
     def __init__(self, program: Program) -> None:
-        from repro.litmus.program import Rmw
-        for thread in program.threads:
-            if any(isinstance(op, Rmw) for op in thread):
-                raise NotImplementedError(
-                    "the axiomatic checker does not model atomic RMWs; "
-                    "use the operational engine")
         self.program = program
-        self.loads: List[Tuple[Event, Ld]] = []
-        self.stores: List[Tuple[Event, St]] = []
+        #: (event, op) — Ld plus the read half of every locked op.
+        self.reads: List[Tuple[Event, object]] = []
+        #: (event, op) — St plus the write half of every locked op.
+        self.writes: List[Tuple[Event, object]] = []
+        #: (read event, write event, op) per locked instruction.
+        self.locked: List[Tuple[Event, Event, object]] = []
         self.init_events: Dict[str, Event] = {}
         self.addr_of: Dict[Event, str] = {}
         self.value_of: Dict[Event, int] = {}
@@ -66,15 +69,54 @@ class _Execution:
             self.init_events[addr] = event
             self.addr_of[event] = addr
             self.value_of[event] = program.initial_value(addr)
-        for tid, idx, op in program.loads():
-            self.loads.append(((tid, idx), op))
-        for tid, idx, op in program.stores():
-            event = (tid, idx)
-            self.stores.append((event, op))
-            self.addr_of[event] = op.addr
-            self.value_of[event] = op.value
-        self.rf: Dict[Event, Event] = {}         # load -> store
-        self.co: Dict[str, List[Event]] = {}     # addr -> ordered stores
+        for tid, thread in enumerate(program.threads):
+            for idx, op in enumerate(thread):
+                if isinstance(op, Ld):
+                    event = (tid, idx)
+                    self.reads.append((event, op))
+                    self.addr_of[event] = op.addr
+                elif isinstance(op, St):
+                    event = (tid, idx)
+                    self.writes.append((event, op))
+                    self.addr_of[event] = op.addr
+                    self.value_of[event] = op.value
+                elif isinstance(op, (Rmw, Cas)):
+                    read, write = (tid, idx), (tid, idx, 1)
+                    self.reads.append((read, op))
+                    self.writes.append((write, op))
+                    self.locked.append((read, write, op))
+                    self.addr_of[read] = op.addr
+                    self.addr_of[write] = op.addr
+                    self.value_of[write] = op.value
+        self.po_pairs: List[PoPair] = list(po_access_pairs(program))
+        self.rf: Dict[Event, Event] = {}         # read -> write
+        self.co: Dict[str, List[Event]] = {}     # addr -> ordered writes
+        self.active: Set[Event] = set()          # writes that happen
+
+    def compute_active(self) -> bool:
+        """Given ``rf``, mark each write active (a failed cas performs
+        no write); False when some read sources an inactive write."""
+        self.active = {event for event, op in self.writes}
+        for read, write, op in self.locked:
+            if isinstance(op, Cas) and \
+                    self.value_of[self.rf[read]] != op.expect:
+                self.active.discard(write)
+        return all(source[0] < 0 or source in self.active
+                   for source in self.rf.values())
+
+    def atomicity_holds(self) -> bool:
+        """No write intervenes in co between a locked read's source and
+        the locked write (the write must be the immediate successor)."""
+        successor: Dict[Event, Event] = {}
+        for addr, order in self.co.items():
+            chain = [self.init_events[addr]] + order
+            for a, b in zip(chain, chain[1:]):
+                successor[a] = b
+        for read, write, _op in self.locked:
+            if write in self.active and \
+                    successor.get(self.rf[read]) != write:
+                return False
+        return True
 
 
 def _acyclic(edges: Set[Tuple[Event, Event]]) -> bool:
@@ -108,81 +150,63 @@ def _acyclic(edges: Set[Tuple[Event, Event]]) -> bool:
     return True
 
 
-def _po_pairs(program: Program) -> Iterable[Tuple[Event, Event, bool]]:
-    """Yield (a, b, crosses_fence) for all program-ordered access pairs."""
-    for tid, thread in enumerate(program.threads):
-        accesses: List[Tuple[int, object]] = [
-            (idx, op) for idx, op in enumerate(thread)
-            if isinstance(op, (Ld, St))]
-        fences = [idx for idx, op in enumerate(thread)
-                  if isinstance(op, Fence)]
-        for i, (idx_a, op_a) in enumerate(accesses):
-            for idx_b, op_b in accesses[i + 1:]:
-                crosses = any(idx_a < f < idx_b for f in fences)
-                yield (tid, idx_a), (tid, idx_b), crosses
+def _rf_kind(source: Event, read: Event) -> str:
+    if source[0] < 0:
+        return "rf-init"
+    return "rfi" if source[0] == read[0] else "rfe"
 
 
-def _model_edges(execution: _Execution, model: str
+def _model_edges(execution: _Execution, model_name: str
                  ) -> Tuple[Set[Tuple[Event, Event]],
                             Set[Tuple[Event, Event]]]:
     """Returns (uniproc_edges, ghb_edges) for the candidate."""
-    program = execution.program
-    addr_of = execution.addr_of
-    is_store = {event for event, _ in execution.stores}
+    axiomatic = get_model(model_name).axiomatic
+    active = execution.active
 
-    rf_edges = {(store, load) for load, store in execution.rf.items()}
+    rf_edges = {(source, read)
+                for read, source in execution.rf.items()}
     co_edges: Set[Tuple[Event, Event]] = set()
     for addr, order in execution.co.items():
         chain = [execution.init_events[addr]] + order
-        for a, b in zip(chain, chain[1:]):
-            co_edges.add((a, b))
         # Transitive closure of co (orders are short).
         for i, a in enumerate(chain):
             for b in chain[i + 1:]:
                 co_edges.add((a, b))
-    # fr: for each load reading s, fr to every store co-after s.
+    # fr: for each read of s, fr to every write co-after s.
     fr_edges: Set[Tuple[Event, Event]] = set()
     co_after: Dict[Event, Set[Event]] = {}
     for a, b in co_edges:
         co_after.setdefault(a, set()).add(b)
-    for load, store in execution.rf.items():
-        for later in co_after.get(store, ()):
-            fr_edges.add((load, later))
+    for read, source in execution.rf.items():
+        for later in co_after.get(source, ()):
+            fr_edges.add((read, later))
 
-    # Preserved program order.
     ppo: Set[Tuple[Event, Event]] = set()
     po_loc: Set[Tuple[Event, Event]] = set()
-    for a, b, crosses_fence in _po_pairs(program):
-        if addr_of.get(a, _load_addr(program, a)) == \
-                addr_of.get(b, _load_addr(program, b)):
-            po_loc.add((a, b))
-        relaxed = (a in is_store) and (b not in is_store)  # st -> ld
-        if model == SC or not relaxed or crosses_fence:
-            ppo.add((a, b))
+    for pair in execution.po_pairs:
+        # Pairs touching an inactive (failed-cas) write are not events
+        # of this candidate.
+        if (pair.a_store and pair.a not in active) or \
+                (pair.b_store and pair.b not in active):
+            continue
+        if pair.same_addr:
+            po_loc.add((pair.a, pair.b))
+        if axiomatic.ppo(pair):
+            ppo.add((pair.a, pair.b))
 
-    if model == X86:
-        grf = {(s, l) for s, l in rf_edges if s[0] != l[0]}  # external only
-    else:
-        grf = set(rf_edges)
+    grf = {(source, read) for source, read in rf_edges
+           if axiomatic.grf(_rf_kind(source, read))}
 
     uniproc = po_loc | rf_edges | co_edges | fr_edges
     ghb = ppo | grf | co_edges | fr_edges
     return uniproc, ghb
 
 
-def _load_addr(program: Program, event: Event) -> str:
-    tid, idx = event
-    if tid < 0:
-        return program.addresses[idx]
-    op = program.threads[tid][idx]
-    return op.addr
-
-
 def _outcome_of(execution: _Execution) -> Outcome:
     regs = []
-    for load_event, op in execution.loads:
-        source = execution.rf[load_event]
-        regs.append(((load_event[0], op.reg),
+    for read_event, op in execution.reads:
+        source = execution.rf[read_event]
+        regs.append(((read_event[0], op.reg),
                      execution.value_of[source]))
     mem = []
     for addr in execution.program.addresses:
@@ -195,33 +219,42 @@ def _outcome_of(execution: _Execution) -> Outcome:
 
 def enumerate_axiomatic(program: Program, model: str) -> FrozenSet[Outcome]:
     """All outcomes whose candidate executions satisfy the model axioms."""
-    if model not in (SC, M370, X86):
-        raise ValueError(f"unknown model {model!r}")
+    if model not in model_names(axiomatic_only=True):
+        raise ValueError(
+            f"no axiomatic definition for model {model!r}; "
+            f"axiomatic models: "
+            f"{', '.join(model_names(axiomatic_only=True))}")
     execution = _Execution(program)
 
-    # rf choices per load: any same-address store (or the initial store).
+    # rf choices per read: any same-address write (or the initial one).
     rf_choices: List[List[Event]] = []
-    for load_event, op in execution.loads:
+    for read_event, op in execution.reads:
         sources = [execution.init_events[op.addr]]
-        sources += [event for event, store in execution.stores
-                    if store.addr == op.addr]
+        sources += [event for event, write in execution.writes
+                    if write.addr == op.addr]
         rf_choices.append(sources)
 
-    # co choices per address: all permutations of its stores.
-    addr_stores: Dict[str, List[Event]] = {}
-    for event, store in execution.stores:
-        addr_stores.setdefault(store.addr, []).append(event)
-    co_addrs = sorted(addr_stores)
-    co_choices = [list(itertools.permutations(addr_stores[a]))
-                  for a in co_addrs]
+    addr_writes: Dict[str, List[Event]] = {}
+    for event, write in execution.writes:
+        addr_writes.setdefault(write.addr, []).append(event)
 
     outcomes: Set[Outcome] = set()
     for rf_pick in itertools.product(*rf_choices) if rf_choices else [()]:
-        execution.rf = {load_event: src for (load_event, _), src
-                        in zip(execution.loads, rf_pick)}
+        execution.rf = {read_event: src for (read_event, _), src
+                        in zip(execution.reads, rf_pick)}
+        if not execution.compute_active():
+            continue   # a read sources a write that never happens
+        # co choices per address: permutations of its *active* writes.
+        co_addrs = sorted(addr_writes)
+        co_choices = [
+            list(itertools.permutations(
+                [e for e in addr_writes[a] if e in execution.active]))
+            for a in co_addrs]
         for co_pick in itertools.product(*co_choices) if co_choices else [()]:
             execution.co = {addr: list(order)
                             for addr, order in zip(co_addrs, co_pick)}
+            if not execution.atomicity_holds():
+                continue
             uniproc, ghb = _model_edges(execution, model)
             if _acyclic(uniproc) and _acyclic(ghb):
                 outcomes.add(_outcome_of(execution))

@@ -1,7 +1,8 @@
 """Extended litmus battery: the classic tests beyond the paper's four.
 
-Each case records the expected verdict for all four models (SC, 370,
-x86, PC) — together they pin down every relaxation this library models:
+Each case records the expected verdict for every registered model (SC,
+370, x86, PC, WMM — see :mod:`repro.models`) — together they pin down
+every relaxation this library models:
 
 ==========  =====================================================
 relaxation  first observable in
@@ -10,15 +11,18 @@ st→ld       370 (and everything weaker): ``sb``
 rfi global  x86 (store-to-load forwarding): ``n6``, ``fig5``
 write
 atomicity   PC (non-write-atomic): ``iriw``, ``wrc``
+ld→ld,
+st→st       WMM (unless fenced/acquire/release): ``mp``, ``2+2w``
 ==========  =====================================================
 
-Orderings every model here preserves: ld→ld, ld→st, st→st, and
-per-location coherence (CoRR / n5).
+Orderings every model here preserves: ld→st (sampled by ``lb``) and
+per-location coherence (CoRR / n5); the acquire/release and lwfence
+cases show how WMM programs buy back the relaxed orders.
 """
 
 from __future__ import annotations
 
-from repro.litmus.program import Fence, Ld, Rmw, St, make_program
+from repro.litmus.program import Cas, Fence, Ld, Rmw, St, make_program
 from repro.litmus.tests import LitmusCase
 
 # ----------------------------------------------------------------------
@@ -36,7 +40,7 @@ LB_CASE = LitmusCase(
     program=LB,
     witness=(("r0_rx", 1), ("r1_ry", 1)),
     expected=(("SC", False), ("370", False), ("x86", False),
-              ("PC", False)),
+              ("PC", False), ("WMM", False)),
     description="lb: both loads see the other thread's later store — "
                 "needs ld->st reordering, forbidden in all TSO-family "
                 "models (and PC).")
@@ -56,7 +60,7 @@ W22_CASE = LitmusCase(
     program=W22,
     witness=(("mem_x", 1), ("mem_y", 1)),
     expected=(("SC", False), ("370", False), ("x86", False),
-              ("PC", False)),
+              ("PC", False), ("WMM", True)),
     description="2+2w: each location ends with the *older* of its two "
                 "stores — needs st->st reordering.")
 
@@ -76,7 +80,7 @@ WRC_CASE = LitmusCase(
     program=WRC,
     witness=(("r1_rx", 1), ("r2_ry", 1), ("r2_rx", 0)),
     expected=(("SC", False), ("370", False), ("x86", False),
-              ("PC", True)),
+              ("PC", True), ("WMM", True)),
     description="wrc: T2 observes T1's dependent store before T0's "
                 "original — only a non-write-atomic system (PC) shows "
                 "it; x86's write-atomic MESI forbids it (paper §II-E).")
@@ -97,7 +101,8 @@ RWC = make_program(
 RWC_CASE = LitmusCase(
     program=RWC,
     witness=(("r1_rx", 1), ("r1_ry", 0), ("r2_rx", 0)),
-    expected=(("SC", False), ("370", True), ("x86", True), ("PC", True)),
+    expected=(("SC", False), ("370", True), ("x86", True), ("PC", True),
+              ("WMM", True)),
     description="rwc: T2's load bypasses its own store — plain st->ld "
                 "relaxation, allowed in every TSO flavour, forbidden "
                 "only in SC.")
@@ -117,7 +122,7 @@ N5_CASE = LitmusCase(
     program=N5,
     witness=(("r0_rx", 2), ("r1_ry", 1)),
     expected=(("SC", False), ("370", False), ("x86", False),
-              ("PC", False)),
+              ("PC", False), ("WMM", False)),
     description="n5: each core sees the other's store as newer than "
                 "its own — contradicts any coherence order for x.")
 
@@ -136,7 +141,7 @@ CORR_CASE = LitmusCase(
     program=CORR,
     witness=(("r1_r0", 1), ("r1_r1", 0)),
     expected=(("SC", False), ("370", False), ("x86", False),
-              ("PC", False)),
+              ("PC", False), ("WMM", False)),
     description="coRR: a later read of the same location cannot see an "
                 "older value (per-location coherence).")
 
@@ -155,7 +160,8 @@ SB_ONE_RMW = make_program(
 SB_ONE_RMW_CASE = LitmusCase(
     program=SB_ONE_RMW,
     witness=(("r0_ry", 0), ("r1_rx", 0)),
-    expected=(("SC", False), ("370", True), ("x86", True)),
+    expected=(("SC", False), ("370", True), ("x86", True), ("PC", True),
+              ("WMM", True)),
     description="sb with one side locked: the plain side still reorders "
                 "st->ld, so the witness survives.")
 
@@ -169,10 +175,127 @@ SB_BOTH_RMW = make_program(
 SB_BOTH_RMW_CASE = LitmusCase(
     program=SB_BOTH_RMW,
     witness=(("r0_ry", 0), ("r1_rx", 0)),
-    expected=(("SC", False), ("370", False), ("x86", False)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False), ("WMM", False)),
     description="sb with both sides locked behaves like sb+mfences: "
                 "locked operations restore st->ld order (the classic "
                 "Dekker fix).")
+
+# ----------------------------------------------------------------------
+# mp, repaired for WMM: a release store publishing and an acquire load
+# consuming.  WMM drops plain st->st and ld->ld (so bare mp is its
+# canonical witness against x86); the acquire/release pair restores
+# both orders, so the stale read is forbidden again — in every model.
+# ----------------------------------------------------------------------
+
+MP_ACQREL = make_program(
+    "mp+acqrel",
+    [
+        [Ld("x", "rx", acquire=True), Ld("y", "ry")],
+        [St("y", 1), St("x", 1, release=True)],
+    ])
+
+MP_ACQREL_CASE = LitmusCase(
+    program=MP_ACQREL,
+    witness=(("r0_rx", 1), ("r0_ry", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False), ("WMM", False)),
+    description="mp with a release publish and an acquire consume: the "
+                "acquire/release pair restores the ld->ld and st->st "
+                "orders WMM relaxes, so no model shows the stale read "
+                "(on the TSO family the annotations are no-ops).")
+
+# ----------------------------------------------------------------------
+# mp with lightweight fences: lwfence keeps every order except st->ld,
+# which mp never needs — so it repairs mp exactly like the acquire/
+# release pair does.
+# ----------------------------------------------------------------------
+
+MP_LW = make_program(
+    "mp+lwfences",
+    [
+        [Ld("x", "rx"), Fence("lw"), Ld("y", "ry")],
+        [St("y", 1), Fence("lw"), St("x", 1)],
+    ])
+
+MP_LW_CASE = LitmusCase(
+    program=MP_LW,
+    witness=(("r0_rx", 1), ("r0_ry", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False), ("WMM", False)),
+    description="mp with lwfences: the lightweight fence orders ld->ld "
+                "and st->st, which is all mp needs — forbidden "
+                "everywhere, without paying for a store-buffer drain.")
+
+# ----------------------------------------------------------------------
+# sb with lightweight fences: the one order lwfence does NOT keep is
+# st->ld — precisely the sb relaxation — so unlike sb+mfences the
+# witness survives under every TSO-or-weaker model.  The lwfence/mfence
+# strength gap, as one pair of programs.
+# ----------------------------------------------------------------------
+
+SB_LW = make_program(
+    "sb+lwfences",
+    [
+        [St("x", 1), Fence("lw"), Ld("y", "ry")],
+        [St("y", 1), Fence("lw"), Ld("x", "rx")],
+    ])
+
+SB_LW_CASE = LitmusCase(
+    program=SB_LW,
+    witness=(("r0_ry", 0), ("r1_rx", 0)),
+    expected=(("SC", False), ("370", True), ("x86", True), ("PC", True),
+              ("WMM", True)),
+    description="sb with lwfences: a lightweight fence does not order "
+                "st->ld, so the sb witness survives wherever it did "
+                "bare — contrast sb+mfences, where it vanishes.")
+
+# ----------------------------------------------------------------------
+# CAS, failing: expect 5 never matches, so the locked read executes
+# with full-fence semantics but the write never happens (mem_x stays
+# 0).  The witness is an SC interleaving — allowed everywhere — and
+# pins the failed-CAS path of all three formalizations.
+# ----------------------------------------------------------------------
+
+SB_CAS_FAIL = make_program(
+    "sb+cas-fail",
+    [
+        [Cas("x", 5, 1, "r0"), Ld("y", "ry")],
+        [St("y", 1), Ld("x", "rx")],
+    ])
+
+SB_CAS_FAIL_CASE = LitmusCase(
+    program=SB_CAS_FAIL,
+    witness=(("r0_r0", 0), ("r0_ry", 0), ("r1_rx", 0), ("mem_x", 0)),
+    expected=(("SC", True), ("370", True), ("x86", True), ("PC", True),
+              ("WMM", True)),
+    description="sb shape with a failing CAS: the compare misses, so no "
+                "store to x ever happens (mem_x stays 0) and the "
+                "witness is a plain SC interleaving — every model "
+                "allows it, exercising the failed-CAS (inactive write) "
+                "path everywhere.")
+
+# ----------------------------------------------------------------------
+# Two CASes race for the same initial value: atomicity says exactly one
+# can win, in every model.
+# ----------------------------------------------------------------------
+
+CAS_RACE = make_program(
+    "cas-race",
+    [
+        [Cas("x", 0, 1, "r0")],
+        [Cas("x", 0, 2, "r1")],
+    ])
+
+CAS_RACE_CASE = LitmusCase(
+    program=CAS_RACE,
+    witness=(("r0_r0", 0), ("r1_r1", 0)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False), ("WMM", False)),
+    description="cas-race: both CASes expect the initial 0, so both "
+                "succeeding (both reading 0) would need the second "
+                "winner to overlook the first's write — RMW atomicity "
+                "forbids it under every model.")
 
 # ----------------------------------------------------------------------
 # Spectre gadget programs (architectural views of repro.leakage.GADGETS).
@@ -202,7 +325,8 @@ SPECTRE_BCB = make_program(
 SPECTRE_BCB_CASE = LitmusCase(
     program=SPECTRE_BCB,
     witness=(("r0_rs", 1),),
-    expected=(("SC", True), ("370", True), ("x86", True), ("PC", True)),
+    expected=(("SC", True), ("370", True), ("x86", True), ("PC", True),
+              ("WMM", True)),
     description="spectre-bcb (architectural): the victim reading the "
                 "secret before the attacker clears it is a plain "
                 "SC-allowed interleaving — every model permits it.  The "
@@ -219,14 +343,16 @@ SPECTRE_SLF = make_program(
 SPECTRE_SLF_CASE = LitmusCase(
     program=SPECTRE_SLF,
     witness=(("r0_rs", 1),),
-    expected=(("SC", True), ("370", True), ("x86", True), ("PC", True)),
+    expected=(("SC", True), ("370", True), ("x86", True), ("PC", True),
+              ("WMM", True)),
     description="spectre-slf (architectural): the victim always sees "
                 "its own store (self-read), in every model.  Whether "
                 "the forwarded value transiently reaches the cache "
                 "through the probe load is the policy-dependent part "
                 "(repro leak: x86 leaks, the 370 variants do not).")
 
-#: The extended battery (PC verdicts included where RMW-free).
+#: The extended battery — every case carries all five model verdicts.
 EXTRA_CASES = (LB_CASE, W22_CASE, WRC_CASE, RWC_CASE, N5_CASE, CORR_CASE,
-               SB_ONE_RMW_CASE, SB_BOTH_RMW_CASE, SPECTRE_BCB_CASE,
-               SPECTRE_SLF_CASE)
+               SB_ONE_RMW_CASE, SB_BOTH_RMW_CASE, MP_ACQREL_CASE,
+               MP_LW_CASE, SB_LW_CASE, SB_CAS_FAIL_CASE, CAS_RACE_CASE,
+               SPECTRE_BCB_CASE, SPECTRE_SLF_CASE)

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence
 
 from repro.litmus.operational import M370, SC, X86, enumerate_outcomes
-from repro.litmus.program import Fence, Ld, Outcome, Program, St, make_program
+from repro.litmus.program import (Cas, Fence, Ld, Outcome, Program, Rmw, St,
+                                  make_program)
 
 
 @dataclass(frozen=True)
@@ -77,11 +78,17 @@ def store_atomicity_violations(program: Program) -> FrozenSet[Outcome]:
 def random_program(rng: random.Random, name: str = "random",
                    threads: int = 2, max_ops: int = 3,
                    addresses: Sequence[str] = ("x", "y"),
-                   allow_fences: bool = False) -> Program:
+                   allow_fences: bool = False,
+                   allow_rmws: bool = False,
+                   allow_acqrel: bool = False) -> Program:
     """Generate a small random litmus program.
 
     Store values are globally unique so that every rf edge is
-    unambiguous; registers are single-assignment per thread.
+    unambiguous; registers are single-assignment per thread.  With
+    ``allow_rmws`` the pool gains locked atomics (``xchg`` and ``cas``
+    — the CAS expect value is drawn so both success and failure paths
+    occur); with ``allow_acqrel`` it gains acquire loads, release
+    stores and the lightweight fence.
     """
     next_value = [1]
     thread_lists: List[List[object]] = []
@@ -90,15 +97,37 @@ def random_program(rng: random.Random, name: str = "random",
         n_ops = rng.randint(1, max_ops)
         reg_counter = 0
         for _ in range(n_ops):
-            kinds = ["ld", "st"] + (["fence"] if allow_fences else [])
+            kinds = ["ld", "st"] + (["fence"] if allow_fences else []) \
+                + (["xchg", "cas"] if allow_rmws else []) \
+                + (["ld.acq", "st.rel", "lwfence"] if allow_acqrel else [])
             kind = rng.choice(kinds)
             addr = rng.choice(list(addresses))
             if kind == "ld":
                 ops.append(Ld(addr, f"r{reg_counter}"))
                 reg_counter += 1
+            elif kind == "ld.acq":
+                ops.append(Ld(addr, f"r{reg_counter}", acquire=True))
+                reg_counter += 1
             elif kind == "st":
                 ops.append(St(addr, next_value[0]))
                 next_value[0] += 1
+            elif kind == "st.rel":
+                ops.append(St(addr, next_value[0], release=True))
+                next_value[0] += 1
+            elif kind == "xchg":
+                ops.append(Rmw(addr, next_value[0], f"r{reg_counter}"))
+                next_value[0] += 1
+                reg_counter += 1
+            elif kind == "cas":
+                # expect 0 hits the initial value; a fresh value never
+                # does — half the draws exercise the failed-CAS path.
+                expect = rng.choice([0, next_value[0]])
+                ops.append(Cas(addr, expect, next_value[0],
+                               f"r{reg_counter}"))
+                next_value[0] += 1
+                reg_counter += 1
+            elif kind == "lwfence":
+                ops.append(Fence("lw"))
             else:
                 ops.append(Fence())
         thread_lists.append(ops)

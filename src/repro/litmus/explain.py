@@ -7,6 +7,18 @@ candidate execution(s) matching the witness and prints the global
 happens-before cycle that rules each of them out — or reports that the
 outcome is allowed.
 
+Edge labels:
+
+* ``po``/``ppo`` — (preserved) program order; ``po(relaxed)`` marks a
+  pair the model drops from ghb.
+* ``fence`` — a program-order pair kept *only* because of the barrier
+  crossed (mfence/lwfence or a locked instruction's fence semantics).
+* ``rfi``/``rfe``/``rf(init)`` — read-from, internal/external/initial.
+* ``co``/``fr`` — coherence and from-read.
+* ``atom`` — RMW atomicity: the locked write must immediately follow
+  the read's source in coherence order; a violating candidate shows
+  the three-edge cycle  R --fr--> X --co--> W --atom--> R.
+
 Example (the paper's Figure 2 argument, generated)::
 
     >>> from repro.litmus import N6
@@ -20,33 +32,35 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.litmus.axiomatic import (_Execution, _acyclic, _load_addr,
-                                    _outcome_of, _po_pairs)
+from repro.litmus.axiomatic import _Execution, _outcome_of, _rf_kind
 from repro.litmus.operational import _matches
-from repro.litmus.program import Ld, Program, St
+from repro.litmus.program import LOCKED, Program
+from repro.models import get_model, model_names
+from repro.models.base import AxiomaticDef, Event
 
-Event = Tuple[int, int]
 LabeledEdge = Tuple[Event, Event, str]
 
 
 def _event_name(program: Program, event: Event) -> str:
-    tid, idx = event
+    tid = event[0]
     if tid < 0:
-        return f"init[{program.addresses[idx]}]"
-    op = program.threads[tid][idx]
+        return f"init[{program.addresses[event[1]]}]"
+    op = program.threads[tid][event[1]]
+    if isinstance(op, LOCKED):
+        half = "W" if len(event) == 3 else "R"
+        return f"T{tid}:{op} [{half}]"
     return f"T{tid}:{op}"
 
 
-def _labeled_edges(execution: _Execution, model: str) -> List[LabeledEdge]:
+def _labeled_edges(execution: _Execution,
+                   axiomatic: AxiomaticDef, sc: bool) -> List[LabeledEdge]:
     """All candidate-execution edges with their relation names."""
-    program = execution.program
-    is_store = {event for event, _ in execution.stores}
     edges: List[LabeledEdge] = []
 
-    for load, store in execution.rf.items():
-        kind = "rf(init)" if store[0] < 0 else (
-            "rfi" if store[0] == load[0] else "rfe")
-        edges.append((store, load, kind))
+    for read, source in execution.rf.items():
+        kind = _rf_kind(source, read)
+        edges.append((source, read,
+                      "rf(init)" if kind == "rf-init" else kind))
 
     co_pairs: Set[Tuple[Event, Event]] = set()
     for addr, order in execution.co.items():
@@ -59,31 +73,55 @@ def _labeled_edges(execution: _Execution, model: str) -> List[LabeledEdge]:
     co_after: Dict[Event, Set[Event]] = {}
     for a, b in co_pairs:
         co_after.setdefault(a, set()).add(b)
-    for load, store in execution.rf.items():
-        for later in co_after.get(store, ()):
-            edges.append((load, later, "fr"))
+    for read, source in execution.rf.items():
+        for later in co_after.get(source, ()):
+            edges.append((read, later, "fr"))
 
-    for a, b, crosses_fence in _po_pairs(program):
-        relaxed = (a in is_store) and (b not in is_store)
-        if model == "SC" or not relaxed or crosses_fence:
-            edges.append((a, b, "ppo" if model != "SC" else "po"))
+    for pair in execution.po_pairs:
+        if (pair.a_store and pair.a not in execution.active) or \
+                (pair.b_store and pair.b not in execution.active):
+            continue
+        if not axiomatic.ppo(pair):
+            edges.append((pair.a, pair.b, "po(relaxed)"))
+        elif pair.fence and not axiomatic.ppo(pair.without_fence()):
+            edges.append((pair.a, pair.b, "fence"))
         else:
-            edges.append((a, b, "po(st->ld, relaxed)"))
+            edges.append((pair.a, pair.b, "po" if sc else "ppo"))
     return edges
 
 
-def _ghb_subset(edges: List[LabeledEdge], model: str) -> List[LabeledEdge]:
+def _ghb_subset(edges: List[LabeledEdge],
+                axiomatic: AxiomaticDef) -> List[LabeledEdge]:
     ghb = []
     for a, b, kind in edges:
-        if kind in ("co", "fr", "ppo", "po"):
+        if kind in ("co", "fr", "ppo", "po", "fence"):
             ghb.append((a, b, kind))
-        elif kind in ("rfe", "rf(init)"):
-            ghb.append((a, b, kind))
-        elif kind == "rfi" and model != "x86":
+        elif kind.startswith("rf"):
             # The crux of the paper: forwarding (rfi) participates in
             # global happens-before only under store-atomic models.
-            ghb.append((a, b, kind))
+            if axiomatic.grf("rf-init" if kind == "rf(init)" else kind):
+                ghb.append((a, b, kind))
     return ghb
+
+
+def _atomicity_cycle(execution: _Execution
+                     ) -> Optional[List[LabeledEdge]]:
+    """The R --fr--> X --co--> W --atom--> R triangle of the first
+    violated locked instruction, if any."""
+    successor: Dict[Event, Event] = {}
+    for addr, order in execution.co.items():
+        chain = [execution.init_events[addr]] + order
+        for a, b in zip(chain, chain[1:]):
+            successor[a] = b
+    for read, write, _op in execution.locked:
+        if write not in execution.active:
+            continue
+        intervening = successor.get(execution.rf[read])
+        if intervening != write:
+            return [(read, intervening, "fr"),
+                    (intervening, write, "co"),
+                    (write, read, "atom")]
+    return None
 
 
 def _find_cycle(edges: List[LabeledEdge]) -> Optional[List[LabeledEdge]]:
@@ -127,21 +165,17 @@ def explain_chain(program: Program, model: str,
     static relation analysis (:mod:`repro.lint.memory_model`).
 
     Returns None when no outcome matching the witness conditions is
-    forbidden under ``model`` (or the program uses operations the
-    relation analysis does not model, e.g. RMWs).  The chain strips the
-    witness cycle down to its rf/fr/co edges — the inter-thread
-    communication the cycle actually rides on — and, when the cycle
-    hinges on a forwarding (rfi) edge, notes whether x86-TSO (which
-    does not order rfi globally) admits the same outcome: this is the
-    paper's Figure 2 store-atomicity distinction, derived rather than
-    hand-written.
+    forbidden under ``model``.  The chain strips the witness cycle down
+    to its rf/fr/co (plus fence and RMW-atomicity) edges — the
+    inter-thread communication the cycle actually rides on — and, when
+    the cycle hinges on a forwarding (rfi) edge, notes whether x86-TSO
+    (which does not order rfi globally) admits the same outcome: this
+    is the paper's Figure 2 store-atomicity distinction, derived rather
+    than hand-written.
     """
     from repro.lint.memory_model import classify
 
-    try:
-        verdict = classify(program, model)
-    except NotImplementedError:
-        return None
+    verdict = classify(program, model)
     matching = [o for o in sorted(verdict.forbidden,
                                   key=lambda o: (o.registers, o.memory))
                 if _matches(o, conditions)]
@@ -173,35 +207,41 @@ def explain(program: Program, model: str, **conditions: int) -> str:
     """Explain why a witness outcome is forbidden (or that it is not).
 
     Enumerates the candidate executions consistent with the witness and
-    renders the happens-before cycle that invalidates each; if some
-    candidate passes the model's axioms, reports the outcome as
-    allowed.
+    renders the happens-before (or atomicity) cycle that invalidates
+    each; if some candidate passes the model's axioms, reports the
+    outcome as allowed.
     """
-    if model not in ("SC", "370", "x86"):
-        raise ValueError("explain supports the axiomatic models "
-                         "(SC, 370, x86)")
+    axiomatic_models = model_names(axiomatic_only=True)
+    if model not in axiomatic_models:
+        raise ValueError(f"explain supports the axiomatic models "
+                         f"({', '.join(axiomatic_models)})")
+    axiomatic = get_model(model).axiomatic
     execution = _Execution(program)
     witness = ", ".join(f"{k}={v}" for k, v in conditions.items())
     header = f"{program.name} under {model}: witness [{witness}]"
 
     rf_choices = []
-    for load_event, op in execution.loads:
+    for read_event, op in execution.reads:
         sources = [execution.init_events[op.addr]]
-        sources += [event for event, store in execution.stores
-                    if store.addr == op.addr]
+        sources += [event for event, write in execution.writes
+                    if write.addr == op.addr]
         rf_choices.append(sources)
-    addr_stores: Dict[str, List[Event]] = {}
-    for event, store in execution.stores:
-        addr_stores.setdefault(store.addr, []).append(event)
-    co_addrs = sorted(addr_stores)
-    co_choices = [list(itertools.permutations(addr_stores[a]))
-                  for a in co_addrs]
+    addr_writes: Dict[str, List[Event]] = {}
+    for event, write in execution.writes:
+        addr_writes.setdefault(write.addr, []).append(event)
+    co_addrs = sorted(addr_writes)
 
     explanations: List[str] = []
     candidates = 0
     for rf_pick in itertools.product(*rf_choices) if rf_choices else [()]:
         execution.rf = {event: src for (event, _), src
-                        in zip(execution.loads, rf_pick)}
+                        in zip(execution.reads, rf_pick)}
+        if not execution.compute_active():
+            continue
+        co_choices = [
+            list(itertools.permutations(
+                [e for e in addr_writes[a] if e in execution.active]))
+            for a in co_addrs]
         for co_pick in (itertools.product(*co_choices)
                         if co_choices else [()]):
             execution.co = {addr: list(order)
@@ -209,20 +249,24 @@ def explain(program: Program, model: str, **conditions: int) -> str:
             if not _matches(_outcome_of(execution), conditions):
                 continue
             candidates += 1
-            edges = _labeled_edges(execution, model)
-            # SC-per-location (uniproc) first: po-loc + rf + co + fr.
-            addr_of = execution.addr_of
-            uniproc = [(a, b, k) for a, b, k in edges
-                       if k in ("co", "fr") or k.startswith("rf")]
-            for a, b, crosses in _po_pairs(program):
-                addr_a = addr_of.get(a, _load_addr(program, a))
-                addr_b = addr_of.get(b, _load_addr(program, b))
-                if addr_a == addr_b:
-                    uniproc.append((a, b, "po-loc"))
-            cycle = _find_cycle(uniproc)
+            cycle = _atomicity_cycle(execution)
             if cycle is None:
-                ghb = _ghb_subset(edges, model)
-                cycle = _find_cycle(ghb)
+                edges = _labeled_edges(execution, axiomatic,
+                                       sc=(model == "SC"))
+                # SC-per-location (uniproc) first: po-loc + rf + co + fr.
+                uniproc = [(a, b, k) for a, b, k in edges
+                           if k in ("co", "fr") or k.startswith("rf")]
+                for pair in execution.po_pairs:
+                    if pair.same_addr and \
+                            (not pair.a_store
+                             or pair.a in execution.active) and \
+                            (not pair.b_store
+                             or pair.b in execution.active):
+                        uniproc.append((pair.a, pair.b, "po-loc"))
+                cycle = _find_cycle(uniproc)
+                if cycle is None:
+                    ghb = _ghb_subset(edges, axiomatic)
+                    cycle = _find_cycle(ghb)
             if cycle is None:
                 return (f"{header}\n  ALLOWED: a candidate execution "
                         f"satisfies all {model} axioms.")

@@ -18,12 +18,17 @@ Example::
 
 Instructions:
 
-========================  =======================================
-``ld ADDR -> REG``        load ADDR into REG
-``st ADDR,VALUE``         store VALUE to ADDR
-``mfence``                full fence (drains the store buffer)
-``xchg ADDR,VALUE -> REG``  atomic exchange (locked RMW)
-========================  =======================================
+==============================  =======================================
+``ld ADDR -> REG``              load ADDR into REG
+``ld.acq ADDR -> REG``          acquire load (orders later accesses)
+``st ADDR,VALUE``               store VALUE to ADDR
+``st.rel ADDR,VALUE``           release store (orders earlier accesses)
+``mfence``                      full fence (drains the store buffer)
+``lwfence``                     lightweight fence (all orders but st→ld)
+``xchg ADDR,VALUE -> REG``      atomic exchange (locked RMW)
+``cas ADDR,EXPECT,VALUE -> REG``  compare-and-swap (locked; writes only
+                                when the old value equals EXPECT)
+==============================  =======================================
 
 The optional ``exists:`` clause names the witness condition in the same
 ``key=value`` syntax the :func:`repro.litmus.operational.allows` API
@@ -36,8 +41,8 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.litmus.program import (Fence, Instruction, Ld, Program, Rmw, St,
-                                  make_program)
+from repro.litmus.program import (Cas, Fence, Instruction, Ld, Program, Rmw,
+                                  St, make_program)
 
 
 class LitmusParseError(ValueError):
@@ -48,10 +53,12 @@ _NAME_RE = re.compile(r"^name:\s*(\S+)\s*$")
 _INIT_RE = re.compile(r"^init:\s*(.*)$")
 _THREAD_RE = re.compile(r"^T(\d+):\s*$")
 _EXISTS_RE = re.compile(r"^exists:\s*(.*)$")
-_LD_RE = re.compile(r"^ld\s+(\w+)\s*->\s*(\w+)$")
-_ST_RE = re.compile(r"^st\s+(\w+)\s*,\s*(-?\d+)$")
-_FENCE_RE = re.compile(r"^mfence$")
+_LD_RE = re.compile(r"^ld(\.acq)?\s+(\w+)\s*->\s*(\w+)$")
+_ST_RE = re.compile(r"^st(\.rel)?\s+(\w+)\s*,\s*(-?\d+)$")
+_FENCE_RE = re.compile(r"^(m|lw)fence$")
 _XCHG_RE = re.compile(r"^xchg\s+(\w+)\s*,\s*(-?\d+)\s*->\s*(\w+)$")
+_CAS_RE = re.compile(
+    r"^cas\s+(\w+)\s*,\s*(-?\d+)\s*,\s*(-?\d+)\s*->\s*(\w+)$")
 
 
 @dataclass(frozen=True)
@@ -65,15 +72,22 @@ class ParsedLitmus:
 def _parse_instruction(line: str, line_no: int) -> Instruction:
     match = _LD_RE.match(line)
     if match:
-        return Ld(match.group(1), match.group(2))
+        return Ld(match.group(2), match.group(3),
+                  acquire=bool(match.group(1)))
     match = _ST_RE.match(line)
     if match:
-        return St(match.group(1), int(match.group(2)))
-    if _FENCE_RE.match(line):
-        return Fence()
+        return St(match.group(2), int(match.group(3)),
+                  release=bool(match.group(1)))
+    match = _FENCE_RE.match(line)
+    if match:
+        return Fence("mf" if match.group(1) == "m" else "lw")
     match = _XCHG_RE.match(line)
     if match:
         return Rmw(match.group(1), int(match.group(2)), match.group(3))
+    match = _CAS_RE.match(line)
+    if match:
+        return Cas(match.group(1), int(match.group(2)),
+                   int(match.group(3)), match.group(4))
     raise LitmusParseError(f"line {line_no}: cannot parse {line!r}")
 
 

@@ -18,32 +18,53 @@ from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Union
 
 @dataclass(frozen=True)
 class Ld:
-    """``reg = [addr]``"""
+    """``reg = [addr]``; with ``acquire`` the load is ordered before
+    every later access of its thread (a no-op strengthening on the
+    TSO-family models, observable under WMM)."""
 
     addr: str
     reg: str
+    acquire: bool = False
 
     def __str__(self) -> str:
-        return f"ld {self.addr} -> {self.reg}"
+        mnemonic = "ld.acq" if self.acquire else "ld"
+        return f"{mnemonic} {self.addr} -> {self.reg}"
 
 
 @dataclass(frozen=True)
 class St:
-    """``[addr] = value``"""
+    """``[addr] = value``; with ``release`` every earlier access of the
+    thread is ordered before the store (a no-op strengthening on the
+    TSO-family models, observable under WMM)."""
 
     addr: str
     value: int
+    release: bool = False
 
     def __str__(self) -> str:
-        return f"st {self.addr},{self.value}"
+        mnemonic = "st.rel" if self.release else "st"
+        return f"{mnemonic} {self.addr},{self.value}"
+
+
+#: Fence kinds: ``mf`` (mfence — orders everything, drains the store
+#: buffer) and ``lw`` (lightweight — orders ld→ld, ld→st and st→st but
+#: *not* st→ld, so it is architecturally free on the TSO family).
+FENCE_KINDS = ("mf", "lw")
 
 
 @dataclass(frozen=True)
 class Fence:
-    """mfence: orders everything; drains the store buffer."""
+    """A memory fence of the given kind (default mfence)."""
+
+    kind: str = "mf"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FENCE_KINDS:
+            raise ValueError(f"unknown fence kind {self.kind!r}; "
+                             f"expected one of {FENCE_KINDS}")
 
     def __str__(self) -> str:
-        return "mfence"
+        return "mfence" if self.kind == "mf" else "lwfence"
 
 
 @dataclass(frozen=True)
@@ -60,7 +81,31 @@ class Rmw:
         return f"xchg {self.addr},{self.value} -> {self.reg}"
 
 
-Instruction = Union[Ld, St, Fence, Rmw]
+@dataclass(frozen=True)
+class Cas:
+    """Compare-and-swap: ``reg = [addr]; if reg == expect: [addr] =
+    value`` as one indivisible, globally ordered action.  Like
+    :class:`Rmw` it is a locked instruction (full fence semantics on
+    both sides); unlike :class:`Rmw` the write happens only when the
+    old value equals ``expect``."""
+
+    addr: str
+    expect: int
+    value: int
+    reg: str
+
+    def __str__(self) -> str:
+        return f"cas {self.addr},{self.expect},{self.value} -> {self.reg}"
+
+
+Instruction = Union[Ld, St, Fence, Rmw, Cas]
+
+#: Instructions that read memory into a register.
+READS = (Ld, Rmw, Cas)
+#: Instructions that (may) write memory.
+WRITES = (St, Rmw, Cas)
+#: Locked instructions: indivisible read+write with fence semantics.
+LOCKED = (Rmw, Cas)
 
 
 @dataclass(frozen=True)
@@ -108,8 +153,7 @@ class Program:
         if not self.threads:
             raise ValueError("a program needs at least one thread")
         for thread in self.threads:
-            regs = [op.reg for op in thread
-                    if isinstance(op, (Ld, Rmw))]
+            regs = [op.reg for op in thread if isinstance(op, READS)]
             if len(regs) != len(set(regs)):
                 raise ValueError(
                     f"{self.name}: registers must be written once per "
@@ -122,7 +166,7 @@ class Program:
             seen.setdefault(addr)
         for thread in self.threads:
             for op in thread:
-                if isinstance(op, (Ld, St, Rmw)):
+                if not isinstance(op, Fence):
                     seen.setdefault(op.addr)
         return tuple(seen)
 
@@ -181,18 +225,25 @@ def _canonical_render(program: Program, order: Tuple[int, ...]) -> str:
         reg_label: Dict[str, str] = {}
         for op in program.threads[tid]:
             if isinstance(op, Fence):
-                lines.append(f"T{out_tid} mfence")
+                lines.append(f"T{out_tid} {op}")
                 continue
             label = addr_of(op.addr)
             if isinstance(op, St):
-                lines.append(
-                    f"T{out_tid} st {label},{value_of(op.addr, op.value)}")
+                mnemonic = "st.rel" if op.release else "st"
+                lines.append(f"T{out_tid} {mnemonic} {label},"
+                             f"{value_of(op.addr, op.value)}")
                 continue
             reg = reg_label.setdefault(op.reg, f"r{len(reg_label)}")
             if isinstance(op, Ld):
-                lines.append(f"T{out_tid} ld {label} -> {reg}")
-            else:  # Rmw
+                mnemonic = "ld.acq" if op.acquire else "ld"
+                lines.append(f"T{out_tid} {mnemonic} {label} -> {reg}")
+            elif isinstance(op, Rmw):
                 lines.append(f"T{out_tid} xchg {label},"
+                             f"{value_of(op.addr, op.value)} -> {reg}")
+            else:  # Cas — ``expect`` joins the address's value classes
+                # so relabeling preserves the success/failure pattern.
+                lines.append(f"T{out_tid} cas {label},"
+                             f"{value_of(op.addr, op.expect)},"
                              f"{value_of(op.addr, op.value)} -> {reg}")
     # Addresses only mentioned in ``initial`` still exist (their final
     # memory value is part of every outcome) — give them labels so two

@@ -17,9 +17,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Counter as CounterT, Dict, Optional
 
-from repro.litmus.operational import (MODELS, PC, _initial_state, _matches,
-                                      _pc_initial_state, _pc_successors,
-                                      _successors)
+from repro.litmus.operational import MODELS, _matches, machine_for
 from repro.litmus.program import Outcome, Program
 
 
@@ -54,31 +52,17 @@ class SampleReport:
 
 
 def _walk(program: Program, model: str, rng: random.Random) -> Outcome:
-    if model == PC:
-        state = _pc_initial_state(program)
-        successors = lambda s: _pc_successors(program, s)  # noqa: E731
-    else:
-        state = _initial_state(program)
-        successors = lambda s: _successors(program, model, s)  # noqa: E731
-    lengths = tuple(len(t) for t in program.threads)
+    machine = machine_for(program, model)
+    state = machine.initial()
     while True:
-        nexts = successors(state)
+        outcome = machine.final_outcome(state)
+        if outcome is not None:
+            return outcome
+        nexts = machine.successors(state)
         if not nexts:
-            break
+            raise RuntimeError(  # pragma: no cover - machines terminate
+                "operational machine wedged")
         state = rng.choice(nexts)
-        if model == PC:
-            pcs, sbs, channels, mems, vers, regs = state
-            if (pcs == lengths and all(not sb for sb in sbs)
-                    and all(not ch for ch in channels)):
-                memory = tuple(sorted((addr, value)
-                                      for addr, (value, _) in mems[0]))
-                return Outcome(registers=regs, memory=memory)
-        else:
-            pcs, sbs, mem, regs = state
-            if pcs == lengths and all(not sb for sb in sbs):
-                return Outcome(registers=regs, memory=mem)
-    raise RuntimeError(  # pragma: no cover - machines always terminate
-        "operational machine wedged")
 
 
 def sample(program: Program, model: str, runs: int = 10_000,

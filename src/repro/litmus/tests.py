@@ -47,9 +47,12 @@ MP = make_program(
 MP_CASE = LitmusCase(
     program=MP,
     witness=(("r0_rx", 1), ("r0_ry", 0)),
-    expected=(("SC", False), ("370", False), ("x86", False)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False), ("WMM", True)),
     description="Fig. 1: loads see program-ordered stores out of order — "
-                "forbidden in x86 (TSO preserves st->st and ld->ld).")
+                "forbidden in x86 (TSO preserves st->st and ld->ld); WMM "
+                "drops both orders, making bare mp its canonical witness "
+                "against the whole TSO family.")
 
 # ----------------------------------------------------------------------
 # Figure 2: n6 (Paul Loewenstein).  rx==1, ry==0, [x]==1, [y]==2 is
@@ -68,7 +71,8 @@ N6 = make_program(
 N6_CASE = LitmusCase(
     program=N6,
     witness=(("r0_rx", 1), ("r0_ry", 0), ("mem_x", 1), ("mem_y", 2)),
-    expected=(("SC", False), ("370", False), ("x86", True)),
+    expected=(("SC", False), ("370", False), ("x86", True),
+              ("PC", True), ("WMM", True)),
     description="Fig. 2: allowed in x86 but forbidden in store-atomic "
                 "TSO — the paper's canonical store-atomicity violation "
                 "with ordered stores.")
@@ -92,7 +96,8 @@ IRIW = make_program(
 IRIW_CASE = LitmusCase(
     program=IRIW,
     witness=(("r0_rx", 1), ("r0_ry", 0), ("r1_ry", 1), ("r1_rx", 0)),
-    expected=(("SC", False), ("370", False), ("x86", False)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", True), ("WMM", True)),
     description="Fig. 3: disagreement about independent stores is "
                 "forbidden in x86 when no forwarding is involved.")
 
@@ -115,7 +120,8 @@ FIG5 = make_program(
 FIG5_CASE = LitmusCase(
     program=FIG5,
     witness=(("r0_rx", 1), ("r0_ry", 0), ("r1_ry", 1), ("r1_rx", 0)),
-    expected=(("SC", False), ("370", False), ("x86", True)),
+    expected=(("SC", False), ("370", False), ("x86", True),
+              ("PC", True), ("WMM", True)),
     description="Fig. 5 / Table II case 1: both cores forward their own "
                 "store and disagree about the store order — only "
                 "possible without store atomicity.")
@@ -135,7 +141,8 @@ SB = make_program(
 SB_CASE = LitmusCase(
     program=SB,
     witness=(("r0_ry", 0), ("r1_rx", 0)),
-    expected=(("SC", False), ("370", True), ("x86", True)),
+    expected=(("SC", False), ("370", True), ("x86", True),
+              ("PC", True), ("WMM", True)),
     description="sb: both loads read 0 — the st->ld relaxation every "
                 "TSO flavour (370 included) permits; only SC forbids it.")
 
@@ -150,7 +157,8 @@ SB_FENCED = make_program(
 SB_FENCED_CASE = LitmusCase(
     program=SB_FENCED,
     witness=(("r0_ry", 0), ("r1_rx", 0)),
-    expected=(("SC", False), ("370", False), ("x86", False)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False), ("WMM", False)),
     description="sb+mfences: fences restore the st->ld order.")
 
 # Forwarding respects local semantics: a load after a local store must
@@ -164,7 +172,8 @@ SELF_READ = make_program(
 SELF_READ_CASE = LitmusCase(
     program=SELF_READ,
     witness=(("r0_rx", 0),),
-    expected=(("SC", False), ("370", False), ("x86", False)),
+    expected=(("SC", False), ("370", False), ("x86", False),
+              ("PC", False), ("WMM", False)),
     description="A core can never miss its own store (sequential "
                 "semantics hold in every model).")
 

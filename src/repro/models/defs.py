@@ -1,0 +1,112 @@
+"""The registered memory models.
+
+The lattice (weaker = allows more outcomes)::
+
+    SC  ⊆  370  ⊆  x86  ⊆  PC  ⊆  WMM
+
+* **SC** — sequential consistency: every po pair preserved, every rf
+  edge global.
+* **370** — IBM 370-style TSO *without* forwarding: st→ld relaxed
+  (store buffering) but rfi is global, so forwarding a not-yet-visible
+  store is observable as a 370 violation (the paper's SLF gate).
+* **x86** — x86-TSO: st→ld relaxed *and* rfi not global (store-to-load
+  forwarding is architectural).
+* **PC** — Goodman's processor consistency: per-core memory copies fed
+  by per-destination FIFO channels; no store atomicity (IRIW/WRC
+  observable).  Operational-only: its per-destination delivery order
+  has no faithful two-predicate axiomatization in this framework.
+* **WMM** — Zhang et al.'s WMM ("Taming Weak Memory Models"): I2E
+  machine with out-of-order store buffers and invalidation buffers;
+  relaxes everything but ld→st and same-address order.  ``mfence``
+  restores all order; ``lwfence`` all but st→ld; acquire loads and
+  release stores restore order around themselves.
+
+Acquire/release and lwfence are architectural no-ops on the TSO family
+(the orders they restore are never relaxed there); they become
+observable under WMM — which is exactly why the vocabulary lives in the
+registry rather than in any one model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.models.base import AxiomaticDef, MemoryModel, PoPair
+
+
+def _ppo_sc(pair: PoPair) -> bool:
+    return True
+
+
+def _ppo_tso(pair: PoPair) -> bool:
+    """370 and x86: only st→ld is relaxed; an mfence (or a locked
+    instruction's full-fence semantics) restores it."""
+    if not pair.st_to_ld:
+        return True
+    return pair.fence == "mf" or pair.a_locked or pair.b_locked
+
+
+def _ppo_wmm(pair: PoPair) -> bool:
+    """WMM keeps ld→st (I2E: stores happen after all preceding
+    instructions), everything an mfence/lwfence restores, and the
+    orders anchored by acquire loads, release stores and locked ops."""
+    if not pair.a_store and pair.b_store:       # ld -> st
+        return True
+    if pair.fence == "mf":
+        return True
+    if pair.fence == "lw" and not pair.st_to_ld:
+        return True
+    if pair.a_acquire or pair.b_release:
+        return True
+    return pair.a_locked or pair.b_locked
+
+
+def _grf_all(kind: str) -> bool:
+    return True
+
+
+def _grf_external(kind: str) -> bool:
+    return kind != "rfi"
+
+
+SC = MemoryModel(
+    name="SC",
+    title="Sequential consistency",
+    relaxations="none",
+    axiomatic=AxiomaticDef(ppo=_ppo_sc, grf=_grf_all),
+    stronger_than=())
+
+M370 = MemoryModel(
+    name="370",
+    title="IBM 370 (TSO, no forwarding)",
+    relaxations="st→ld; rfi global (no forwarding)",
+    axiomatic=AxiomaticDef(ppo=_ppo_tso, grf=_grf_all),
+    stronger_than=("SC",))
+
+X86 = MemoryModel(
+    name="x86",
+    title="x86-TSO",
+    relaxations="st→ld; forwarding (rfi not global)",
+    axiomatic=AxiomaticDef(ppo=_ppo_tso, grf=_grf_external),
+    stronger_than=("370",))
+
+PC = MemoryModel(
+    name="PC",
+    title="Processor consistency (Goodman)",
+    relaxations="st→ld; forwarding; no store atomicity",
+    axiomatic=None,   # operational-only
+    stronger_than=("x86",))
+
+WMM = MemoryModel(
+    name="WMM",
+    title="WMM (Zhang et al., I2E)",
+    relaxations="all but ld→st and same-address; ib stale reads",
+    axiomatic=AxiomaticDef(ppo=_ppo_wmm, grf=_grf_external),
+    stronger_than=("PC", "x86"))
+
+
+REGISTRY: Dict[str, MemoryModel] = {
+    model.name: model for model in (SC, M370, X86, PC, WMM)}
+
+#: Registration order — strongest first.
+MODEL_ORDER: Tuple[str, ...] = tuple(REGISTRY)

@@ -237,16 +237,12 @@ async def _spawn_worker(coordinator_url: str, node_id: str,
 
 def _default_jobs() -> List[Dict]:
     """The litmus battery as job requests — fast, deterministic, and
-    with known-good ground truth via direct execution.  RMW-bearing
-    tests are skipped: the PC reference machine rejects locked
-    operations, so those jobs fail identically everywhere and tell the
-    gate nothing about the fleet."""
-    from repro.litmus.program import Rmw
+    with known-good ground truth via direct execution.  The whole
+    registry qualifies: every machine in the model zoo (PC included)
+    executes locked RMW operations."""
     from repro.litmus.registry import litmus_registry
     return [{"kind": "litmus", "name": name}
-            for name, program in sorted(litmus_registry().items())
-            if not any(isinstance(op, Rmw)
-                       for thread in program.threads for op in thread)]
+            for name in sorted(litmus_registry())]
 
 
 def run_fleet_chaos(jobs: Optional[List[Dict]] = None,

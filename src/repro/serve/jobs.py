@@ -41,8 +41,9 @@ from typing import (TYPE_CHECKING, Dict, List, Optional, Tuple,
                     Union)
 
 from repro.core.policies import POLICY_ORDER
-from repro.litmus.operational import MODELS, enumerate_outcomes
+from repro.litmus.operational import enumerate_outcomes
 from repro.litmus.registry import litmus_registry
+from repro.models import model_names
 from repro.sweep.cache import code_version, content_key
 from repro.sweep.runner import (SweepJob, execute_job, job_key,
                                 with_deadline)
@@ -75,7 +76,7 @@ class LitmusSpec:
     tuple of memory models."""
 
     name: str
-    models: Tuple[str, ...] = MODELS
+    models: Tuple[str, ...] = model_names()
 
 
 @dataclass(frozen=True)
@@ -153,17 +154,18 @@ def parse_request(data: object) -> "Tuple[str, JobSpec, int]":
             raise JobValidationError(
                 f"unknown litmus test {name!r}",
                 {"known": sorted(litmus_registry())})
+        registered = model_names()
         models = data.get("models")
         if models is None:
-            models = list(MODELS)
+            models = list(registered)
         if (not isinstance(models, list) or not models
                 or not all(isinstance(m, str) for m in models)):
             raise JobValidationError(
                 "'models' must be a non-empty list of model names")
-        bad = sorted(set(models) - set(MODELS))
+        bad = sorted(set(models) - set(registered))
         if bad:
             raise JobValidationError(
-                f"unknown model(s) {bad}", {"models": list(MODELS)})
+                f"unknown model(s) {bad}", {"models": list(registered)})
         return kind, LitmusSpec(name, tuple(models)), priority
 
     if kind == "leak":

@@ -39,7 +39,8 @@ def outcome_profile(program: Program,
     analysis = RelationAnalysis(program)
     allowed: Dict[str, set] = {model: set() for model in models}
     for candidate in analysis.candidates():
-        if find_cycle(candidate.uniproc_edges()) is not None:
+        # uniproc and RMW atomicity are model-independent: once each.
+        if candidate.universal_witness() is not None:
             continue
         outcome = candidate.outcome()
         remaining = [model for model in models
@@ -53,7 +54,7 @@ def outcome_profile(program: Program,
 
 
 def lattice_violations(profile: Profile) -> List[str]:
-    """The SC ⊆ 370 ⊆ x86 containment, checked.
+    """The SC ⊆ 370 ⊆ x86 ⊆ WMM containment, checked.
 
     Every outcome a stronger model allows, every weaker model must
     allow too; a violation here means a bug in the ghb engine, not an

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.litmus.axiomatic import M370, SC, X86
+from repro.litmus.axiomatic import M370, SC, WMM, X86
 from repro.litmus.parser import parse_litmus, render_litmus
 from repro.litmus.program import Outcome, Program, canonical_key
 from repro.synth.profile import (lattice_violations, outcome_profile,
@@ -27,7 +27,8 @@ from repro.synth.profile import (lattice_violations, outcome_profile,
 from repro.synth.space import SynthBounds, enumerate_programs, may_distinguish
 
 #: The (strong, weak) pairs worth distinguishing, lattice order.
-MODEL_PAIRS = ((SC, M370), (SC, X86), (M370, X86))
+MODEL_PAIRS = ((SC, M370), (SC, X86), (M370, X86),
+               (X86, WMM), (M370, WMM), (SC, WMM))
 
 
 def distinguishing_outcomes(program: Program, pair: Tuple[str, str]

@@ -16,8 +16,10 @@ same invariant :func:`repro.litmus.checker.random_program` maintains.
 :func:`may_distinguish` is the sound prefilter: necessary structural
 conditions for a program to *possibly* tell a model pair apart (a
 st→ld program-order pair for SC-vs-TSO relaxations; a same-address
-st→ld pair — the only source of an ``rfi`` edge — for 370-vs-x86).
-Programs that fail it are counted but never judged.
+st→ld pair — the only source of an ``rfi`` edge — for 370-vs-x86; a
+program-order pair the strong model's ppo keeps and WMM's drops, for
+pairs against WMM).  Programs that fail it are counted but never
+judged.
 """
 
 from __future__ import annotations
@@ -26,16 +28,19 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple
 
-from repro.litmus.axiomatic import M370, SC, X86
-from repro.litmus.program import Instruction, Ld, Program, St
+from repro.litmus.axiomatic import M370, SC, WMM, X86
+from repro.litmus.program import (Cas, Fence, Instruction, Ld, Program,
+                                  Rmw, St)
 
-#: The model lattice, strongest first (SC ⊆ 370 ⊆ x86 outcome sets).
-LATTICE = (SC, M370, X86)
+#: The model lattice, strongest first (SC ⊆ 370 ⊆ x86 ⊆ WMM outcome
+#: sets — PC is operational-only and not judged by the synth profiler).
+LATTICE = (SC, M370, X86, WMM)
 
 #: Address pool (bounds.addresses says how many are in play).
 _ADDRESSES = ("x", "y", "z", "w")
 
-#: Per-event kinds: ("ld", addr) | ("st", addr) | ("fence", None)
+#: Per-event kinds: ("ld"|"st"|"ld.acq"|"st.rel"|"xchg", addr) or
+#: ("fence"|"lwfence", None)
 _EventKind = Tuple[str, object]
 
 
@@ -47,6 +52,13 @@ class SynthBounds:
     distinct locations, optionally with fences; ``max_total`` caps the
     event count across all threads (useful for 3-thread spaces, where
     the full ``max_ops``-per-thread cube explodes).
+
+    The opt-in vocabulary extensions (each one widens the per-slot kind
+    pool, so existing spaces keep their indices):
+
+    * ``rmws`` — locked atomic exchanges (``xchg``);
+    * ``acqrel`` — the WMM-visible events: acquire loads, release
+      stores and the lightweight fence.
     """
 
     threads: int = 2
@@ -54,6 +66,8 @@ class SynthBounds:
     addresses: int = 2
     fences: bool = False
     max_total: int = 0          # 0 = no cross-thread cap
+    rmws: bool = False
+    acqrel: bool = False
 
     def __post_init__(self) -> None:
         if not (1 <= self.threads <= 4):
@@ -69,19 +83,22 @@ class SynthBounds:
     def to_dict(self) -> Dict:
         return {"threads": self.threads, "max_ops": self.max_ops,
                 "addresses": self.addresses, "fences": self.fences,
-                "max_total": self.max_total}
+                "max_total": self.max_total, "rmws": self.rmws,
+                "acqrel": self.acqrel}
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SynthBounds":
         return cls(**{key: data[key] for key in
                       ("threads", "max_ops", "addresses", "fences",
-                       "max_total") if key in data})
+                       "max_total", "rmws", "acqrel") if key in data})
 
     def describe(self) -> str:
         cap = f", <={self.max_total} total" if self.max_total else ""
         return (f"{self.threads} threads x <={self.max_ops} events, "
                 f"{self.addresses} addrs"
-                + (", fences" if self.fences else "") + cap)
+                + (", fences" if self.fences else "")
+                + (", rmws" if self.rmws else "")
+                + (", acq/rel" if self.acqrel else "") + cap)
 
 
 def _event_kinds(bounds: SynthBounds) -> List[_EventKind]:
@@ -89,8 +106,15 @@ def _event_kinds(bounds: SynthBounds) -> List[_EventKind]:
     for addr in _ADDRESSES[:bounds.addresses]:
         kinds.append(("ld", addr))
         kinds.append(("st", addr))
+        if bounds.acqrel:
+            kinds.append(("ld.acq", addr))
+            kinds.append(("st.rel", addr))
+        if bounds.rmws:
+            kinds.append(("xchg", addr))
     if bounds.fences:
         kinds.append(("fence", None))
+    if bounds.acqrel:
+        kinds.append(("lwfence", None))
     return kinds
 
 
@@ -118,7 +142,6 @@ def count_programs(bounds: SynthBounds) -> int:
 
 def _build(index: int, shape_combo: Sequence[Tuple[_EventKind, ...]]
            ) -> Program:
-    from repro.litmus.program import Fence
     threads: List[List[Instruction]] = []
     next_value = 1
     for events in shape_combo:
@@ -128,9 +151,21 @@ def _build(index: int, shape_combo: Sequence[Tuple[_EventKind, ...]]
             if kind == "ld":
                 ops.append(Ld(addr, f"r{regs}"))
                 regs += 1
+            elif kind == "ld.acq":
+                ops.append(Ld(addr, f"r{regs}", acquire=True))
+                regs += 1
             elif kind == "st":
                 ops.append(St(addr, next_value))
                 next_value += 1
+            elif kind == "st.rel":
+                ops.append(St(addr, next_value, release=True))
+                next_value += 1
+            elif kind == "xchg":
+                ops.append(Rmw(addr, next_value, f"r{regs}"))
+                next_value += 1
+                regs += 1
+            elif kind == "lwfence":
+                ops.append(Fence("lw"))
             else:
                 ops.append(Fence())
         threads.append(ops)
@@ -164,22 +199,40 @@ def may_distinguish(program: Program, pair: Tuple[str, str]) -> bool:
     apart?".  Necessary conditions only — a True can still profile to
     identical outcome sets, but a False never distinguishes:
 
-    * any pair involving SC against a TSO-family model needs a store
+    * any pair of SC against a TSO-family model needs a (plain) store
       program-ordered before a later load (the st→ld relaxation is the
-      only SC-vs-TSO difference, and a fence between them re-orders the
-      pair under both models);
+      only SC-vs-TSO difference; an mfence or locked op between them
+      re-orders the pair under both models, a lightweight fence does
+      not);
     * (370, x86) needs a store program-ordered before a later load *of
       the same address* (an ``rfi`` edge — the only relation the two
-      models treat differently — requires exactly that shape).
+      models treat differently — requires exactly that shape);
+    * a pair against WMM needs a program-order pair the strong model's
+      ppo keeps and WMM's drops (their grf only differs for 370, whose
+      rfi condition is the same forwarding shape as above) — evaluated
+      directly on the registry predicates, so the filter stays sound as
+      the vocabulary grows.
     """
-    from repro.litmus.program import Fence
+    if WMM in pair:
+        strong = pair[0] if pair[1] == WMM else pair[1]
+        from repro.models import get_model, po_access_pairs
+        strong_ax = get_model(strong).axiomatic
+        wmm_ax = get_model(WMM).axiomatic
+        for po_pair in po_access_pairs(program):
+            if strong_ax.ppo(po_pair) and not wmm_ax.ppo(po_pair):
+                return True
+        if strong == M370:
+            return may_distinguish(program, (M370, X86))
+        return False
     need_same_addr = SC not in pair
     for thread in program.threads:
         pending: List[Tuple[int, str]] = []    # (fence epoch, addr)
         epoch = 0
         for op in thread:
-            if isinstance(op, Fence):
+            if isinstance(op, Fence) and op.kind == "mf":
                 epoch += 1
+            elif isinstance(op, (Rmw, Cas)):
+                epoch += 1                     # locked: full fence
             elif isinstance(op, St):
                 pending.append((epoch, op.addr))
             elif isinstance(op, Ld):

@@ -27,8 +27,9 @@ from repro.resilience.fleet import (FleetFaultSpec, _repro_env,
 from repro.serve.api import ServeService
 from repro.serve.jobs import DONE, FAILED, REJECTED
 
-# The executable battery (the PC reference machine rejects the two
-# RMW-bearing tests, so a fleet job for them fails deterministically).
+# A fixed litmus subset: every machine in the zoo executes locked
+# RMWs now, so nothing needs filtering — this list just pins the
+# batch composition (15 litmus + 17 bench = 32 jobs).
 LITMUS_NAMES = ["2+2w", "coRR", "fig5-sb-fwd", "iriw", "lb", "mp", "n5",
                 "n6", "rwc", "sb", "sb+mfences", "self-read",
                 "spectre-bcb", "spectre-slf", "wrc"]

@@ -19,7 +19,7 @@ def test_battery_agrees_with_axiomatic_oracle():
     result = cross_check_battery()
     assert result.ok, "\n".join(result.mismatches)
     assert result.programs_checked >= 10
-    assert result.programs_skipped >= 1     # the Rmw cases
+    assert result.programs_skipped == 0     # Rmw cases are modeled now
 
 
 def test_random_programs_agree_with_axiomatic_oracle():
@@ -166,8 +166,11 @@ def test_explain_x86_reports_allowed_without_chain():
     assert "communication chain" not in text
 
 
-def test_rmw_programs_are_skipped_not_crashed():
+def test_rmw_programs_are_classified():
     from repro.litmus import SB_BOTH_RMW
-    with pytest.raises(NotImplementedError):
-        classify(SB_BOTH_RMW, M370)
-    assert explain_chain(SB_BOTH_RMW, "370", r0_rx=0) is None
+    from repro.litmus.operational import enumerate_outcomes
+    verdict = classify(SB_BOTH_RMW, M370)
+    assert verdict.allowed == enumerate_outcomes(SB_BOTH_RMW, M370)
+    # The locked ops forbid the (0, 0) witness even under x86; a
+    # forbidden-outcome chain renders without crashing.
+    assert explain_chain(SB_BOTH_RMW, "x86", r0_ry=0, r1_rx=0) is not None

@@ -71,13 +71,17 @@ class TestRmw:
             old1 = outcome.reg(1, "r1")
             assert not (old0 == 0 and old1 == 0)
 
-    def test_rmw_rejected_by_pc_machine(self):
-        with pytest.raises(ValueError):
-            enumerate_outcomes(SB_BOTH_RMW, PC)
+    def test_rmw_executes_on_pc_machine(self):
+        """Locked ops bus-lock the PC machine: enabled only once all
+        copies converged, written to every copy atomically — so the
+        both-locked SB witness stays forbidden."""
+        witness = dict(r0_ry=0, r1_rx=0)
+        assert not allows(SB_BOTH_RMW, PC, **witness)
+        assert allows(SB_ONE_RMW, PC, **witness)
 
-    def test_rmw_rejected_by_axiomatic_checker(self):
-        with pytest.raises(NotImplementedError):
-            enumerate_axiomatic(SB_BOTH_RMW, X86)
+    def test_rmw_modeled_by_axiomatic_checker(self):
+        assert enumerate_axiomatic(SB_BOTH_RMW, X86) \
+            == enumerate_outcomes(SB_BOTH_RMW, X86)
 
 
 class TestBattery:
@@ -89,15 +93,11 @@ class TestBattery:
             assert observed == expected, (case.program.name, model)
 
     @pytest.mark.parametrize(
-        "case",
-        [c for c in EXTRA_CASES
-         if not any(isinstance(op, Rmw)
-                    for th in c.program.threads for op in th)],
-        ids=lambda c: c.program.name)
+        "case", EXTRA_CASES, ids=[c.program.name for c in EXTRA_CASES])
     def test_battery_operational_equals_axiomatic(self, case):
-        for model in ("SC", "370", "x86"):
+        for model in ("SC", "370", "x86", "WMM"):
             assert enumerate_outcomes(case.program, model) \
-                == enumerate_axiomatic(case.program, model)
+                == enumerate_axiomatic(case.program, model), model
 
 
 class TestSampler:

@@ -1,0 +1,106 @@
+"""The memory-model registry and its machine-checked lattice.
+
+Every battery and generated case is judged under every registered
+model; allowed-outcome monotonicity must hold along every (transitive)
+lattice edge, and the classic WMM-vs-x86 witnesses must be confirmed
+by all three oracles.
+"""
+
+import pytest
+
+from repro.litmus.battery import EXTRA_CASES
+from repro.litmus.generated import GENERATED_CASES
+from repro.litmus.operational import MODELS
+from repro.litmus.tests import ALL_CASES
+from repro.models import (MODEL_ORDER, REGISTRY, get_model, lattice_edges,
+                          declared_edges, model_names, model_table)
+from repro.models.lattice import check_lattice, check_program
+from repro.synth.oracle import triple_check
+
+_CORPUS = ALL_CASES + EXTRA_CASES + GENERATED_CASES
+_IDS = [case.program.name for case in _CORPUS]
+
+
+class TestRegistry:
+    def test_five_models_registered(self):
+        assert MODEL_ORDER == ("SC", "370", "x86", "PC", "WMM")
+        assert set(REGISTRY) == set(MODEL_ORDER)
+
+    def test_operational_models_come_from_the_registry(self):
+        # litmus.operational.MODELS and the registry must agree — one
+        # namespace for every model-by-name lookup in the tree.
+        assert tuple(MODELS) == model_names()
+
+    def test_get_model_roundtrip(self):
+        for name in model_names():
+            assert get_model(name).name == name
+
+    def test_get_model_unknown_name(self):
+        with pytest.raises(ValueError, match="registered models"):
+            get_model("ARMv8")
+
+    def test_axiomatic_names_skip_pc(self):
+        assert model_names(axiomatic_only=True) == \
+            ("SC", "370", "x86", "WMM")
+        assert get_model("PC").axiomatic is None
+
+    def test_model_table_covers_every_model(self):
+        rows = model_table()
+        assert [row[0] for row in rows] == list(MODEL_ORDER)
+        for row in rows:
+            assert all(isinstance(cell, str) and cell for cell in row)
+
+    def test_wmm_carries_both_formalizations(self):
+        wmm = get_model("WMM")
+        assert wmm.axiomatic is not None
+        assert wmm.enumerate  # operational factory present
+
+
+class TestLattice:
+    def test_declared_edges_are_immediate_parents(self):
+        assert set(declared_edges()) == {
+            ("SC", "370"), ("370", "x86"), ("x86", "PC"),
+            ("PC", "WMM"), ("x86", "WMM")}
+
+    def test_transitive_closure(self):
+        edges = set(lattice_edges())
+        assert ("SC", "WMM") in edges
+        assert ("SC", "x86") in edges
+        assert ("370", "PC") in edges
+        # Never reflexive or inverted.
+        assert all(s != w for s, w in edges)
+        assert ("WMM", "SC") not in edges
+
+    @pytest.mark.parametrize("case", _CORPUS, ids=_IDS)
+    def test_monotone_along_every_edge(self, case):
+        assert check_program(case.program) == []
+
+    def test_full_corpus_report(self):
+        report = check_lattice()
+        assert report.ok
+        assert report.programs_checked == len(_CORPUS)
+        assert report.edges == lattice_edges()
+
+
+class TestWmmWitnesses:
+    """The registry's weakest member must be observably weaker than
+    x86 — on at least two classic programs, via all three oracles."""
+
+    WITNESSES = [case for case in _CORPUS
+                 if case.expected_dict().get("WMM") is True
+                 and case.expected_dict().get("x86") is False]
+
+    def test_at_least_two_wmm_only_cases(self):
+        names = {case.program.name for case in self.WITNESSES}
+        assert {"mp", "iriw"} <= names
+        assert len(names) >= 2
+
+    @pytest.mark.parametrize(
+        "case", WITNESSES, ids=[c.program.name for c in WITNESSES])
+    def test_witness_confirmed_by_all_three_oracles(self, case):
+        from repro.litmus.operational import matching_outcomes
+        report = triple_check(case.program, models=("x86", "WMM"))
+        assert report.agree, "\n".join(report.mismatches)
+        witness = case.witness_dict()
+        assert matching_outcomes(case.program, "WMM", **witness)
+        assert not matching_outcomes(case.program, "x86", **witness)

@@ -155,8 +155,8 @@ class TestSynthJobs:
         assert kind == "synth"
         assert spec.bounds.threads == 2 and spec.bounds.max_ops == 2
         assert spec.chunk == 0 and spec.chunks == 1
-        assert spec.pairs == (("SC", "370"), ("SC", "x86"),
-                              ("370", "x86"))
+        from repro.synth.search import MODEL_PAIRS
+        assert spec.pairs == MODEL_PAIRS
         assert priority == DEFAULT_PRIORITY
 
     def test_spec_round_trips(self):

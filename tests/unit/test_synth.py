@@ -76,6 +76,23 @@ class TestSpace:
                 if not may_distinguish(program, pair):
                     assert distinguishing_outcomes(program, pair) == ()
 
+    def test_prefilter_sound_on_extended_vocabulary(self):
+        # Exhaustive soundness proof over the full rmw + acquire/
+        # release space: a program the prefilter rejects for a pair
+        # must profile to identical outcome sets.  One 4-model profile
+        # per program keeps the sweep fast.
+        bounds = SynthBounds(threads=2, max_ops=2, addresses=1,
+                             rmws=True, acqrel=True)
+        for _, program in enumerate_programs(bounds):
+            rejected = [pair for pair in MODEL_PAIRS
+                        if not may_distinguish(program, pair)]
+            if not rejected:
+                continue
+            profile = outcome_profile(program)
+            for pair in rejected:
+                assert profile_diff(profile, pair) == (), \
+                    (program.name, pair)
+
 
 # ----------------------------------------------------------------------
 # Outcome profiling
